@@ -1,0 +1,296 @@
+(* gpuperf: command-line front end to the performance-analysis toolchain.
+
+     gpuperf occupancy --threads 64 --regs 30 --smem 1088
+     gpuperf microbench [--class II] [--smem] [--gmem B T M]
+     gpuperf analyze (matmul|tridiag|spmv) [options]
+     gpuperf disasm FILE.cubin / gpuperf asm FILE.asm -o FILE.cubin
+     gpuperf coalesce --addresses 0,4,8,... [--segment 32]
+     gpuperf whatif (matmul|tridiag|spmv) ... *)
+
+open Cmdliner
+
+let spec = Gpu_hw.Spec.gtx285
+
+(* --- occupancy ----------------------------------------------------------- *)
+
+let occupancy_cmd =
+  let threads =
+    Arg.(value & opt int 256 & info [ "threads" ] ~doc:"Threads per block")
+  in
+  let regs =
+    Arg.(value & opt int 16 & info [ "regs" ] ~doc:"Registers per thread")
+  in
+  let smem =
+    Arg.(value & opt int 0 & info [ "smem" ] ~doc:"Shared bytes per block")
+  in
+  let sweep =
+    Arg.(value & flag & info [ "sweep" ]
+           ~doc:"Tabulate occupancy across block sizes")
+  in
+  let run threads regs smem sweep =
+    if sweep then begin
+      Fmt.pr "%8s %8s %8s %10s@." "threads" "blocks" "warps" "limiter";
+      List.iter
+        (fun t ->
+          match
+            Gpu_hw.Occupancy.compute ~spec
+              {
+                Gpu_hw.Occupancy.threads_per_block = t;
+                registers_per_thread = regs;
+                smem_per_block = smem;
+              }
+          with
+          | o ->
+            Fmt.pr "%8d %8d %8d %10s@." t o.Gpu_hw.Occupancy.blocks
+              o.Gpu_hw.Occupancy.active_warps o.Gpu_hw.Occupancy.limiter
+          | exception Gpu_hw.Occupancy.Invalid_launch m ->
+            Fmt.pr "%8d invalid: %s@." t m)
+        [ 32; 64; 96; 128; 192; 256; 384; 512 ]
+    end
+    else
+      let o =
+        Gpu_hw.Occupancy.compute ~spec
+          {
+            Gpu_hw.Occupancy.threads_per_block = threads;
+            registers_per_thread = regs;
+            smem_per_block = smem;
+          }
+      in
+      Fmt.pr "%a@." Gpu_hw.Occupancy.pp o
+  in
+  Cmd.v
+    (Cmd.info "occupancy" ~doc:"Resident blocks and warps for a kernel shape")
+    Term.(const run $ threads $ regs $ smem $ sweep)
+
+(* --- microbench ---------------------------------------------------------- *)
+
+let microbench_cmd =
+  let gmem =
+    Arg.(
+      value
+      & opt (some (t3 int int int)) None
+      & info [ "gmem" ]
+          ~doc:"Global benchmark: blocks,threads,transactions-per-thread")
+  in
+  let run gmem =
+    let t = Gpu_microbench.Tables.for_spec spec in
+    (match gmem with
+    | Some (b, th, m) ->
+      Fmt.pr "global bandwidth (%d blocks, %d threads, %d txns/thread): \
+              %.1f GB/s@."
+        b th m
+        (Gpu_microbench.Tables.gmem_bandwidth t ~blocks:b ~threads:th
+           ~txns_per_thread:m)
+    | None ->
+      Fmt.pr "instruction throughput (Ginstr/s) and shared bandwidth \
+              (GB/s) vs warps/SM:@.";
+      Fmt.pr "%6s" "warps";
+      List.iter (fun c ->
+          Fmt.pr "%8s" (Gpu_isa.Instr.cost_class_name c))
+        Gpu_microbench.Tables.arithmetic_classes;
+      Fmt.pr "%8s@." "smem";
+      for w = 1 to 32 do
+        Fmt.pr "%6d" w;
+        List.iter
+          (fun c ->
+            Fmt.pr "%8.2f" (Gpu_microbench.Tables.instr_throughput t c ~warps:w))
+          Gpu_microbench.Tables.arithmetic_classes;
+        Fmt.pr "%8.0f@." (Gpu_microbench.Tables.smem_bandwidth t ~warps:w)
+      done)
+  in
+  Cmd.v
+    (Cmd.info "microbench"
+       ~doc:"Fit and print the microbenchmark throughput tables")
+    Term.(const run $ gmem)
+
+(* --- analyze ------------------------------------------------------------- *)
+
+let measure_flag =
+  Arg.(value & flag & info [ "measure" ] ~doc:"Also run the timing simulator")
+
+let workload_conv = Arg.enum [ ("matmul", `Matmul); ("tridiag", `Tridiag);
+                               ("spmv", `Spmv) ]
+
+let variant_specs =
+  [
+    ("maxblocks16", Gpu_hw.Spec.with_max_blocks 16 spec);
+    ("banks17", Gpu_hw.Spec.with_banks 17 spec);
+    ("segment16", Gpu_hw.Spec.with_min_segment 16 spec);
+    ("segment4", Gpu_hw.Spec.with_min_segment 4 spec);
+    ("bigregfile", Gpu_hw.Spec.with_registers 32768 spec);
+    ("bigsmem", Gpu_hw.Spec.with_smem 32768 spec);
+    ("earlyrelease", Gpu_hw.Spec.with_early_release spec);
+  ]
+
+let report_of ~measure workload tile padded fmt dev =
+  match workload with
+  | `Matmul -> Gpu_workloads.Matmul.analyze ~spec:dev ~measure ~n:1024 ~tile ()
+  | `Tridiag ->
+    Gpu_workloads.Tridiag.analyze ~spec:dev ~measure ~nsys:512 ~n:512 ~padded
+      ()
+  | `Spmv ->
+    let m = Gpu_workloads.Spmv.qcd_like () in
+    let f =
+      match fmt with
+      | "ell" -> Gpu_workloads.Spmv.Ell
+      | "bell" | "bell+im" -> Gpu_workloads.Spmv.Bell_im
+      | "bell+imiv" | "imiv" -> Gpu_workloads.Spmv.Bell_imiv
+      | other -> failwith ("unknown SpMV format " ^ other)
+    in
+    Gpu_workloads.Spmv.analyze ~spec:dev ~measure m f
+
+let tile_arg =
+  Arg.(value & opt int 16 & info [ "tile" ] ~doc:"Matmul tile (8|16|32)")
+
+let padded_arg =
+  Arg.(value & flag & info [ "padded" ] ~doc:"Tridiag: pad shared arrays \
+                                              (CR-NBC)")
+
+let fmt_arg =
+  Arg.(
+    value & opt string "ell"
+    & info [ "format" ] ~doc:"SpMV format (ell|bell+im|bell+imiv)")
+
+let workload_arg =
+  Arg.(
+    required
+    & pos 0 (some workload_conv) None
+    & info [] ~docv:"WORKLOAD" ~doc:"matmul, tridiag or spmv")
+
+let analyze_cmd =
+  let run workload tile padded fmt measure =
+    let r = report_of ~measure workload tile padded fmt spec in
+    Fmt.pr "%a@." Gpu_model.Workflow.pp r
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run the full Figure-1 workflow on a case-study workload")
+    Term.(
+      const run $ workload_arg $ tile_arg $ padded_arg $ fmt_arg
+      $ measure_flag)
+
+(* --- whatif -------------------------------------------------------------- *)
+
+let whatif_cmd =
+  let variant_arg =
+    Arg.(
+      non_empty
+      & opt_all (enum (List.map (fun (n, s) -> (n, s)) variant_specs)) []
+      & info [ "variant" ]
+          ~doc:
+            "Device variant (repeatable): maxblocks16, banks17, segment16, \
+             segment4, bigregfile, bigsmem, earlyrelease")
+  in
+  let run workload tile padded fmt variants =
+    let base = report_of ~measure:false workload tile padded fmt spec in
+    let t0 = base.Gpu_model.Workflow.analysis.Gpu_model.Model.predicted_seconds in
+    Fmt.pr "%-40s %8.4f ms  %s@." spec.Gpu_hw.Spec.name (1e3 *. t0)
+      (Gpu_model.Component.name
+         base.Gpu_model.Workflow.analysis.Gpu_model.Model.bottleneck);
+    List.iter
+      (fun dev ->
+        let r = report_of ~measure:false workload tile padded fmt dev in
+        let t = r.Gpu_model.Workflow.analysis.Gpu_model.Model.predicted_seconds in
+        Fmt.pr "%-40s %8.4f ms  %s (%.2fx)@." dev.Gpu_hw.Spec.name
+          (1e3 *. t)
+          (Gpu_model.Component.name
+             r.Gpu_model.Workflow.analysis.Gpu_model.Model.bottleneck)
+          (t0 /. t))
+      variants
+  in
+  Cmd.v
+    (Cmd.info "whatif"
+       ~doc:"Re-analyze a workload on architectural variants")
+    Term.(
+      const run $ workload_arg $ tile_arg $ padded_arg $ fmt_arg
+      $ variant_arg)
+
+(* --- disasm / asm --------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let disasm_cmd =
+  let run file =
+    let p = Gpu_isa.Encode.decode (read_file file) in
+    print_string (Gpu_isa.Program.to_string p)
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble a kernel image (the Decuda analog)")
+    Term.(const run $ file_arg)
+
+let asm_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Output kernel image")
+  in
+  let run file out =
+    let p = Gpu_isa.Asm.parse (read_file file) in
+    write_file out (Gpu_isa.Encode.encode p);
+    Fmt.pr "%s: %d instructions, %d registers@." (Gpu_isa.Program.name p)
+      (Gpu_isa.Program.length p)
+      (Gpu_isa.Program.register_demand p)
+  in
+  Cmd.v
+    (Cmd.info "asm" ~doc:"Assemble a listing to a kernel image (cudasm)")
+    Term.(const run $ file_arg $ out)
+
+(* --- coalesce -------------------------------------------------------------- *)
+
+let coalesce_cmd =
+  let addresses =
+    Arg.(
+      required
+      & opt (some (list int)) None
+      & info [ "addresses" ] ~docv:"A,B,..."
+          ~doc:"Byte addresses of one issue group (up to 16)")
+  in
+  let segment =
+    Arg.(value & opt int 32 & info [ "segment" ] ~doc:"Minimum segment bytes")
+  in
+  let run addresses segment =
+    let cfg =
+      { Gpu_mem.Coalesce.group = 16; min_segment = segment; max_segment = 128 }
+    in
+    let a = Array.make 16 None in
+    List.iteri (fun i x -> if i < 16 then a.(i) <- Some x) addresses;
+    let txns = Gpu_mem.Coalesce.group_transactions cfg ~width:4 a in
+    List.iter (fun t -> Fmt.pr "%a@." Gpu_mem.Coalesce.pp_txn t) txns;
+    Fmt.pr "%d transactions, %d bytes moved, efficiency %.2f@."
+      (Gpu_mem.Coalesce.count txns)
+      (Gpu_mem.Coalesce.bytes txns)
+      (Gpu_mem.Coalesce.efficiency ~width:4 a txns);
+    Fmt.pr "bank conflict degree (16 banks): %d@."
+      (Gpu_mem.Bank.conflict_degree ~banks:16 a)
+  in
+  Cmd.v
+    (Cmd.info "coalesce"
+       ~doc:"Run the memory-transaction simulator on an address list")
+    Term.(const run $ addresses $ segment)
+
+(* --- main ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "quantitative GPU performance analysis (Zhang & Owens, HPCA'11)" in
+  let info = Cmd.info "gpuperf" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            occupancy_cmd; microbench_cmd; analyze_cmd; whatif_cmd;
+            disasm_cmd; asm_cmd; coalesce_cmd;
+          ]))

@@ -1,0 +1,59 @@
+(* The Section 5.1 study: why does the 16x16 tile beat 8x8 and 32x32 in
+   Volkov-Demmel matrix multiply, and why does SGEMM only reach ~56% of
+   peak?
+
+     dune exec examples/matmul_analysis.exe *)
+
+module Model = Gpu_model.Model
+module Component = Gpu_model.Component
+module Workflow = Gpu_model.Workflow
+module Stats = Gpu_sim.Stats
+module Matmul = Gpu_workloads.Matmul
+
+let () =
+  let n = 1024 in
+  Printf.printf
+    "Dense matrix multiply, %dx%d, tiles mapped to 64-thread blocks.\n\n" n n;
+  let reports =
+    List.map (fun tile -> (tile, Matmul.analyze ~measure:true ~n ~tile ()))
+      [ 8; 16; 32 ]
+  in
+  List.iter
+    (fun (tile, (r : Workflow.report)) ->
+      let a = r.Workflow.analysis in
+      let o = a.Model.occupancy in
+      let total = Stats.total r.Workflow.stats in
+      let m = Option.get r.Workflow.measured in
+      Printf.printf "--- tile %dx%d ---\n" tile tile;
+      Printf.printf
+        "occupancy: %d blocks (%d warps) per SM, limited by %s\n"
+        o.Gpu_hw.Occupancy.blocks o.Gpu_hw.Occupancy.active_warps
+        o.Gpu_hw.Occupancy.limiter;
+      Printf.printf "computational density: %.0f%% of instructions are MADs\n"
+        (100.0 *. Stats.computational_density total);
+      Printf.printf
+        "model: instr %.2f ms, shared %.2f ms, global %.2f ms -> %s-bound\n"
+        (1e3 *. a.Model.totals.Component.instruction)
+        (1e3 *. a.Model.totals.Component.shared)
+        (1e3 *. a.Model.totals.Component.global)
+        (Component.short_name a.Model.bottleneck);
+      Printf.printf "predicted %.2f ms, timing simulator %.2f ms (%.0f \
+                     GFLOPS)\n\n"
+        (1e3 *. a.Model.predicted_seconds)
+        (1e3 *. m.Gpu_timing.Engine.seconds)
+        (2.0 *. float_of_int n ** 3.0 /. m.Gpu_timing.Engine.seconds /. 1e9))
+    reports;
+  Printf.printf
+    "The paper's conclusions, visible above: larger tiles cut global \
+     traffic and raise density, but the 32x32 tile's shared-memory and \
+     register appetite drops occupancy to 3 blocks (6 warps), starving \
+     the shared-memory pipeline — the bottleneck shifts from the \
+     instruction pipeline to shared memory, and 16x16 wins.\n\n";
+  (* The architectural fix the paper proposes: more resident blocks. *)
+  let spec16 = Gpu_hw.Spec.with_max_blocks 16 Gpu_hw.Spec.gtx285 in
+  let r8 = Matmul.analyze ~spec:spec16 ~n ~tile:8 () in
+  Printf.printf
+    "what-if (16 resident blocks): 8x8 tile now runs %d warps and the \
+     model predicts %.2f ms\n"
+    r8.Workflow.analysis.Model.occupancy.Gpu_hw.Occupancy.active_warps
+    (1e3 *. r8.Workflow.analysis.Model.predicted_seconds)

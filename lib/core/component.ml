@@ -1,0 +1,47 @@
+(* The three components of GPU execution time the paper models
+   (Section 3): the instruction pipeline, shared-memory access, and
+   global-memory access. *)
+
+type t = Instruction_pipeline | Shared_memory | Global_memory
+
+let all = [ Instruction_pipeline; Shared_memory; Global_memory ]
+
+let name = function
+  | Instruction_pipeline -> "instruction pipeline"
+  | Shared_memory -> "shared memory"
+  | Global_memory -> "global memory"
+
+let short_name = function
+  | Instruction_pipeline -> "instr"
+  | Shared_memory -> "shared"
+  | Global_memory -> "global"
+
+type times = { instruction : float; shared : float; global : float }
+
+let zero_times = { instruction = 0.0; shared = 0.0; global = 0.0 }
+
+let time_of times = function
+  | Instruction_pipeline -> times.instruction
+  | Shared_memory -> times.shared
+  | Global_memory -> times.global
+
+let add a b =
+  {
+    instruction = a.instruction +. b.instruction;
+    shared = a.shared +. b.shared;
+    global = a.global +. b.global;
+  }
+
+(* The bottleneck is the component spending the most time; the total time
+   of a stage is the bottleneck's time, non-bottleneck components being
+   overlapped (paper Section 3). *)
+let bottleneck times =
+  let best = ref Instruction_pipeline in
+  List.iter
+    (fun c -> if time_of times c > time_of times !best then best := c)
+    all;
+  !best
+
+let max_time times = time_of times (bottleneck times)
+
+let pp ppf c = Fmt.string ppf (name c)

@@ -1,0 +1,21 @@
+(** The three components of GPU execution time the paper models
+    (Section 3): instruction pipeline, shared memory, global memory. *)
+
+type t = Instruction_pipeline | Shared_memory | Global_memory
+
+val all : t list
+val name : t -> string
+val short_name : t -> string
+
+type times = { instruction : float; shared : float; global : float }
+
+val zero_times : times
+val time_of : times -> t -> float
+val add : times -> times -> times
+
+(** The component spending the most time; a stage's total is its time,
+    the others being overlapped (Section 3). *)
+val bottleneck : times -> t
+
+val max_time : times -> float
+val pp : Format.formatter -> t -> unit

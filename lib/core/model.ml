@@ -1,0 +1,338 @@
+(* The microbenchmark-based throughput model — the paper's primary
+   contribution (Sections 3-4).
+
+   For each barrier-delimited stage the model charges:
+     - the instruction pipeline with every issued warp-instruction at the
+       microbenchmarked throughput of its cost class for the stage's
+       warp-level parallelism;
+     - shared memory with the conflict-adjusted half-warp transaction count
+       (64 bytes each) at the microbenchmarked bandwidth for that
+       parallelism;
+     - global memory with the coalesced transferred bytes at the bandwidth
+       a synthetic benchmark of the same (blocks, block size,
+       transactions/thread) configuration sustains.
+
+   A stage's time is its slowest component (the others overlap); the stage
+   bottleneck is that component.  With one resident block per SM the stages
+   serialize; with several, stages themselves overlap and the program gets
+   a single overall bottleneck (Section 3). *)
+
+module Spec = Gpu_hw.Spec
+module Stats = Gpu_sim.Stats
+module Tables = Gpu_microbench.Tables
+
+type cause =
+  | Low_computational_density of float
+  | Expensive_instructions of float (* class III/IV fraction *)
+  | Insufficient_warps of int
+  | Bank_conflicts of float (* penalty factor *)
+  | Bookkeeping_smem_traffic
+  | Uncoalesced_accesses of float (* coalescing efficiency *)
+  | Large_transaction_granularity
+  | Insufficient_memory_parallelism of float (* fraction of peak *)
+
+let pp_cause ppf = function
+  | Low_computational_density d ->
+    Fmt.pf ppf "low computational density (%.0f%% of instructions are MADs)"
+      (100.0 *. d)
+  | Expensive_instructions f ->
+    Fmt.pf ppf "expensive instructions (%.0f%% are class III/IV)"
+      (100.0 *. f)
+  | Insufficient_warps w -> Fmt.pf ppf "insufficient parallel warps (%d)" w
+  | Bank_conflicts p -> Fmt.pf ppf "bank conflicts (%.2fx transactions)" p
+  | Bookkeeping_smem_traffic ->
+    Fmt.pf ppf "shared-memory traffic from bookkeeping accesses"
+  | Uncoalesced_accesses e ->
+    Fmt.pf ppf "uncoalesced accesses (%.0f%% of moved bytes useful)"
+      (100.0 *. e)
+  | Large_transaction_granularity ->
+    Fmt.pf ppf "large memory-transaction granularity"
+  | Insufficient_memory_parallelism f ->
+    Fmt.pf ppf
+      "insufficient parallelism to cover memory latency (%.0f%% of peak \
+       bandwidth)"
+      (100.0 *. f)
+
+type stage_analysis = {
+  index : int;
+  times : Component.times;
+  bottleneck : Component.t;
+  active_warps : int; (* per SM, used for the table lookups *)
+  smem_bandwidth : float; (* GB/s the stage's parallelism sustains *)
+  instr_throughput_ii : float; (* Ginstr/s for class II at that parallelism *)
+  gmem_bandwidth : float; (* GB/s of the matched synthetic benchmark *)
+  causes : cause list;
+}
+
+type t = {
+  spec : Spec.t;
+  grid : int;
+  block : int;
+  occupancy : Gpu_hw.Occupancy.t;
+  resident_blocks : int; (* actually resident, given the grid *)
+  serialized : bool;
+  stages : stage_analysis list;
+  totals : Component.times;
+  bottleneck : Component.t;
+  predicted_seconds : float;
+  no_overlap_seconds : float; (* upper bound: components never overlap *)
+  computational_density : float;
+  coalescing_efficiency : float;
+  bank_conflict_penalty : float;
+  predicted_gflops : float;
+}
+
+type inputs = {
+  in_spec : Spec.t;
+  tables : Tables.t;
+  stats : Stats.t;
+  scale : float; (* grid blocks / blocks simulated *)
+  in_grid : int;
+  in_block : int;
+  in_occupancy : Gpu_hw.Occupancy.t;
+  blocks_run : int;
+}
+
+(* How fully the grid loads the device: with fewer blocks than SMs, or a
+   remainder, the busiest SM carries more than the average share, so the
+   effective device throughput drops by this factor. *)
+let load_balance ~spec ~grid =
+  let sms = spec.Spec.num_sms in
+  let busiest = (grid + sms - 1) / sms in
+  float_of_int grid /. float_of_int (busiest * sms)
+
+let transaction_bytes = 64 (* a half-warp of 4-byte words *)
+
+(* Global-memory transactions per thread over the whole program: the
+   configuration the matched synthetic benchmark reproduces (Section 4.3). *)
+let txns_per_thread inp =
+  let total = Stats.total inp.stats in
+  if total.Stats.gmem_accesses = 0 then 0
+  else
+    let threads = inp.in_grid * inp.in_block in
+    let per_thread =
+      float_of_int total.Stats.gmem_accesses *. inp.scale *. 32.0
+      /. float_of_int threads
+    in
+    max 1 (int_of_float (Float.round per_thread))
+
+let analyze_stage inp ~program_txns_per_thread ~stage_index
+    (s : Stats.stage) =
+  let spec = inp.in_spec in
+  let balance = load_balance ~spec ~grid:inp.in_grid in
+  (* Parallelism: warps active in this stage per block, times the blocks
+     resident on an SM. *)
+  let resident =
+    min inp.in_occupancy.Gpu_hw.Occupancy.blocks
+      (max 1 ((inp.in_grid + spec.Spec.num_sms - 1) / spec.Spec.num_sms))
+  in
+  let per_block_active =
+    if inp.blocks_run = 0 then 0
+    else
+      (s.active_warp_slots + inp.blocks_run - 1) / inp.blocks_run
+  in
+  let active_warps =
+    max 1 (min (per_block_active * resident) spec.Spec.max_warps_per_sm)
+  in
+  (* Instruction pipeline time. *)
+  let t_instr =
+    List.fold_left
+      (fun acc cls ->
+        let n = float_of_int (Stats.issued_of s cls) *. inp.scale in
+        if n = 0.0 then acc
+        else
+          acc
+          +. n
+             /. (Tables.instr_throughput inp.tables cls ~warps:active_warps
+                *. 1e9)
+             /. balance)
+      0.0 Gpu_isa.Instr.all_cost_classes
+  in
+  (* Shared memory time. *)
+  let smem_bw = Tables.smem_bandwidth inp.tables ~warps:active_warps in
+  let t_smem =
+    float_of_int (s.smem_txns * transaction_bytes)
+    *. inp.scale /. (smem_bw *. 1e9) /. balance
+  in
+  (* Global memory time: synthetic benchmark of the same configuration. *)
+  let gmem_bw =
+    if program_txns_per_thread = 0 then Float.infinity
+    else
+      Tables.gmem_bandwidth inp.tables ~blocks:inp.in_grid
+        ~threads:inp.in_block ~txns_per_thread:program_txns_per_thread
+  in
+  let t_gmem =
+    if s.gmem_transferred_bytes = 0 then 0.0
+    else
+      float_of_int s.gmem_transferred_bytes
+      *. inp.scale /. (gmem_bw *. 1e9)
+  in
+  let times =
+    { Component.instruction = t_instr; shared = t_smem; global = t_gmem }
+  in
+  let bottleneck = Component.bottleneck times in
+  (* Cause diagnosis (Section 3). *)
+  let density = Stats.computational_density s in
+  let expensive =
+    let total = float_of_int (Stats.total_issued s) in
+    if total = 0.0 then 0.0
+    else
+      float_of_int
+        (Stats.issued_of s Gpu_isa.Instr.Class_iii
+        + Stats.issued_of s Gpu_isa.Instr.Class_iv)
+      /. total
+  in
+  let conflict_penalty = Stats.bank_conflict_penalty s in
+  let coalescing = Stats.coalescing_efficiency s in
+  let saturation_warps = 16 in
+  let causes =
+    match bottleneck with
+    | Component.Instruction_pipeline ->
+      List.concat
+        [
+          (if density < 0.3 then [ Low_computational_density density ]
+           else []);
+          (if expensive > 0.1 then [ Expensive_instructions expensive ]
+           else []);
+          (if active_warps < saturation_warps then
+             [ Insufficient_warps active_warps ]
+           else []);
+        ]
+    | Component.Shared_memory ->
+      List.concat
+        [
+          (if conflict_penalty > 1.1 then [ Bank_conflicts conflict_penalty ]
+           else []);
+          (if
+             s.smem_accesses > 0
+             && float_of_int s.mads /. float_of_int s.smem_accesses < 2.0
+           then [ Bookkeeping_smem_traffic ]
+           else []);
+          (if active_warps < saturation_warps then
+             [ Insufficient_warps active_warps ]
+           else []);
+        ]
+    | Component.Global_memory ->
+      let peak = Spec.peak_gmem_bandwidth spec in
+      List.concat
+        [
+          (if coalescing < 0.9 then
+             [
+               Uncoalesced_accesses coalescing;
+               Large_transaction_granularity;
+             ]
+           else []);
+          (if gmem_bw < 0.6 *. peak then
+             [ Insufficient_memory_parallelism (gmem_bw /. peak) ]
+           else []);
+        ]
+  in
+  {
+    index = stage_index;
+    times;
+    bottleneck;
+    active_warps;
+    smem_bandwidth = smem_bw;
+    instr_throughput_ii =
+      Tables.instr_throughput inp.tables Gpu_isa.Instr.Class_ii
+        ~warps:active_warps;
+    gmem_bandwidth = gmem_bw;
+    causes;
+  }
+
+let analyze inp =
+  let spec = inp.in_spec in
+  let resident =
+    min inp.in_occupancy.Gpu_hw.Occupancy.blocks
+      (max 1 ((inp.in_grid + spec.Spec.num_sms - 1) / spec.Spec.num_sms))
+  in
+  let serialized = resident = 1 in
+  let program_txns_per_thread = txns_per_thread inp in
+  let stages =
+    Array.to_list
+      (Array.mapi
+         (fun i s ->
+           analyze_stage inp ~program_txns_per_thread ~stage_index:i s)
+         (Stats.stages inp.stats))
+  in
+  let totals =
+    List.fold_left
+      (fun acc st -> Component.add acc st.times)
+      Component.zero_times stages
+  in
+  let predicted_seconds =
+    if serialized then
+      (* one resident block: barrier-delimited stages run back to back *)
+      List.fold_left (fun acc st -> acc +. Component.max_time st.times) 0.0
+        stages
+    else
+      (* several resident blocks: stages of different blocks overlap, so
+         each component pipeline runs its aggregate work (Section 3) *)
+      Component.max_time totals
+  in
+  (* The paper assumes perfect overlap of the non-bottleneck components and
+     flags non-perfect overlap as future work (4); the no-overlap sum gives
+     the complementary upper bound, bracketing the truth. *)
+  let no_overlap_seconds =
+    totals.Component.instruction +. totals.Component.shared
+    +. totals.Component.global
+  in
+  let all = Stats.total inp.stats in
+  let density = Stats.computational_density all in
+  let predicted_gflops =
+    if predicted_seconds <= 0.0 then 0.0
+    else
+      float_of_int all.mads *. inp.scale *. 32.0 *. 2.0
+      /. predicted_seconds /. 1e9
+  in
+  {
+    spec;
+    grid = inp.in_grid;
+    block = inp.in_block;
+    occupancy = inp.in_occupancy;
+    resident_blocks = resident;
+    serialized;
+    stages;
+    totals;
+    bottleneck = Component.bottleneck totals;
+    predicted_seconds;
+    no_overlap_seconds;
+    computational_density = density;
+    coalescing_efficiency = Stats.coalescing_efficiency all;
+    bank_conflict_penalty = Stats.bank_conflict_penalty all;
+    predicted_gflops;
+  }
+
+(* --- Reporting -------------------------------------------------------- *)
+
+let pp_times ppf (t : Component.times) =
+  Fmt.pf ppf "instr %.3g ms, shared %.3g ms, global %.3g ms"
+    (1e3 *. t.instruction) (1e3 *. t.shared) (1e3 *. t.global)
+
+let pp_stage ppf st =
+  Fmt.pf ppf "@[<v>stage %d: %a@,  bottleneck: %a (%d warps/SM)%a@]" st.index
+    pp_times st.times Component.pp st.bottleneck st.active_warps
+    (fun ppf causes ->
+      List.iter (fun c -> Fmt.pf ppf "@,  cause: %a" pp_cause c) causes)
+    st.causes
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>%s | grid %d x %d threads | %d resident blocks (%s)@,\
+     predicted: %.4g ms (%s; no-overlap bound %.4g ms)@,bottleneck: \
+     %a@,components: %a@,\
+     computational density %.1f%%, coalescing %.1f%%, bank-conflict \
+     penalty %.2fx@,predicted %.1f GFLOPS@,%a@]"
+    t.spec.Spec.name t.grid t.block t.resident_blocks
+    (if t.serialized then "stages serialized" else "stages overlapped")
+    (1e3 *. t.predicted_seconds)
+    (if t.serialized then "sum of stage bottlenecks"
+     else "max of component totals")
+    (1e3 *. t.no_overlap_seconds)
+    Component.pp t.bottleneck pp_times t.totals
+    (100.0 *. t.computational_density)
+    (100.0 *. t.coalescing_efficiency)
+    t.bank_conflict_penalty t.predicted_gflops
+    (fun ppf stages ->
+      List.iter (fun st -> Fmt.pf ppf "@,%a" pp_stage st) stages)
+    t.stages

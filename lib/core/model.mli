@@ -1,0 +1,78 @@
+(** The microbenchmark-based throughput model — the paper's primary
+    contribution (Sections 3-4).
+
+    Each barrier-delimited stage is charged per component: issued
+    warp-instructions at the microbenchmarked class throughput for the
+    stage's warp-level parallelism; conflict-adjusted shared transactions
+    (64 bytes each) at the microbenchmarked bandwidth; coalesced global
+    bytes at the bandwidth of a synthetic benchmark matching the launch
+    configuration.  A stage's time is its slowest component.  One resident
+    block serializes stages; several overlap them and the program gets a
+    single bottleneck. *)
+
+type cause =
+  | Low_computational_density of float
+  | Expensive_instructions of float  (** class III/IV fraction *)
+  | Insufficient_warps of int
+  | Bank_conflicts of float  (** transaction inflation factor *)
+  | Bookkeeping_smem_traffic
+  | Uncoalesced_accesses of float  (** coalescing efficiency *)
+  | Large_transaction_granularity
+  | Insufficient_memory_parallelism of float  (** fraction of peak *)
+
+val pp_cause : Format.formatter -> cause -> unit
+
+type stage_analysis = {
+  index : int;
+  times : Component.times;
+  bottleneck : Component.t;
+  active_warps : int;  (** per SM, used for the table lookups *)
+  smem_bandwidth : float;  (** GB/s at that parallelism *)
+  instr_throughput_ii : float;  (** class II Ginstr/s at that parallelism *)
+  gmem_bandwidth : float;  (** GB/s of the matched synthetic benchmark *)
+  causes : cause list;
+}
+
+type t = {
+  spec : Gpu_hw.Spec.t;
+  grid : int;
+  block : int;
+  occupancy : Gpu_hw.Occupancy.t;
+  resident_blocks : int;  (** actually resident, given the grid *)
+  serialized : bool;
+  stages : stage_analysis list;
+  totals : Component.times;
+  bottleneck : Component.t;
+  predicted_seconds : float;
+  no_overlap_seconds : float;
+      (** upper bound assuming the components never overlap — together with
+          [predicted_seconds] (perfect overlap, the paper's assumption)
+          this brackets the truth (the paper's future-work item (4)) *)
+  computational_density : float;
+  coalescing_efficiency : float;
+  bank_conflict_penalty : float;
+  predicted_gflops : float;
+}
+
+type inputs = {
+  in_spec : Gpu_hw.Spec.t;
+  tables : Gpu_microbench.Tables.t;
+  stats : Gpu_sim.Stats.t;
+  scale : float;  (** grid blocks / blocks simulated *)
+  in_grid : int;
+  in_block : int;
+  in_occupancy : Gpu_hw.Occupancy.t;
+  blocks_run : int;
+}
+
+(** Effective device-throughput fraction for a possibly unbalanced grid. *)
+val load_balance : spec:Gpu_hw.Spec.t -> grid:int -> float
+
+(** Global transactions per thread over the whole program (the synthetic
+    benchmark's configuration, Section 4.3). *)
+val txns_per_thread : inputs -> int
+
+val analyze : inputs -> t
+val pp_times : Format.formatter -> Component.times -> unit
+val pp_stage : Format.formatter -> stage_analysis -> unit
+val pp : Format.formatter -> t -> unit

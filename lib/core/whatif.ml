@@ -1,0 +1,48 @@
+(* Architectural what-if engine: re-run the full analysis workflow against
+   device variants (more resident blocks, a prime bank count, a larger
+   register file, finer transaction granularity, early resource release) and
+   compare predicted times — the way the paper argues its architectural
+   improvements in Sections 5.1-5.3.
+
+   Variants are re-simulated, not merely re-priced: changing the bank count
+   changes the measured conflict statistics, changing the segment size
+   changes the coalesced transactions, and the microbenchmark tables are
+   re-fit to the variant device. *)
+
+type outcome = {
+  spec : Gpu_hw.Spec.t;
+  report : Workflow.report;
+  speedup : float; (* baseline predicted time / variant predicted time *)
+}
+
+let run ?(base = Gpu_hw.Spec.gtx285) ~variants ?sample ~grid ~block ~args
+    kernel =
+  let baseline =
+    Workflow.analyze ~spec:base ?sample ~grid ~block ~args kernel
+  in
+  let t0 = baseline.analysis.Model.predicted_seconds in
+  let outcomes =
+    List.map
+      (fun spec ->
+        let report =
+          Workflow.analyze ~spec ?sample ~grid ~block ~args kernel
+        in
+        let t = report.analysis.Model.predicted_seconds in
+        { spec; report; speedup = (if t > 0.0 then t0 /. t else 0.0) })
+      variants
+  in
+  (baseline, outcomes)
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "%-40s %8.4g ms  %5.2fx  bottleneck: %a"
+    o.spec.Gpu_hw.Spec.name
+    (1e3 *. o.report.Workflow.analysis.Model.predicted_seconds)
+    o.speedup Component.pp o.report.Workflow.analysis.Model.bottleneck
+
+let pp ppf (baseline, outcomes) =
+  Fmt.pf ppf "@[<v>%-40s %8.4g ms  %5s  bottleneck: %a"
+    baseline.Workflow.analysis.Model.spec.Gpu_hw.Spec.name
+    (1e3 *. baseline.Workflow.analysis.Model.predicted_seconds)
+    "base" Component.pp baseline.Workflow.analysis.Model.bottleneck;
+  List.iter (fun o -> Fmt.pf ppf "@,%a" pp_outcome o) outcomes;
+  Fmt.pf ppf "@]"

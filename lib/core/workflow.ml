@@ -1,0 +1,114 @@
+(* The end-to-end analysis workflow of the paper's Figure 1: compile the
+   kernel (nvcc analog), run the functional simulator (Barra analog) for
+   dynamic statistics, extract the model inputs, query the microbenchmark
+   tables, and produce the quantitative per-component analysis.  Optionally
+   the same traces replay on the cycle timing simulator, which plays the
+   role of the measured GPU time. *)
+
+module Spec = Gpu_hw.Spec
+
+type launch = { grid : int; block : int }
+
+type report = {
+  kernel_name : string;
+  compiled : Gpu_kernel.Compile.compiled;
+  launch : launch;
+  stats : Gpu_sim.Stats.t;
+  scale : float; (* grid / blocks functionally simulated *)
+  analysis : Model.t;
+  measured : Gpu_timing.Engine.result option;
+}
+
+let occupancy_of ~spec ~block (k : Gpu_kernel.Compile.compiled) =
+  Gpu_hw.Occupancy.compute ~spec
+    {
+      Gpu_hw.Occupancy.threads_per_block = block;
+      registers_per_thread = max 1 k.reg_demand;
+      (* the driver reserves launch metadata in shared memory, which is
+         what pushes e.g. a 4096-byte tile to the 3-block occupancy of
+         Table 2 *)
+      smem_per_block =
+        (if k.smem_bytes = 0 then 0
+         else k.smem_bytes + spec.Spec.smem_launch_overhead);
+    }
+
+(* Replay traces of the sampled blocks onto the whole grid (cyclically) for
+   the timing simulator.  Exact when the sample covers the grid; otherwise
+   it relies on block homogeneity, like the statistics scaling. *)
+let replicate_traces ~grid (traces : Gpu_sim.Trace.block_trace list) =
+  let sampled = Array.of_list traces in
+  let n = Array.length sampled in
+  if n = 0 then invalid_arg "Workflow: no traces collected";
+  Array.init grid (fun b ->
+      { sampled.(b mod n) with Gpu_sim.Trace.block = b })
+
+let analyze_compiled ?(spec = Spec.gtx285) ?sample ?(measure = false)
+    ~grid ~block ~args (k : Gpu_kernel.Compile.compiled) =
+  let occupancy = occupancy_of ~spec ~block k in
+  let block_ids =
+    match sample with
+    | Some n when n < grid -> Some (List.init n Fun.id)
+    | Some _ | None -> None
+  in
+  let r =
+    Gpu_sim.Sim.run ~collect_trace:measure ?block_ids ~spec ~grid ~block
+      ~args k
+  in
+  let scale = Gpu_sim.Sim.scale_factor r in
+  let tables = Gpu_microbench.Tables.for_spec spec in
+  let analysis =
+    Model.analyze
+      {
+        Model.in_spec = spec;
+        tables;
+        stats = r.stats;
+        scale;
+        in_grid = grid;
+        in_block = block;
+        in_occupancy = occupancy;
+        blocks_run = r.blocks_run;
+      }
+  in
+  let measured =
+    if measure then
+      let traces = replicate_traces ~grid r.traces in
+      Some
+        (Gpu_timing.Engine.run
+           ~homogeneous:(r.blocks_run < grid)
+           ~spec
+           ~max_resident_blocks:occupancy.Gpu_hw.Occupancy.blocks traces)
+    else None
+  in
+  {
+    kernel_name = Gpu_isa.Program.name k.program;
+    compiled = k;
+    launch = { grid; block };
+    stats = r.stats;
+    scale;
+    analysis;
+    measured;
+  }
+
+let analyze ?spec ?sample ?measure ~grid ~block ~args kernel =
+  let k = Gpu_kernel.Compile.compile kernel in
+  analyze_compiled ?spec ?sample ?measure ~grid ~block ~args k
+
+let measured_seconds report =
+  Option.map (fun (r : Gpu_timing.Engine.result) -> r.seconds)
+    report.measured
+
+let prediction_error report =
+  match measured_seconds report with
+  | Some m when m > 0.0 ->
+    Some ((report.analysis.Model.predicted_seconds -. m) /. m)
+  | Some _ | None -> None
+
+let pp ppf r =
+  Fmt.pf ppf "@[<v>kernel %s@,%a@]" r.kernel_name Model.pp r.analysis;
+  match r.measured with
+  | None -> ()
+  | Some m ->
+    Fmt.pf ppf "@.measured (timing simulator): %.4g ms" (1e3 *. m.seconds);
+    (match prediction_error r with
+    | Some e -> Fmt.pf ppf " | model error %+.1f%%" (100.0 *. e)
+    | None -> ())

@@ -1,0 +1,54 @@
+(** The end-to-end analysis workflow of the paper's Figure 1: compile →
+    functional simulation (dynamic statistics) → info extraction →
+    microbenchmark tables → quantitative per-component analysis, with an
+    optional timing-simulator run standing in for the measured GPU. *)
+
+type launch = { grid : int; block : int }
+
+type report = {
+  kernel_name : string;
+  compiled : Gpu_kernel.Compile.compiled;
+  launch : launch;
+  stats : Gpu_sim.Stats.t;
+  scale : float;  (** grid / blocks functionally simulated *)
+  analysis : Model.t;
+  measured : Gpu_timing.Engine.result option;
+}
+
+(** Occupancy of a compiled kernel, including the driver's per-block
+    shared-memory launch overhead. *)
+val occupancy_of :
+  spec:Gpu_hw.Spec.t -> block:int -> Gpu_kernel.Compile.compiled ->
+  Gpu_hw.Occupancy.t
+
+(** [analyze ~grid ~block ~args kernel] runs the full workflow.
+    [sample] limits functional simulation to the first n blocks (exact for
+    block-homogeneous workloads; statistics are scaled, traces replicated).
+    [measure] additionally replays the traces on the timing simulator. *)
+val analyze :
+  ?spec:Gpu_hw.Spec.t ->
+  ?sample:int ->
+  ?measure:bool ->
+  grid:int ->
+  block:int ->
+  args:(string * int32 array) list ->
+  Gpu_kernel.Ir.t ->
+  report
+
+(** Like {!analyze} for an already-compiled kernel. *)
+val analyze_compiled :
+  ?spec:Gpu_hw.Spec.t ->
+  ?sample:int ->
+  ?measure:bool ->
+  grid:int ->
+  block:int ->
+  args:(string * int32 array) list ->
+  Gpu_kernel.Compile.compiled ->
+  report
+
+val measured_seconds : report -> float option
+
+(** (predicted - measured) / measured, when a measurement was taken. *)
+val prediction_error : report -> float option
+
+val pp : Format.formatter -> report -> unit

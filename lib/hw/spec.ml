@@ -1,0 +1,176 @@
+(* Device description for GT200-class GPUs, defaulting to the GTX 285 the
+   paper studies, plus the architectural variants the paper's what-if
+   analyses argue for (Sections 5.1-5.3). *)
+
+type t = {
+  name : string;
+  (* processor array *)
+  num_sms : int;
+  sms_per_cluster : int; (* SMs sharing one global-memory pipeline *)
+  warp_size : int;
+  core_clock_ghz : float;
+  (* functional units per SM for the paper's Table 1 classes *)
+  units_class_i : int;
+  units_class_ii : int;
+  units_class_iii : int;
+  units_class_iv : int;
+  alu_latency : int; (* arithmetic pipeline depth, core cycles *)
+  warp_issue_gap : int; (* minimum cycles between two issues of the same
+                           warp: the scheduler revisits a warp only every
+                           few cycles even when instructions are
+                           independent *)
+  (* per-SM resource ceilings *)
+  registers_per_sm : int;
+  smem_per_sm : int; (* bytes *)
+  max_threads_per_block : int;
+  max_threads_per_sm : int;
+  max_blocks_per_sm : int;
+  max_warps_per_sm : int;
+  (* shared memory organisation *)
+  smem_banks : int;
+  smem_words_per_cycle : int; (* sustained words serviced per SM cycle *)
+  smem_latency : int; (* shared-memory pipeline depth, core cycles *)
+  smem_access_cycles : float; (* pipeline occupancy of one conflict-free
+                                 half-warp access; the fraction above the
+                                 2-cycle data movement is arbitration
+                                 overhead, which caps sustained bandwidth
+                                 below the theoretical peak as the paper
+                                 observes (1165 of 1420 GB/s) *)
+  (* global memory system *)
+  mem_clock_ghz : float; (* effective (DDR) data clock *)
+  bus_width_bits : int;
+  gmem_latency : int; (* round-trip latency, core cycles *)
+  gmem_overhead_cycles : float; (* fixed per-transaction DRAM overhead *)
+  min_segment_bytes : int; (* smallest coalescing segment *)
+  max_segment_bytes : int;
+  coalesce_threads : int; (* transaction issue granularity: a half-warp *)
+  smem_replay_cycles : float; (* cycles the issuing warp is held per
+                                  serialized (replayed) shared transaction:
+                                  the LSU replays conflicted accesses and
+                                  the scheduler revisits the warp only
+                                  after the replay drains *)
+  smem_launch_overhead : int; (* bytes of shared memory the driver
+                                 reserves per block for launch metadata *)
+  early_release : bool; (* release block resources as warps retire
+                           (paper Section 5.2 architectural proposal) *)
+}
+
+let gtx285 =
+  {
+    name = "GTX 285";
+    num_sms = 30;
+    sms_per_cluster = 3;
+    warp_size = 32;
+    core_clock_ghz = 1.476;
+    units_class_i = 10;
+    units_class_ii = 8;
+    units_class_iii = 4;
+    units_class_iv = 1;
+    alu_latency = 24;
+    warp_issue_gap = 8;
+    registers_per_sm = 16384;
+    smem_per_sm = 16384;
+    max_threads_per_block = 512;
+    max_threads_per_sm = 1024;
+    max_blocks_per_sm = 8;
+    max_warps_per_sm = 32;
+    smem_banks = 16;
+    smem_words_per_cycle = 8;
+    smem_latency = 40;
+    smem_access_cycles = 2.5;
+    mem_clock_ghz = 2.484;
+    bus_width_bits = 512;
+    gmem_latency = 550;
+    gmem_overhead_cycles = 1.0;
+    min_segment_bytes = 32;
+    max_segment_bytes = 128;
+    coalesce_threads = 16;
+    smem_replay_cycles = 8.0;
+    smem_launch_overhead = 64;
+    early_release = false;
+  }
+
+let num_clusters t = t.num_sms / t.sms_per_cluster
+
+(* --- Peak rates (Section 4 formulas) --------------------------------- *)
+
+let units_for t = function
+  | Gpu_isa.Instr.Class_i -> t.units_class_i
+  | Class_ii -> t.units_class_ii
+  | Class_iii -> t.units_class_iii
+  | Class_iv -> t.units_class_iv
+  | Class_mem | Class_ctrl -> t.units_class_ii
+
+(* Peak warp-instruction throughput of a class in Giga-instructions/s:
+   units * frequency * num_sms / warp_size. *)
+let peak_instruction_throughput t cls =
+  float_of_int (units_for t cls)
+  *. t.core_clock_ghz
+  *. float_of_int t.num_sms
+  /. float_of_int t.warp_size
+
+(* Peak single-precision rate: MAD throughput * warp_size * 2 flops. *)
+let peak_gflops t =
+  peak_instruction_throughput t Gpu_isa.Instr.Class_ii
+  *. float_of_int t.warp_size
+  *. 2.0
+
+(* Peak shared-memory bandwidth in GB/s, counting read plus write traffic:
+   numberSP * numberSM * frequency * 4 bytes (paper Section 4.2). *)
+let peak_smem_bandwidth t =
+  float_of_int t.smem_words_per_cycle
+  *. float_of_int t.num_sms
+  *. t.core_clock_ghz
+  *. 4.0
+
+(* Peak global-memory bandwidth in GB/s: memory clock * bus width / 8
+   (paper Section 4.3). *)
+let peak_gmem_bandwidth t =
+  t.mem_clock_ghz *. float_of_int t.bus_width_bits /. 8.0
+
+let gmem_bytes_per_cycle_per_cluster t =
+  peak_gmem_bandwidth t
+  /. float_of_int (num_clusters t)
+  /. t.core_clock_ghz
+
+(* Issue occupancy (cycles the functional units are held) of one warp
+   instruction of a class: warp_size / units. *)
+let issue_cycles t cls =
+  let u = units_for t cls in
+  (t.warp_size + u - 1) / u
+
+(* --- Architectural variants ------------------------------------------ *)
+
+let with_name name t = { t with name }
+
+let with_max_blocks n t =
+  with_name (Printf.sprintf "%s +maxblocks=%d" t.name n)
+    { t with max_blocks_per_sm = n }
+
+let with_banks n t =
+  with_name (Printf.sprintf "%s +banks=%d" t.name n) { t with smem_banks = n }
+
+let with_registers n t =
+  with_name (Printf.sprintf "%s +regs=%d" t.name n)
+    { t with registers_per_sm = n }
+
+let with_smem bytes t =
+  with_name (Printf.sprintf "%s +smem=%d" t.name bytes)
+    { t with smem_per_sm = bytes }
+
+let with_min_segment bytes t =
+  with_name (Printf.sprintf "%s +segment=%dB" t.name bytes)
+    { t with min_segment_bytes = bytes }
+
+let with_early_release t =
+  with_name (t.name ^ " +early-release") { t with early_release = true }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>%s: %d SMs (%d clusters), %.3f GHz core, %.3f GHz mem, %d-bit \
+     bus@,units I/II/III/IV = %d/%d/%d/%d, %d regs, %d B smem, %d banks@,\
+     peak: %.1f GFLOPS, %.0f GB/s shared, %.0f GB/s global@]"
+    t.name t.num_sms (num_clusters t) t.core_clock_ghz t.mem_clock_ghz
+    t.bus_width_bits t.units_class_i t.units_class_ii t.units_class_iii
+    t.units_class_iv t.registers_per_sm t.smem_per_sm t.smem_banks
+    (peak_gflops t) (peak_smem_bandwidth t) (peak_gmem_bandwidth t)

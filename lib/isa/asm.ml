@@ -1,0 +1,346 @@
+(* Textual assembler for the native ISA: the analog of the cudasm half of
+   the Decuda/cudasm package.  Parses the syntax produced by [Instr.pp] /
+   [Program.pp], so that listing and reassembling round-trips. *)
+
+exception Parse_error of { line : int; message : string }
+
+let fail ~line message = raise (Parse_error { line; message })
+
+(* --- Tokenizer ------------------------------------------------------- *)
+
+type token =
+  | Tword of string (* mnemonic, label or special-register name *)
+  | Treg of int
+  | Tpred of int
+  | Tint of int32
+  | Tfloat of float
+  | Tcomma
+  | Tcolon
+  | Tlbracket
+  | Trbracket
+  | Tplus
+  | Tat
+  | Tbang
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '%'
+
+let tokenize ~line s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let c = s.[i] in
+      if c = ' ' || c = '\t' then go (i + 1) acc
+      else if c = '/' && i + 1 < n && s.[i + 1] = '/' then List.rev acc
+      else if c = ',' then go (i + 1) (Tcomma :: acc)
+      else if c = ':' then go (i + 1) (Tcolon :: acc)
+      else if c = '[' then go (i + 1) (Tlbracket :: acc)
+      else if c = ']' then go (i + 1) (Trbracket :: acc)
+      else if c = '+' then go (i + 1) (Tplus :: acc)
+      else if c = '@' then go (i + 1) (Tat :: acc)
+      else if c = '!' then go (i + 1) (Tbang :: acc)
+      else if c = '$' then begin
+        (* $rN or $pN *)
+        if i + 1 >= n then fail ~line "dangling '$'";
+        let kind = s.[i + 1] in
+        let j = ref (i + 2) in
+        while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+        if !j = i + 2 then fail ~line "register number expected";
+        let num = int_of_string (String.sub s (i + 2) (!j - i - 2)) in
+        let tok =
+          match kind with
+          | 'r' -> Treg num
+          | 'p' -> Tpred num
+          | _ -> fail ~line "expected $r or $p"
+        in
+        go !j (tok :: acc)
+      end
+      else if c = '-' || (c >= '0' && c <= '9') then begin
+        let j = ref (i + 1) in
+        while
+          !j < n
+          && (is_word_char s.[!j] || s.[!j] = 'x' || s.[!j] = 'X')
+        do
+          incr j
+        done;
+        let text = String.sub s i (!j - i) in
+        let tok =
+          if String.length text > 2 && String.sub text 0 2 = "0f" then
+            let bits = String.sub text 2 (String.length text - 2) in
+            match Int32.of_string_opt ("0x" ^ bits) with
+            | Some b -> Tfloat (Int32.float_of_bits b)
+            | None -> fail ~line ("bad float literal " ^ text)
+          else
+            match Int32.of_string_opt text with
+            | Some v -> Tint v
+            | None -> fail ~line ("bad integer literal " ^ text)
+        in
+        go !j (tok :: acc)
+      end
+      else if is_word_char c then begin
+        let j = ref (i + 1) in
+        while !j < n && is_word_char s.[!j] do incr j done;
+        go !j (Tword (String.sub s i (!j - i)) :: acc)
+      end
+      else fail ~line (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0 []
+
+(* --- Parser ---------------------------------------------------------- *)
+
+let sreg_of_name ~line = function
+  | "%tid.x" -> Instr.Tid_x
+  | "%ntid.x" -> Instr.Ntid_x
+  | "%ctaid.x" -> Instr.Ctaid_x
+  | "%nctaid.x" -> Instr.Nctaid_x
+  | "%laneid" -> Instr.Laneid
+  | "%warpid" -> Instr.Warpid
+  | s -> fail ~line ("unknown special register " ^ s)
+
+let operand ~line = function
+  | Treg r -> Instr.Reg (Instr.R r)
+  | Tint v -> Instr.Imm v
+  | Tfloat f -> Instr.Fimm f
+  | _ -> fail ~line "operand expected"
+
+let reg ~line = function
+  | Treg r -> Instr.R r
+  | _ -> fail ~line "register expected"
+
+let pred ~line = function
+  | Tpred p -> Instr.P p
+  | _ -> fail ~line "predicate register expected"
+
+
+(* [d, a, b] style splits: drop commas, expect exact token counts. *)
+let args toks = List.filter (function Tcomma -> false | _ -> true) toks
+
+let maddr ~line toks =
+  match toks with
+  | [ Tlbracket; Treg b; Trbracket ] -> { Instr.base = R b; offset = 0 }
+  | [ Tlbracket; Treg b; Tplus; Tint o; Trbracket ] ->
+    { Instr.base = R b; offset = Int32.to_int o }
+  | _ -> fail ~line "memory address expected"
+
+let ibinop_of_name = function
+  | "add.s32" -> Some Instr.Add
+  | "sub.s32" -> Some Instr.Sub
+  | "mul24.s32" -> Some Instr.Mul24
+  | "mul.s32" -> Some Instr.Mul
+  | "min.s32" -> Some Instr.Min
+  | "max.s32" -> Some Instr.Max
+  | "and.b32" -> Some Instr.And
+  | "or.b32" -> Some Instr.Or
+  | "xor.b32" -> Some Instr.Xor
+  | "shl.b32" -> Some Instr.Shl
+  | "shr.s32" -> Some Instr.Shr
+  | _ -> None
+
+let fbinop_of_name = function
+  | "add.f32" -> Some Instr.Fadd
+  | "sub.f32" -> Some Instr.Fsub
+  | "mul.f32" -> Some Instr.Fmul
+  | "min.f32" -> Some Instr.Fmin
+  | "max.f32" -> Some Instr.Fmax
+  | _ -> None
+
+let dbinop_of_name = function
+  | "add.f64" -> Some Instr.Dadd
+  | "mul.f64" -> Some Instr.Dmul
+  | _ -> None
+
+let sfu_of_name = function
+  | "rcp.f32" -> Some Instr.Rcp
+  | "rsqrt.f32" -> Some Instr.Rsqrt
+  | "sin.f32" -> Some Instr.Sin
+  | "cos.f32" -> Some Instr.Cos
+  | "lg2.f32" -> Some Instr.Lg2
+  | "ex2.f32" -> Some Instr.Ex2
+  | _ -> None
+
+let cmp_of_name ~line = function
+  | "eq" -> Instr.Eq
+  | "ne" -> Instr.Ne
+  | "lt" -> Instr.Lt
+  | "le" -> Instr.Le
+  | "gt" -> Instr.Gt
+  | "ge" -> Instr.Ge
+  | s -> fail ~line ("unknown comparison " ^ s)
+
+let cmp_type_of_name ~line = function
+  | "s32" -> Instr.S32
+  | "f32" -> Instr.F32
+  | s -> fail ~line ("unknown comparison type " ^ s)
+
+let split_dots s = String.split_on_char '.' s
+
+(* Parse the operation given mnemonic and remaining tokens. *)
+let parse_op ~line mnemonic rest =
+  let a = args rest in
+  let op2 f =
+    match a with
+    | [ d; x; y ] -> f (reg ~line d) (operand ~line x) (operand ~line y)
+    | _ -> fail ~line (mnemonic ^ ": two source operands expected")
+  in
+  let op3 f =
+    match a with
+    | [ d; x; y; z ] ->
+      f (reg ~line d) (operand ~line x) (operand ~line y) (operand ~line z)
+    | _ -> fail ~line (mnemonic ^ ": three source operands expected")
+  in
+  let op1 f =
+    match a with
+    | [ d; x ] -> f (reg ~line d) (operand ~line x)
+    | _ -> fail ~line (mnemonic ^ ": one source operand expected")
+  in
+  match ibinop_of_name mnemonic with
+  | Some o -> op2 (fun d x y -> Instr.Iop (o, d, x, y))
+  | None ->
+  match fbinop_of_name mnemonic with
+  | Some o -> op2 (fun d x y -> Instr.Fop (o, d, x, y))
+  | None ->
+  match dbinop_of_name mnemonic with
+  | Some o -> op2 (fun d x y -> Instr.Dop (o, d, x, y))
+  | None ->
+  match sfu_of_name mnemonic with
+  | Some o -> op1 (fun d x -> Instr.Sfu (o, d, x))
+  | None ->
+  match mnemonic with
+  | "mov.b32" -> (
+    match a with
+    | [ d; Tword w ] -> Instr.Mov_sreg (reg ~line d, sreg_of_name ~line w)
+    | [ d; x ] -> Instr.Mov (reg ~line d, operand ~line x)
+    | _ -> fail ~line "mov.b32: destination and source expected")
+  | "mad24.s32" -> op3 (fun d x y z -> Instr.Imad (d, x, y, z))
+  | "mad.f32" -> (
+    match a with
+    | [ d; x; Tlbracket; Treg b; Trbracket; z ] ->
+      Instr.Fmad_smem
+        (reg ~line d, operand ~line x, { Instr.base = R b; offset = 0 },
+         operand ~line z)
+    | [ d; x; Tlbracket; Treg b; Tplus; Tint o; Trbracket; z ] ->
+      Instr.Fmad_smem
+        (reg ~line d, operand ~line x,
+         { Instr.base = R b; offset = Int32.to_int o },
+         operand ~line z)
+    | _ -> op3 (fun d x y z -> Instr.Fmad (d, x, y, z)))
+  | "fma.f64" -> op3 (fun d x y z -> Instr.Dfma (d, x, y, z))
+  | "cvt.f32.s32" -> op1 (fun d x -> Instr.Cvt (I2f, d, x))
+  | "cvt.s32.f32" -> op1 (fun d x -> Instr.Cvt (F2i, d, x))
+  | "cvt.rni.s32.f32" -> op1 (fun d x -> Instr.Cvt (F2i_rni, d, x))
+  | "selp.b32" -> (
+    match a with
+    | [ d; x; y; p ] ->
+      Instr.Selp (reg ~line d, operand ~line x, operand ~line y, pred ~line p)
+    | _ -> fail ~line "selp.b32: dst, a, b, pred expected")
+  | "bra" -> (
+    match a with
+    | [ Tword l ] -> Instr.Bra l
+    | _ -> fail ~line "bra: label expected")
+  | "bar.sync" -> Instr.Bar
+  | "exit" -> Instr.Exit
+  | _ -> (
+    (* set.<cmp>.<ty> / ld.<space>.b<w> / st.<space>.b<w> *)
+    match split_dots mnemonic with
+    | [ "set"; c; ty ] -> (
+      match a with
+      | [ p; x; y ] ->
+        Instr.Setp
+          ( cmp_of_name ~line c,
+            cmp_type_of_name ~line ty,
+            pred ~line p,
+            operand ~line x,
+            operand ~line y )
+      | _ -> fail ~line "set: pred, a, b expected")
+    | [ "ld"; space; width ] -> (
+      let sp =
+        match space with
+        | "global" -> Instr.Global
+        | "shared" -> Instr.Shared
+        | _ -> fail ~line ("unknown memory space " ^ space)
+      in
+      let w =
+        match width with
+        | "b32" -> 4
+        | "b64" -> 8
+        | _ -> fail ~line ("unknown width " ^ width)
+      in
+      match a with
+      | d :: addr -> Instr.Ld (sp, w, reg ~line d, maddr ~line addr)
+      | [] -> fail ~line "ld: destination expected")
+    | [ "st"; space; width ] -> (
+      let sp =
+        match space with
+        | "global" -> Instr.Global
+        | "shared" -> Instr.Shared
+        | _ -> fail ~line ("unknown memory space " ^ space)
+      in
+      let w =
+        match width with
+        | "b32" -> 4
+        | "b64" -> 8
+        | _ -> fail ~line ("unknown width " ^ width)
+      in
+      match List.rev a with
+      | src :: rev_addr ->
+        Instr.St (sp, w, maddr ~line (List.rev rev_addr), operand ~line src)
+      | [] -> fail ~line "st: source expected")
+    | _ -> fail ~line ("unknown mnemonic " ^ mnemonic))
+
+let parse_tokens ~line toks =
+  match toks with
+  | [] -> None
+  | [ Tword l; Tcolon ] -> Some (Program.Label l)
+  | Tat :: rest -> (
+    (* Predicated instruction or conditional branch. *)
+    let sense, rest =
+      match rest with
+      | Tbang :: r -> (false, r)
+      | r -> (true, r)
+    in
+    match rest with
+    | Tpred p :: Tword "bra" :: brest -> (
+      match args brest with
+      | [ Tword target; Tword reconv ] ->
+        Some
+          (Program.Instr
+             (Instr.mk (Instr.Bra_pred (P p, sense, target, reconv))))
+      | _ -> fail ~line "conditional bra: target and reconvergence label \
+                         expected")
+    | Tpred p :: Tword mnemonic :: irest ->
+      let op = parse_op ~line mnemonic irest in
+      Some (Program.Instr (Instr.mk ~pred:(P p, sense) op))
+    | _ -> fail ~line "predicate expected after '@'")
+  | Tword mnemonic :: rest ->
+    Some (Program.Instr (Instr.mk (parse_op ~line mnemonic rest)))
+  | _ -> fail ~line "label or instruction expected"
+
+let parse_line ~line s = parse_tokens ~line (tokenize ~line s)
+
+let parse_instr s =
+  match parse_line ~line:1 s with
+  | Some (Program.Instr i) -> i
+  | Some (Program.Label _) -> fail ~line:1 "instruction expected, got label"
+  | None -> fail ~line:1 "instruction expected, got blank line"
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let name = ref "kernel" in
+  let rev = ref [] in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      let s = String.trim raw in
+      if s = "" then ()
+      else if String.length s > 7 && String.sub s 0 7 = ".entry " then
+        name := String.trim (String.sub s 7 (String.length s - 7))
+      else
+        match parse_line ~line s with
+        | Some l -> rev := l :: !rev
+        | None -> ())
+    lines;
+  Program.of_lines ~name:!name (List.rev !rev)

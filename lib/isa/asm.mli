@@ -1,0 +1,12 @@
+(** Textual assembler for the native ISA — the cudasm analog.  Parses the
+    syntax produced by {!Instr.pp} and {!Program.pp}, so listing and
+    reassembling round-trips. *)
+
+exception Parse_error of { line : int; message : string }
+
+(** Parse a single instruction (no label, no [.entry]). *)
+val parse_instr : string -> Instr.t
+
+(** Parse a full listing: an optional [.entry name] line followed by labels
+    ([name:]) and instructions, one per line.  [//] starts a comment. *)
+val parse : string -> Program.t

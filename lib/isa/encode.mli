@@ -1,0 +1,10 @@
+(** Binary codec for kernel programs — the analog of the CUBIN kernel
+    image format. *)
+
+exception Decode_error of string
+
+(** Serialize a program to a compact byte string. *)
+val encode : Program.t -> string
+
+(** Inverse of {!encode}.  Raises {!Decode_error} on malformed input. *)
+val decode : string -> Program.t

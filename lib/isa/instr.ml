@@ -1,0 +1,260 @@
+(* Native GT200-class instruction set.
+
+   This is the OCaml analog of the (undocumented) NVIDIA GT200 machine ISA
+   that the paper accesses through Decuda.  It is a scalar, predicated,
+   three-address SIMT instruction set.  The paper's Table 1 classifies
+   instructions into four cost classes by the number of functional units an
+   SM provides for them; [cost_class] reproduces that classification. *)
+
+type cost_class =
+  | Class_i (* 10 units: single-precision multiply *)
+  | Class_ii (* 8 units: mov, add, mad and other simple ALU ops *)
+  | Class_iii (* 4 units: transcendental / SFU ops *)
+  | Class_iv (* 1 unit: double precision *)
+  | Class_mem (* memory instructions: timed by the memory pipelines *)
+  | Class_ctrl (* control: barriers, exits *)
+
+let cost_class_name = function
+  | Class_i -> "I"
+  | Class_ii -> "II"
+  | Class_iii -> "III"
+  | Class_iv -> "IV"
+  | Class_mem -> "mem"
+  | Class_ctrl -> "ctrl"
+
+let all_cost_classes =
+  [ Class_i; Class_ii; Class_iii; Class_iv; Class_mem; Class_ctrl ]
+
+type reg = R of int
+
+let reg_index (R i) = i
+
+type pred = P of int
+
+let pred_index (P i) = i
+
+(* Special (read-only) registers exposing the launch geometry to a thread. *)
+type sreg =
+  | Tid_x
+  | Ntid_x
+  | Ctaid_x
+  | Nctaid_x
+  | Laneid
+  | Warpid
+
+type operand =
+  | Reg of reg
+  | Imm of int32 (* integer immediate *)
+  | Fimm of float (* single-precision immediate (stored rounded) *)
+
+type ibinop =
+  | Add
+  | Sub
+  | Mul24 (* 24-bit multiply: the GT200 fast integer multiply *)
+  | Mul
+  | Min
+  | Max
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+
+type fbinop = Fadd | Fsub | Fmul | Fmin | Fmax
+
+type dbinop = Dadd | Dmul
+
+type sfu_op = Rcp | Rsqrt | Sin | Cos | Lg2 | Ex2
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type cmp_type = S32 | F32
+
+type cvt_op = I2f | F2i | F2i_rni (* round to nearest int *)
+
+type space = Global | Shared
+
+(* A memory address is [base register + byte offset].  Width is in bytes:
+   4 for 32-bit words, 8 for double words. *)
+type maddr = { base : reg; offset : int }
+
+type op =
+  | Mov of reg * operand
+  | Mov_sreg of reg * sreg
+  | Iop of ibinop * reg * operand * operand
+  | Imad of reg * operand * operand * operand (* dst <- a*b + c, 24-bit mul *)
+  | Fop of fbinop * reg * operand * operand
+  | Fmad of reg * operand * operand * operand (* dst <- a*b + c, fp32 *)
+  | Fmad_smem of reg * operand * maddr * operand
+    (* dst <- a * shared[addr] + c: the GT200 MAD reads one operand
+       directly from shared memory, which is what lets tuned kernels issue
+       one instruction per multiply-add while still generating a shared
+       transaction *)
+  | Dop of dbinop * reg * operand * operand (* fp64: the Class IV ops *)
+  | Dfma of reg * operand * operand * operand
+  | Sfu of sfu_op * reg * operand
+  | Cvt of cvt_op * reg * operand
+  | Setp of cmp * cmp_type * pred * operand * operand
+  | Selp of reg * operand * operand * pred (* dst <- p ? a : b *)
+  | Ld of space * int * reg * maddr (* width, dst, address *)
+  | St of space * int * maddr * operand (* width, address, src *)
+  | Bra of string (* unconditional branch to label *)
+  | Bra_pred of pred * bool * string * string
+    (* [Bra_pred (p, sense, target, reconv)]: branch to [target] for lanes
+       where [p = sense]; [reconv] labels the immediate post-dominator where
+       divergent lanes reconverge (the SSY point of the real hardware). *)
+  | Bar (* block-wide barrier: __syncthreads *)
+  | Exit
+
+(* An instruction is an optionally predicated operation.  [pred = Some (p,
+   sense)] executes the operation only in lanes where [p = sense]. *)
+type t = { pred : (pred * bool) option; op : op }
+
+let mk ?pred op = { pred; op }
+
+(* Classification reproducing Table 1 of the paper.  The GT200 SM has 8
+   SP cores plus 2 SFUs able to issue single-precision multiplies (10 units
+   for class I), 8 units for simple ALU ops (class II), 4 SFU lanes for
+   transcendentals (class III) and a single double-precision unit (class
+   IV). *)
+let classify_op = function
+  | Fop (Fmul, _, _, _) -> Class_i
+  | Mov _ | Mov_sreg _ | Iop _ | Imad _
+  | Fop ((Fadd | Fsub | Fmin | Fmax), _, _, _)
+  | Fmad _ | Fmad_smem _ | Cvt _ | Setp _ | Selp _ ->
+    Class_ii
+  | Sfu _ -> Class_iii
+  | Dop _ | Dfma _ -> Class_iv
+  | Ld _ | St _ -> Class_mem
+  | Bra _ | Bra_pred _ -> Class_ii
+  | Bar | Exit -> Class_ctrl
+
+let classify { op; _ } = classify_op op
+
+let is_memory i = match classify i with Class_mem -> true | _ -> false
+
+let is_barrier i = match i.op with Bar -> true | _ -> false
+
+(* Pretty-printing in a Decuda-like textual syntax. *)
+
+let sreg_name = function
+  | Tid_x -> "%tid.x"
+  | Ntid_x -> "%ntid.x"
+  | Ctaid_x -> "%ctaid.x"
+  | Nctaid_x -> "%nctaid.x"
+  | Laneid -> "%laneid"
+  | Warpid -> "%warpid"
+
+let ibinop_name = function
+  | Add -> "add.s32"
+  | Sub -> "sub.s32"
+  | Mul24 -> "mul24.s32"
+  | Mul -> "mul.s32"
+  | Min -> "min.s32"
+  | Max -> "max.s32"
+  | And -> "and.b32"
+  | Or -> "or.b32"
+  | Xor -> "xor.b32"
+  | Shl -> "shl.b32"
+  | Shr -> "shr.s32"
+
+let fbinop_name = function
+  | Fadd -> "add.f32"
+  | Fsub -> "sub.f32"
+  | Fmul -> "mul.f32"
+  | Fmin -> "min.f32"
+  | Fmax -> "max.f32"
+
+let dbinop_name = function Dadd -> "add.f64" | Dmul -> "mul.f64"
+
+let sfu_name = function
+  | Rcp -> "rcp.f32"
+  | Rsqrt -> "rsqrt.f32"
+  | Sin -> "sin.f32"
+  | Cos -> "cos.f32"
+  | Lg2 -> "lg2.f32"
+  | Ex2 -> "ex2.f32"
+
+let cmp_name = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+let cmp_type_name = function S32 -> "s32" | F32 -> "f32"
+
+let cvt_name = function
+  | I2f -> "cvt.f32.s32"
+  | F2i -> "cvt.s32.f32"
+  | F2i_rni -> "cvt.rni.s32.f32"
+
+let space_name = function Global -> "global" | Shared -> "shared"
+
+let pp_reg ppf (R i) = Fmt.pf ppf "$r%d" i
+
+let pp_pred ppf (P i) = Fmt.pf ppf "$p%d" i
+
+let pp_operand ppf = function
+  | Reg r -> pp_reg ppf r
+  | Imm i -> Fmt.pf ppf "%ld" i
+  | Fimm f -> Fmt.pf ppf "0f%08lX" (Int32.bits_of_float f)
+
+let pp_maddr ppf { base; offset } =
+  if offset = 0 then Fmt.pf ppf "[%a]" pp_reg base
+  else Fmt.pf ppf "[%a+%d]" pp_reg base offset
+
+let pp_op ppf = function
+  | Mov (d, s) -> Fmt.pf ppf "mov.b32 %a, %a" pp_reg d pp_operand s
+  | Mov_sreg (d, s) -> Fmt.pf ppf "mov.b32 %a, %s" pp_reg d (sreg_name s)
+  | Iop (o, d, a, b) ->
+    Fmt.pf ppf "%s %a, %a, %a" (ibinop_name o) pp_reg d pp_operand a
+      pp_operand b
+  | Imad (d, a, b, c) ->
+    Fmt.pf ppf "mad24.s32 %a, %a, %a, %a" pp_reg d pp_operand a pp_operand b
+      pp_operand c
+  | Fop (o, d, a, b) ->
+    Fmt.pf ppf "%s %a, %a, %a" (fbinop_name o) pp_reg d pp_operand a
+      pp_operand b
+  | Fmad (d, a, b, c) ->
+    Fmt.pf ppf "mad.f32 %a, %a, %a, %a" pp_reg d pp_operand a pp_operand b
+      pp_operand c
+  | Fmad_smem (d, a, m, c) ->
+    Fmt.pf ppf "mad.f32 %a, %a, %a, %a" pp_reg d pp_operand a pp_maddr m
+      pp_operand c
+  | Dop (o, d, a, b) ->
+    Fmt.pf ppf "%s %a, %a, %a" (dbinop_name o) pp_reg d pp_operand a
+      pp_operand b
+  | Dfma (d, a, b, c) ->
+    Fmt.pf ppf "fma.f64 %a, %a, %a, %a" pp_reg d pp_operand a pp_operand b
+      pp_operand c
+  | Sfu (o, d, a) -> Fmt.pf ppf "%s %a, %a" (sfu_name o) pp_reg d pp_operand a
+  | Cvt (o, d, a) -> Fmt.pf ppf "%s %a, %a" (cvt_name o) pp_reg d pp_operand a
+  | Setp (c, ty, p, a, b) ->
+    Fmt.pf ppf "set.%s.%s %a, %a, %a" (cmp_name c) (cmp_type_name ty) pp_pred
+      p pp_operand a pp_operand b
+  | Selp (d, a, b, p) ->
+    Fmt.pf ppf "selp.b32 %a, %a, %a, %a" pp_reg d pp_operand a pp_operand b
+      pp_pred p
+  | Ld (sp, w, d, m) ->
+    Fmt.pf ppf "ld.%s.b%d %a, %a" (space_name sp) (w * 8) pp_reg d pp_maddr m
+  | St (sp, w, m, s) ->
+    Fmt.pf ppf "st.%s.b%d %a, %a" (space_name sp) (w * 8) pp_maddr m
+      pp_operand s
+  | Bra l -> Fmt.pf ppf "bra %s" l
+  | Bra_pred (p, sense, target, reconv) ->
+    Fmt.pf ppf "@%s%a bra %s, %s"
+      (if sense then "" else "!")
+      pp_pred p target reconv
+  | Bar -> Fmt.pf ppf "bar.sync 0"
+  | Exit -> Fmt.pf ppf "exit"
+
+let pp ppf { pred; op } =
+  (match pred with
+  | None -> ()
+  | Some (p, sense) ->
+    Fmt.pf ppf "@%s%a " (if sense then "" else "!") pp_pred p);
+  pp_op ppf op
+
+let to_string i = Fmt.str "%a" pp i

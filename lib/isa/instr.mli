@@ -1,0 +1,92 @@
+(** Native GT200-class instruction set: the OCaml analog of the machine ISA
+    the paper accesses through Decuda.  Scalar, predicated, three-address.
+
+    The paper's Table 1 classifies instructions into four cost classes by
+    functional-unit count per SM; {!cost_class} reproduces that
+    classification, extended with classes for memory and control
+    instructions which are timed by dedicated pipelines. *)
+
+type cost_class =
+  | Class_i (** 10 units: single-precision multiply *)
+  | Class_ii (** 8 units: mov, add, mad and other simple ALU ops *)
+  | Class_iii (** 4 units: transcendental / SFU ops *)
+  | Class_iv (** 1 unit: double precision *)
+  | Class_mem (** memory instructions, timed by the memory pipelines *)
+  | Class_ctrl (** barriers and exits *)
+
+val cost_class_name : cost_class -> string
+val all_cost_classes : cost_class list
+
+type reg = R of int
+
+val reg_index : reg -> int
+
+type pred = P of int
+
+val pred_index : pred -> int
+
+(** Special read-only registers exposing launch geometry (1-D grids). *)
+type sreg = Tid_x | Ntid_x | Ctaid_x | Nctaid_x | Laneid | Warpid
+
+type operand =
+  | Reg of reg
+  | Imm of int32
+  | Fimm of float (** single-precision immediate *)
+
+type ibinop = Add | Sub | Mul24 | Mul | Min | Max | And | Or | Xor | Shl | Shr
+type fbinop = Fadd | Fsub | Fmul | Fmin | Fmax
+type dbinop = Dadd | Dmul
+type sfu_op = Rcp | Rsqrt | Sin | Cos | Lg2 | Ex2
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+type cmp_type = S32 | F32
+type cvt_op = I2f | F2i | F2i_rni
+type space = Global | Shared
+
+type maddr = { base : reg; offset : int (** byte offset *) }
+
+type op =
+  | Mov of reg * operand
+  | Mov_sreg of reg * sreg
+  | Iop of ibinop * reg * operand * operand
+  | Imad of reg * operand * operand * operand
+  | Fop of fbinop * reg * operand * operand
+  | Fmad of reg * operand * operand * operand
+  | Fmad_smem of reg * operand * maddr * operand
+      (** [dst <- a * shared\[addr\] + c]: GT200 MADs may read one operand
+          directly from shared memory (one issued instruction, one shared
+          access) *)
+  | Dop of dbinop * reg * operand * operand
+  | Dfma of reg * operand * operand * operand
+  | Sfu of sfu_op * reg * operand
+  | Cvt of cvt_op * reg * operand
+  | Setp of cmp * cmp_type * pred * operand * operand
+  | Selp of reg * operand * operand * pred
+  | Ld of space * int * reg * maddr (** width in bytes, dst, address *)
+  | St of space * int * maddr * operand
+  | Bra of string
+  | Bra_pred of pred * bool * string * string
+      (** [Bra_pred (p, sense, target, reconv)]: branch to [target] in lanes
+          where [p = sense]; [reconv] is the reconvergence (post-dominator)
+          label, the analog of the hardware SSY point. *)
+  | Bar (** block-wide barrier: __syncthreads *)
+  | Exit
+
+type t = { pred : (pred * bool) option; op : op }
+
+(** [mk ?pred op] builds an instruction, optionally predicated: with
+    [pred = Some (p, sense)] the operation executes only in lanes where
+    [p = sense]. *)
+val mk : ?pred:pred * bool -> op -> t
+
+val classify_op : op -> cost_class
+val classify : t -> cost_class
+val is_memory : t -> bool
+val is_barrier : t -> bool
+val sreg_name : sreg -> string
+val pp_reg : Format.formatter -> reg -> unit
+val pp_pred : Format.formatter -> pred -> unit
+val pp_operand : Format.formatter -> operand -> unit
+val pp : Format.formatter -> t -> unit
+
+(** Decuda-style textual rendering; parseable back by {!Asm.parse_instr}. *)
+val to_string : t -> string

@@ -1,0 +1,100 @@
+(* A kernel program: a flat instruction sequence with named labels.  This is
+   the unit the assembler produces and the simulators execute; it plays the
+   role of a CUBIN kernel image. *)
+
+type line = Label of string | Instr of Instr.t
+
+type t = {
+  name : string;
+  code : Instr.t array;
+  labels : (string * int) list; (* label -> pc of the following instruction *)
+}
+
+exception Unknown_label of string
+
+exception Duplicate_label of string
+
+let of_lines ~name lines =
+  let rec scan pc labels rev_code = function
+    | [] -> (List.rev labels, Array.of_list (List.rev rev_code))
+    | Label l :: rest ->
+      if List.mem_assoc l labels then raise (Duplicate_label l);
+      scan pc ((l, pc) :: labels) rev_code rest
+    | Instr i :: rest -> scan (pc + 1) labels (i :: rev_code) rest
+  in
+  let labels, code = scan 0 [] [] lines in
+  (* Every branch target must resolve. *)
+  let check = function
+    | { Instr.op = Instr.Bra l; _ } ->
+      if not (List.mem_assoc l labels) then raise (Unknown_label l)
+    | { Instr.op = Instr.Bra_pred (_, _, target, reconv); _ } ->
+      if not (List.mem_assoc target labels) then raise (Unknown_label target);
+      if not (List.mem_assoc reconv labels) then raise (Unknown_label reconv)
+    | _ -> ()
+  in
+  Array.iter check code;
+  { name; code; labels }
+
+let name t = t.name
+
+let code t = t.code
+
+let length t = Array.length t.code
+
+let target_pc t label =
+  match List.assoc_opt label t.labels with
+  | Some pc -> pc
+  | None -> raise (Unknown_label label)
+
+let labels_at t pc = List.filter_map
+    (fun (l, p) -> if p = pc then Some l else None)
+    t.labels
+
+(* Highest general-purpose register index used, or -1 if none.  The register
+   demand of a kernel is [max_reg + 1]; occupancy computations use it. *)
+let max_reg t =
+  let top = ref (-1) in
+  let reg (Instr.R i) = if i > !top then top := i in
+  let operand = function
+    | Instr.Reg r -> reg r
+    | Instr.Imm _ | Instr.Fimm _ -> ()
+  in
+  let maddr (m : Instr.maddr) = reg m.base in
+  let visit (i : Instr.t) =
+    match i.op with
+    | Mov (d, s) -> reg d; operand s
+    | Mov_sreg (d, _) -> reg d
+    | Iop (_, d, a, b) | Fop (_, d, a, b) | Dop (_, d, a, b) ->
+      reg d; operand a; operand b
+    | Imad (d, a, b, c) | Fmad (d, a, b, c) | Dfma (d, a, b, c) ->
+      reg d; operand a; operand b; operand c
+    | Fmad_smem (d, a, m, c) -> reg d; operand a; maddr m; operand c
+    | Sfu (_, d, a) | Cvt (_, d, a) -> reg d; operand a
+    | Setp (_, _, _, a, b) -> operand a; operand b
+    | Selp (d, a, b, _) -> reg d; operand a; operand b
+    | Ld (_, _, d, m) -> reg d; maddr m
+    | St (_, _, m, s) -> maddr m; operand s
+    | Bra _ | Bra_pred _ | Bar | Exit -> ()
+  in
+  Array.iter visit t.code;
+  !top
+
+let register_demand t = max_reg t + 1
+
+(* Static histogram over cost classes: one count per class present. *)
+let static_histogram t =
+  let counts = List.map (fun c -> (c, ref 0)) Instr.all_cost_classes in
+  Array.iter (fun i -> incr (List.assoc (Instr.classify i) counts)) t.code;
+  List.map (fun (c, r) -> (c, !r)) counts
+
+let pp ppf t =
+  Fmt.pf ppf ".entry %s@." t.name;
+  Array.iteri
+    (fun pc i ->
+      List.iter (fun l -> Fmt.pf ppf "%s:@." l) (labels_at t pc);
+      Fmt.pf ppf "  %a@." Instr.pp i)
+    t.code;
+  (* trailing labels (e.g. an end label after the last instruction) *)
+  List.iter (fun l -> Fmt.pf ppf "%s:@." l) (labels_at t (Array.length t.code))
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,38 @@
+(** A kernel program: flat instruction sequence with named labels — the
+    analog of a CUBIN kernel image. *)
+
+type line = Label of string | Instr of Instr.t
+
+type t
+
+exception Unknown_label of string
+exception Duplicate_label of string
+
+(** [of_lines ~name lines] assembles a program, assigning each instruction a
+    program counter and resolving labels.  Raises {!Unknown_label} if a
+    branch targets an undefined label, {!Duplicate_label} on redefinition. *)
+val of_lines : name:string -> line list -> t
+
+val name : t -> string
+val code : t -> Instr.t array
+val length : t -> int
+
+(** [target_pc t l] is the pc of the instruction following label [l]. *)
+val target_pc : t -> string -> int
+
+val labels_at : t -> int -> string list
+
+(** Highest general-purpose register index used, [-1] if none. *)
+val max_reg : t -> int
+
+(** Number of registers a thread running this program needs. *)
+val register_demand : t -> int
+
+(** Static instruction count per cost class (all classes present, possibly
+    with zero counts). *)
+val static_histogram : t -> (Instr.cost_class * int) list
+
+val pp : Format.formatter -> t -> unit
+
+(** Full textual listing, parseable back by {!Asm.parse}. *)
+val to_string : t -> string

@@ -1,0 +1,21 @@
+(** Compiler from the kernel IR to the native ISA — the nvcc analog.
+
+    Calling convention: registers [r0..r(n-1)] hold the byte base addresses
+    of the [n] global-array parameters (written by the driver at launch);
+    used special registers are materialized next; named variables and
+    expression temporaries follow.  No spilling: kernels that exceed
+    [max_registers] are rejected. *)
+
+exception Error of string
+
+type compiled = {
+  program : Gpu_isa.Program.t;
+  param_regs : (string * int) list;
+      (** parameter name -> register holding its base byte address *)
+  shared_offsets : (string * int) list;
+      (** shared array name -> byte offset inside the block's segment *)
+  smem_bytes : int;  (** static shared memory per block *)
+  reg_demand : int;  (** registers per thread *)
+}
+
+val compile : ?max_registers:int -> Ir.t -> compiled

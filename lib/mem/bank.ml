@@ -1,0 +1,73 @@
+(* Shared-memory bank-conflict analyzer (paper Section 4.2).
+
+   Shared memory stores adjacent 4-byte words in adjacent banks.  A
+   half-warp access where k threads hit distinct words of the same bank
+   serializes into k transactions.  Threads reading the *same* word of a
+   bank are served by one broadcast.  The paper notes Barra does not track
+   conflicts, so it derives effective transaction counts with a separate
+   tool; this module is that tool, generalized to any bank count so the
+   prime-bank-count architectural proposal of Section 5.2 can be evaluated. *)
+
+let word_size = 4
+
+(* Conflict degree of one access group: the maximum, over banks, of the
+   number of *distinct* words addressed in that bank.  1 means conflict-free
+   (or served by broadcast); an inactive group has degree 0. *)
+let conflict_degree ~banks addresses =
+  if banks <= 0 then invalid_arg "Bank.conflict_degree: banks must be > 0";
+  let per_bank = Hashtbl.create 16 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some addr ->
+        let w = addr / word_size in
+        let b = w mod banks in
+        let words =
+          match Hashtbl.find_opt per_bank b with
+          | Some ws -> ws
+          | None ->
+            let ws = Hashtbl.create 4 in
+            Hashtbl.add per_bank b ws;
+            ws
+        in
+        Hashtbl.replace words w ())
+    addresses;
+  Hashtbl.fold (fun _ words acc -> max acc (Hashtbl.length words)) per_bank 0
+
+(* Number of serialized shared-memory transactions needed to serve one
+   access group: its conflict degree (0 if no lane is active, which costs no
+   transaction). *)
+let transactions ~banks addresses = conflict_degree ~banks addresses
+
+(* Split a warp's lane addresses into half-warp groups of [group] lanes and
+   sum their transaction counts.  This is the effective transaction count
+   the performance model charges against shared-memory bandwidth. *)
+let warp_transactions ~banks ~group addresses =
+  if group <= 0 then invalid_arg "Bank.warp_transactions: group must be > 0";
+  let n = Array.length addresses in
+  let rec go start acc =
+    if start >= n then acc
+    else
+      let len = min group (n - start) in
+      let slice = Array.sub addresses start len in
+      go (start + group) (acc + transactions ~banks slice)
+  in
+  go 0 0
+
+(* Conflict-free transaction count for the same access: 1 per half-warp
+   group with at least one active lane. *)
+let ideal_warp_transactions ~group addresses =
+  if group <= 0 then
+    invalid_arg "Bank.ideal_warp_transactions: group must be > 0";
+  let n = Array.length addresses in
+  let rec go start acc =
+    if start >= n then acc
+    else
+      let len = min group (n - start) in
+      let active = ref false in
+      for i = start to start + len - 1 do
+        if addresses.(i) <> None then active := true
+      done;
+      go (start + group) (if !active then acc + 1 else acc)
+  in
+  go 0 0

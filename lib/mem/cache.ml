@@ -1,0 +1,86 @@
+(* Set-associative LRU cache model.
+
+   The paper's future work item (1) is "incorporate a cache model in memory
+   system simulation (for texture memory)"; its Figure 12 measures
+   texture-cached SpMV variants on hardware without modeling them.  This
+   module provides that missing piece: a simple set-associative LRU cache
+   fed with an access trace, reporting the hit rate and the memory traffic
+   that remains after the cache filters it.  GT200 binds texture fetches to
+   a per-TPC (cluster) L1 of roughly 16 KB with 32-byte lines. *)
+
+type config = {
+  size_bytes : int;
+  line_bytes : int;
+  ways : int;
+}
+
+let gt200_texture_l1 = { size_bytes = 16384; line_bytes = 32; ways = 8 }
+
+type t = {
+  config : config;
+  sets : int;
+  tags : int array; (* sets x ways, -1 = invalid *)
+  stamps : int array; (* LRU timestamps *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable hits : int;
+}
+
+let create config =
+  if config.size_bytes <= 0 || config.line_bytes <= 0 || config.ways <= 0
+  then invalid_arg "Cache.create";
+  let lines = config.size_bytes / config.line_bytes in
+  if lines mod config.ways <> 0 then
+    invalid_arg "Cache.create: ways must divide the line count";
+  let sets = lines / config.ways in
+  {
+    config;
+    sets;
+    tags = Array.make (sets * config.ways) (-1);
+    stamps = Array.make (sets * config.ways) 0;
+    clock = 0;
+    accesses = 0;
+    hits = 0;
+  }
+
+(* Access one byte address; returns [true] on hit. *)
+let access t addr =
+  if addr < 0 then invalid_arg "Cache.access: negative address";
+  let line = addr / t.config.line_bytes in
+  let set = line mod t.sets in
+  let tag = line / t.sets in
+  let base = set * t.config.ways in
+  t.clock <- t.clock + 1;
+  t.accesses <- t.accesses + 1;
+  let hit = ref false in
+  let victim = ref base in
+  (try
+     for w = base to base + t.config.ways - 1 do
+       if t.tags.(w) = tag then begin
+         t.stamps.(w) <- t.clock;
+         hit := true;
+         raise Exit
+       end;
+       if t.stamps.(w) < t.stamps.(!victim) then victim := w
+     done
+   with Exit -> ());
+  if !hit then t.hits <- t.hits + 1
+  else begin
+    t.tags.(!victim) <- tag;
+    t.stamps.(!victim) <- t.clock
+  end;
+  !hit
+
+let hit_rate t =
+  if t.accesses = 0 then 0.0
+  else float_of_int t.hits /. float_of_int t.accesses
+
+let accesses t = t.accesses
+
+let hits t = t.hits
+
+(* Feed a whole trace of word addresses; returns the hit rate. *)
+let run config trace =
+  let t = create config in
+  Array.iter (fun a -> ignore (access t a)) trace;
+  hit_rate t

@@ -1,0 +1,26 @@
+(** Set-associative LRU cache model — the texture-cache piece the paper
+    lists as future work (1) and measures-but-does-not-model in Figure 12. *)
+
+type config = {
+  size_bytes : int;
+  line_bytes : int;
+  ways : int;  (** must divide the line count *)
+}
+
+(** GT200's per-cluster texture L1: 16 KB, 32-byte lines, 8-way. *)
+val gt200_texture_l1 : config
+
+type t
+
+val create : config -> t
+
+(** Access one byte address; [true] on hit.  Misses fill the LRU way. *)
+val access : t -> int -> bool
+
+val hit_rate : t -> float
+val accesses : t -> int
+val hits : t -> int
+
+(** Feed a whole trace of byte addresses through a fresh cache and return
+    the hit rate. *)
+val run : config -> int array -> float

@@ -1,0 +1,137 @@
+(* Memory-transaction simulator implementing the CUDA compute-capability
+   1.2/1.3 coalescing protocol (paper Section 4.3):
+
+     1. find the segment containing the address requested by the lowest
+        numbered active thread;
+     2. find all other threads whose requested address is in that segment;
+     3. reduce the segment size if possible;
+     4. repeat until all threads of the issue group are served.
+
+   The issue group is a half-warp (16 threads) on real hardware; the paper's
+   Figure 10 example uses 2 threads and an 8-byte segment, and its Figure 11
+   what-if sweeps segment granularities of 32, 16 and 4 bytes, so all three
+   parameters are configurable. *)
+
+type txn = { base : int; size : int }
+
+type config = {
+  group : int; (* threads per transaction issue (half-warp = 16) *)
+  min_segment : int; (* smallest transaction, bytes *)
+  max_segment : int; (* initial segment size, bytes *)
+}
+
+let config_of_spec (spec : Gpu_hw.Spec.t) =
+  {
+    group = spec.coalesce_threads;
+    min_segment = spec.min_segment_bytes;
+    max_segment = spec.max_segment_bytes;
+  }
+
+let check_config c =
+  let power_of_two n = n > 0 && n land (n - 1) = 0 in
+  if not (power_of_two c.min_segment && power_of_two c.max_segment) then
+    invalid_arg "Coalesce: segment sizes must be powers of two";
+  if c.min_segment > c.max_segment then
+    invalid_arg "Coalesce: min_segment > max_segment";
+  if c.group <= 0 then invalid_arg "Coalesce: group must be positive"
+
+(* Serve one issue group.  [addresses.(i) = Some a] is the byte address
+   requested by thread [i]; [None] marks an inactive thread.  [width] is the
+   access width in bytes.  Returns transactions in service order. *)
+let group_transactions c ~width addresses =
+  check_config c;
+  if Array.length addresses > c.group then
+    invalid_arg "Coalesce.group_transactions: more threads than group size";
+  if width > c.max_segment then
+    invalid_arg "Coalesce.group_transactions: access wider than a segment";
+  Array.iter
+    (function
+      | Some a when a < 0 || a mod width <> 0 ->
+        invalid_arg
+          "Coalesce.group_transactions: addresses must be width-aligned"
+      | Some _ | None -> ())
+    addresses;
+  let pending = Array.map (fun a -> a) addresses in
+  let served = ref [] in
+  let remaining () =
+    let first = ref None in
+    Array.iteri
+      (fun i a ->
+        match (a, !first) with
+        | Some _, None -> first := Some i
+        | _ -> ())
+      pending;
+    !first
+  in
+  let rec serve () =
+    match remaining () with
+    | None -> List.rev !served
+    | Some leader ->
+      let leader_addr =
+        match pending.(leader) with
+        | Some a -> a
+        | None -> assert false
+      in
+      (* Step 1: the max_segment-aligned segment holding the leader. *)
+      let seg = c.max_segment in
+      let base = leader_addr / seg * seg in
+      (* Step 2: which pending threads fall entirely inside it. *)
+      let inside a = a >= base && a + width <= base + seg in
+      let members = ref [] in
+      Array.iteri
+        (fun i a ->
+          match a with
+          | Some a when inside a -> members := (i, a) :: !members
+          | _ -> ())
+        pending;
+      (* Step 3: shrink while all members fit in one half. *)
+      let lo =
+        List.fold_left (fun acc (_, a) -> min acc a) max_int !members
+      in
+      let hi =
+        List.fold_left (fun acc (_, a) -> max acc (a + width)) 0 !members
+      in
+      let rec shrink base size =
+        if size / 2 >= c.min_segment then
+          let half = size / 2 in
+          if hi <= base + half then shrink base half
+          else if lo >= base + half then shrink (base + half) half
+          else (base, size)
+        else (base, size)
+      in
+      let base, size = shrink base seg in
+      List.iter (fun (i, _) -> pending.(i) <- None) !members;
+      served := { base; size } :: !served;
+      serve ()
+  in
+  serve ()
+
+(* Serve a full warp: split into issue groups of [c.group] threads. *)
+let warp_transactions c ~width addresses =
+  let n = Array.length addresses in
+  let rec go start acc =
+    if start >= n then List.concat (List.rev acc)
+    else
+      let len = min c.group (n - start) in
+      let slice = Array.sub addresses start len in
+      go (start + c.group) (group_transactions c ~width slice :: acc)
+  in
+  go 0 []
+
+let bytes txns = List.fold_left (fun acc t -> acc + t.size) 0 txns
+
+let count = List.length
+
+(* Fraction of transferred bytes actually requested: 1.0 means perfectly
+   coalesced traffic. *)
+let efficiency ~width addresses txns =
+  let requested =
+    Array.fold_left
+      (fun acc a -> match a with Some _ -> acc + width | None -> acc)
+      0 addresses
+  in
+  let transferred = bytes txns in
+  if transferred = 0 then 1.0
+  else float_of_int requested /. float_of_int transferred
+
+let pp_txn ppf t = Fmt.pf ppf "[%#x..%#x)" t.base (t.base + t.size)

@@ -1,0 +1,97 @@
+(* Synthetic native-code microbenchmarks — the role of the paper's CUBIN
+   generator (Figure 1).  Programs are emitted directly in the native ISA,
+   bypassing the kernel compiler, exactly as the paper's tool patches
+   binaries to sidestep compiler interference (dead-code elimination would
+   otherwise delete benchmarks whose results are never stored). *)
+
+module I = Gpu_isa.Instr
+
+let instr i = Gpu_isa.Program.Instr (I.mk i)
+
+(* A dependent chain of [n] instructions of one cost class: each result
+   feeds the next instruction, so a single warp exposes the full pipeline
+   latency and throughput grows with warp count (Figure 2, left). *)
+let instruction_chain ~cls ~n =
+  let r1 = I.R 1 and r2 = I.R 2 in
+  let seed =
+    [
+      instr (I.Mov (r1, I.Fimm 1.000001));
+      instr (I.Mov (r2, I.Fimm 1.000001));
+    ]
+  in
+  let link =
+    match cls with
+    | I.Class_i -> instr (I.Fop (I.Fmul, r1, I.Reg r1, I.Reg r2))
+    | I.Class_ii -> instr (I.Fop (I.Fadd, r1, I.Reg r1, I.Reg r2))
+    | I.Class_iii -> instr (I.Sfu (I.Rcp, r1, I.Reg r1))
+    | I.Class_iv -> instr (I.Dop (I.Dadd, r1, I.Reg r1, I.Reg r2))
+    | I.Class_mem | I.Class_ctrl ->
+      invalid_arg "Codegen.instruction_chain: not an arithmetic class"
+  in
+  let body = List.init n (fun _ -> link) in
+  Gpu_isa.Program.of_lines
+    ~name:(Printf.sprintf "ubench_instr_%s" (I.cost_class_name cls))
+    (seed @ body @ [ instr I.Exit ])
+
+(* Shared-memory copy: each thread repeatedly moves one word between two
+   conflict-free regions (lane-linear addressing).  [n] is the number of
+   load/store pairs; the block needs [2 * threads * 4] bytes of shared
+   memory. *)
+let shared_copy ~threads ~n =
+  let r_tid = I.R 0
+  and r_src = I.R 1
+  and r_dst = I.R 2
+  and r_val = I.R 3 in
+  let prologue =
+    [
+      instr (I.Mov_sreg (r_tid, I.Tid_x));
+      instr (I.Imad (r_src, I.Reg r_tid, I.Imm 4l, I.Imm 0l));
+      instr
+        (I.Imad (r_dst, I.Reg r_tid, I.Imm 4l, I.Imm (Int32.of_int (4 * threads))));
+    ]
+  in
+  let pair =
+    [
+      instr (I.Ld (I.Shared, 4, r_val, { I.base = r_src; offset = 0 }));
+      instr (I.St (I.Shared, 4, { I.base = r_dst; offset = 0 }, I.Reg r_val));
+    ]
+  in
+  let body = List.concat (List.init n (fun _ -> pair)) in
+  ( Gpu_isa.Program.of_lines ~name:"ubench_smem_copy"
+      (prologue @ body @ [ instr I.Exit ]),
+    8 * threads (* shared bytes *) )
+
+(* Global-memory streaming: every thread issues [txns_per_thread] coalesced
+   loads with a grid-wide stride, rotating over 8 destination registers so
+   several requests are outstanding (the memory-level parallelism real
+   streaming kernels have).  Parameter register r0 holds the buffer base per
+   the calling convention. *)
+let global_stream ~blocks ~threads ~txns_per_thread =
+  let r_base = I.R 0
+  and r_tid = I.R 1
+  and r_ctaid = I.R 2
+  and r_gid = I.R 3
+  and r_addr = I.R 4 in
+  let data_reg i = I.R (5 + (i mod 8)) in
+  let stride = 4 * blocks * threads in
+  let prologue =
+    [
+      instr (I.Mov_sreg (r_tid, I.Tid_x));
+      instr (I.Mov_sreg (r_ctaid, I.Ctaid_x));
+      instr
+        (I.Imad (r_gid, I.Reg r_ctaid, I.Imm (Int32.of_int threads),
+                 I.Reg r_tid));
+      instr (I.Imad (r_addr, I.Reg r_gid, I.Imm 4l, I.Reg r_base));
+    ]
+  in
+  let load i =
+    [
+      instr (I.Ld (I.Global, 4, data_reg i, { I.base = r_addr; offset = 0 }));
+      instr
+        (I.Iop (I.Add, r_addr, I.Reg r_addr, I.Imm (Int32.of_int stride)));
+    ]
+  in
+  let body = List.concat (List.init txns_per_thread load) in
+  ( Gpu_isa.Program.of_lines ~name:"ubench_gmem_stream"
+      (prologue @ body @ [ instr I.Exit ]),
+    blocks * threads * txns_per_thread (* buffer words *) )

@@ -1,0 +1,39 @@
+(* Runs a microbenchmark program: functional simulation of one block to
+   obtain its trace, replication across the grid (microbenchmarks are
+   block-homogeneous by construction), then timing simulation.  Returns the
+   measured cycle count. *)
+
+let wrap ~param_regs ~smem_bytes program : Gpu_kernel.Compile.compiled =
+  {
+    Gpu_kernel.Compile.program;
+    param_regs;
+    shared_offsets = [];
+    smem_bytes;
+    reg_demand = Gpu_isa.Program.register_demand program;
+  }
+
+(* Microbenchmarks control warps-per-SM directly, so they may run blocks of
+   up to 32 warps; the launch-validation limit is relaxed for them (the
+   timing model is unaffected: it has no per-block thread ceiling). *)
+let relaxed (spec : Gpu_hw.Spec.t) =
+  { spec with max_threads_per_block = 32 * spec.warp_size }
+
+let measure_cycles ~(spec : Gpu_hw.Spec.t) ~grid ~block ~args
+    ?(max_resident = 1) (k : Gpu_kernel.Compile.compiled) =
+  let r =
+    Gpu_sim.Sim.run ~collect_trace:true ~block_ids:[ 0 ] ~spec:(relaxed spec)
+      ~grid ~block ~args k
+  in
+  let proto =
+    match r.traces with
+    | [ t ] -> t
+    | _ -> failwith "Runner.measure_cycles: expected one block trace"
+  in
+  let blocks =
+    Array.init grid (fun b -> { proto with Gpu_sim.Trace.block = b })
+  in
+  let res =
+    Gpu_timing.Engine.run ~homogeneous:true ~spec
+      ~max_resident_blocks:max_resident blocks
+  in
+  res.Gpu_timing.Engine.cycles

@@ -1,0 +1,24 @@
+(** Runs a microbenchmark program: functional simulation of one block for
+    its trace, replication across the (homogeneous) grid, then timing
+    simulation. *)
+
+(** Wrap a raw ISA program as a launchable kernel. *)
+val wrap :
+  param_regs:(string * int) list ->
+  smem_bytes:int ->
+  Gpu_isa.Program.t ->
+  Gpu_kernel.Compile.compiled
+
+(** Launch-validation-relaxed spec (microbenchmarks control warps per SM
+    directly with blocks of up to 32 warps). *)
+val relaxed : Gpu_hw.Spec.t -> Gpu_hw.Spec.t
+
+(** Measured cycles on the timing simulator. *)
+val measure_cycles :
+  spec:Gpu_hw.Spec.t ->
+  grid:int ->
+  block:int ->
+  args:(string * int32 array) list ->
+  ?max_resident:int ->
+  Gpu_kernel.Compile.compiled ->
+  int

@@ -1,0 +1,140 @@
+(* Fitted throughput tables: the microbenchmark observations the
+   performance model consumes (paper Section 4).
+
+   - instruction throughput per cost class, for 1..32 warps per SM
+     (Figure 2, left), in device-wide Giga warp-instructions / second;
+   - shared-memory bandwidth for 1..32 warps per SM (Figure 2, right),
+     in device-wide GB/s counting read plus write traffic;
+   - global-memory bandwidth for a (blocks, threads, transactions/thread)
+     configuration (Figure 3), measured on demand and memoized, in GB/s of
+     transferred bytes.
+
+   Tables are built against a device spec, so the model recalibrates
+   automatically when evaluating architectural variants. *)
+
+module I = Gpu_isa.Instr
+
+let max_warps = 32
+
+let arithmetic_classes = [ I.Class_i; I.Class_ii; I.Class_iii; I.Class_iv ]
+
+type t = {
+  spec : Gpu_hw.Spec.t;
+  instr : (I.cost_class * float array) list; (* [w-1] -> Ginstr/s *)
+  smem : float array; (* [w-1] -> GB/s *)
+  gmem : (int * int * int, float) Hashtbl.t;
+}
+
+let chain_length = 384
+
+(* Marginal measurement: the cycle difference between a 2n-chain and an
+   n-chain isolates steady-state throughput from pipeline fill and launch
+   effects. *)
+let measure_instr_throughput ~spec ~cls ~warps =
+  let run n =
+    let program = Codegen.instruction_chain ~cls ~n in
+    let k = Runner.wrap ~param_regs:[] ~smem_bytes:0 program in
+    Runner.measure_cycles ~spec ~grid:1 ~block:(32 * warps) ~args:[] k
+  in
+  let d = run (2 * chain_length) - run chain_length in
+  if d <= 0 then invalid_arg "Tables: non-positive marginal cycles";
+  float_of_int (chain_length * warps)
+  *. spec.Gpu_hw.Spec.core_clock_ghz
+  *. float_of_int spec.Gpu_hw.Spec.num_sms
+  /. float_of_int d
+
+let copy_pairs = 256
+
+let measure_smem_bandwidth ~spec ~warps =
+  let threads = 32 * warps in
+  let run n =
+    let program, smem_bytes = Codegen.shared_copy ~threads ~n in
+    let k = Runner.wrap ~param_regs:[] ~smem_bytes program in
+    Runner.measure_cycles ~spec ~grid:1 ~block:threads ~args:[] k
+  in
+  let d = run (2 * copy_pairs) - run copy_pairs in
+  if d <= 0 then invalid_arg "Tables: non-positive marginal cycles";
+  (* each pair moves a warp's 128 read + 128 written bytes *)
+  float_of_int (copy_pairs * warps * 256)
+  *. spec.Gpu_hw.Spec.core_clock_ghz
+  *. float_of_int spec.Gpu_hw.Spec.num_sms
+  /. float_of_int d
+
+(* Total-time measurement for global memory: the latency tail is part of
+   what Figure 3 shows (small configurations cannot cover the memory
+   latency and sustain low bandwidth). *)
+let measure_gmem_bandwidth ~spec ~blocks ~threads ~txns_per_thread =
+  let program, words =
+    Codegen.global_stream ~blocks ~threads ~txns_per_thread
+  in
+  let k = Runner.wrap ~param_regs:[ ("buf", 0) ] ~smem_bytes:0 program in
+  let args = [ ("buf", Array.make words 0l) ] in
+  let cycles =
+    Runner.measure_cycles ~spec ~grid:blocks ~block:threads ~args
+      ~max_resident:spec.Gpu_hw.Spec.max_blocks_per_sm k
+  in
+  if cycles <= 0 then invalid_arg "Tables: zero-cycle benchmark";
+  float_of_int (4 * words)
+  *. spec.Gpu_hw.Spec.core_clock_ghz
+  /. float_of_int cycles
+
+let build (spec : Gpu_hw.Spec.t) =
+  let instr =
+    List.map
+      (fun cls ->
+        ( cls,
+          Array.init max_warps (fun i ->
+              measure_instr_throughput ~spec ~cls ~warps:(i + 1)) ))
+      arithmetic_classes
+  in
+  let smem =
+    Array.init max_warps (fun i ->
+        measure_smem_bandwidth ~spec ~warps:(i + 1))
+  in
+  { spec; instr; smem; gmem = Hashtbl.create 64 }
+
+let clamp_warps w = max 1 (min max_warps w)
+
+(* Memory and control classes are charged at class II issue rates when they
+   appear in the instruction-pipeline component. *)
+let table_class = function
+  | I.Class_i -> I.Class_i
+  | I.Class_ii | I.Class_mem | I.Class_ctrl -> I.Class_ii
+  | I.Class_iii -> I.Class_iii
+  | I.Class_iv -> I.Class_iv
+
+let instr_throughput t cls ~warps =
+  let arr = List.assoc (table_class cls) t.instr in
+  arr.(clamp_warps warps - 1)
+
+let smem_bandwidth t ~warps = t.smem.(clamp_warps warps - 1)
+
+let gmem_bandwidth t ~blocks ~threads ~txns_per_thread =
+  (* Bandwidth saturates well before these caps, and the per-cluster
+     leftover effect fades for large grids (paper Section 4.3), so huge
+     configurations are folded onto bounded, cluster-balanced ones to keep
+     the synthetic benchmark affordable. *)
+  let blocks =
+    if blocks > 120 then min 120 (blocks / 10 * 10) else max 1 blocks
+  and threads = max 1 (min threads (32 * max_warps))
+  and txns_per_thread = max 1 (min 256 txns_per_thread) in
+  let key = (blocks, threads, txns_per_thread) in
+  match Hashtbl.find_opt t.gmem key with
+  | Some bw -> bw
+  | None ->
+    let bw =
+      measure_gmem_bandwidth ~spec:t.spec ~blocks ~threads ~txns_per_thread
+    in
+    Hashtbl.add t.gmem key bw;
+    bw
+
+(* Build lazily and share per spec: model queries are frequent. *)
+let cache : (string, t) Hashtbl.t = Hashtbl.create 4
+
+let for_spec (spec : Gpu_hw.Spec.t) =
+  match Hashtbl.find_opt cache spec.name with
+  | Some t -> t
+  | None ->
+    let t = build spec in
+    Hashtbl.add cache spec.name t;
+    t

@@ -1,0 +1,43 @@
+(** Fitted throughput tables: the microbenchmark observations the model
+    consumes (paper Section 4) — instruction throughput per class and
+    warps/SM (Figure 2 left), shared bandwidth per warps/SM (Figure 2
+    right), and the memoized global-memory synthetic benchmark
+    (Figure 3).  Built against a device spec, so the model recalibrates
+    automatically for architectural variants. *)
+
+val max_warps : int
+val arithmetic_classes : Gpu_isa.Instr.cost_class list
+
+type t
+
+(** Run the instruction and shared-memory microbenchmark sweeps. *)
+val build : Gpu_hw.Spec.t -> t
+
+(** Like {!build} but cached per spec name within the process. *)
+val for_spec : Gpu_hw.Spec.t -> t
+
+(** Device-wide Giga warp-instructions per second for a class at a warp
+    count (clamped to [1, 32]); memory and control classes are priced at
+    class II rates. *)
+val instr_throughput : t -> Gpu_isa.Instr.cost_class -> warps:int -> float
+
+(** Device-wide GB/s counting read plus write traffic. *)
+val smem_bandwidth : t -> warps:int -> float
+
+(** Bandwidth the synthetic streaming benchmark of this configuration
+    sustains, in GB/s of transferred bytes; measured on demand and
+    memoized.  Large configurations are folded onto bounded
+    cluster-balanced ones (bandwidth saturates well before the caps). *)
+val gmem_bandwidth : t -> blocks:int -> threads:int -> txns_per_thread:int
+  -> float
+
+(** {2 Raw measurements (exposed for tests and ablations)} *)
+
+val measure_instr_throughput :
+  spec:Gpu_hw.Spec.t -> cls:Gpu_isa.Instr.cost_class -> warps:int -> float
+
+val measure_smem_bandwidth : spec:Gpu_hw.Spec.t -> warps:int -> float
+
+val measure_gmem_bandwidth :
+  spec:Gpu_hw.Spec.t -> blocks:int -> threads:int -> txns_per_thread:int ->
+  float

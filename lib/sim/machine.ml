@@ -1,0 +1,568 @@
+(* The SIMT interpreter at the heart of the functional simulator (the Barra
+   analog).  Warps of 32 lanes execute the native ISA in lockstep; branch
+   divergence uses the classic reconvergence stack driven by the
+   post-dominator labels the compiler records in conditional branches.
+
+   A block's warps run round-robin between barriers: each warp executes
+   until it reaches a barrier or exits, then the next warp runs.  This is
+   functionally exact for programs whose cross-warp shared-memory
+   communication is barrier-delimited — which the barrier programming model
+   requires anyway. *)
+
+module I = Gpu_isa.Instr
+
+exception Stuck of string
+
+let stuck fmt = Printf.ksprintf (fun s -> raise (Stuck s)) fmt
+
+type config = {
+  spec : Gpu_hw.Spec.t;
+  coalesce : Gpu_mem.Coalesce.config;
+  collect_trace : bool;
+  max_warp_instructions : int; (* runaway-kernel guard *)
+}
+
+let config ?(collect_trace = false) ?(max_warp_instructions = 500_000_000)
+    spec =
+  {
+    spec;
+    coalesce = Gpu_mem.Coalesce.config_of_spec spec;
+    collect_trace;
+    max_warp_instructions;
+  }
+
+type frame = { mutable pc : int; rpc : int; mask : int }
+
+type warp = {
+  wid : int;
+  base_tid : int; (* tid of lane 0 *)
+  nlanes : int;
+  regs : Value.t array; (* nregs x 32, laid out reg-major *)
+  preds : bool array; (* npreds x 32 *)
+  mutable stack : frame list;
+  mutable finished : bool;
+  mutable at_barrier : bool;
+  mutable issued : int;
+  mutable counted_stage : int; (* last stage this warp was counted active in *)
+  trace : Trace.builder;
+}
+
+type block = {
+  bid : int;
+  grid : int; (* blocks in the launch, for %nctaid *)
+  nthreads : int;
+  shared : int32 array; (* shared memory words *)
+  warps : warp array;
+  mutable stage : int;
+}
+
+let num_preds = 4
+
+let lanes = 32
+
+let full_mask n = (1 lsl n) - 1
+
+let make_warp ~wid ~base_tid ~nlanes ~nregs =
+  {
+    wid;
+    base_tid;
+    nlanes;
+    regs = Array.make (max 1 nregs * lanes) Value.zero;
+    preds = Array.make (num_preds * lanes) false;
+    stack = [ { pc = 0; rpc = -1; mask = full_mask nlanes } ];
+    finished = false;
+    at_barrier = false;
+    issued = 0;
+    counted_stage = -1;
+    trace = Trace.builder ();
+  }
+
+let make_block ~bid ~grid ~nthreads ~smem_bytes ~nregs =
+  let nwarps = (nthreads + lanes - 1) / lanes in
+  let warps =
+    Array.init nwarps (fun w ->
+        let base_tid = w * lanes in
+        let nlanes = min lanes (nthreads - base_tid) in
+        make_warp ~wid:w ~base_tid ~nlanes ~nregs)
+  in
+  {
+    bid;
+    grid;
+    nthreads;
+    shared = Array.make (max 1 ((smem_bytes + 3) / 4)) 0l;
+    warps;
+    stage = 0;
+  }
+
+(* --- Register access -------------------------------------------------- *)
+
+let get_reg w (I.R r) lane = w.regs.((r * lanes) + lane)
+
+let set_reg w (I.R r) lane v = w.regs.((r * lanes) + lane) <- v
+
+let get_pred w (I.P p) lane = w.preds.((p * lanes) + lane)
+
+let set_pred w (I.P p) lane v = w.preds.((p * lanes) + lane) <- v
+
+(* --- Shared-memory access --------------------------------------------- *)
+
+let shared_check block addr width =
+  let bytes = 4 * Array.length block.shared in
+  if addr < 0 || addr + width > bytes then
+    stuck "block %d: shared access at %#x outside [0, %#x)" block.bid addr
+      bytes;
+  if addr mod width <> 0 then
+    stuck "block %d: misaligned shared access at %#x" block.bid addr
+
+let shared_load32 block addr =
+  shared_check block addr 4;
+  Value.of_i32 block.shared.(addr / 4)
+
+let shared_store32 block addr v =
+  shared_check block addr 4;
+  block.shared.(addr / 4) <- Value.to_i32 v
+
+(* --- ALU semantics ---------------------------------------------------- *)
+
+let sext24 x = Int32.shift_right (Int32.shift_left x 8) 8
+
+let exec_ibinop op a b =
+  let open Int32 in
+  match op with
+  | I.Add -> add a b
+  | I.Sub -> sub a b
+  | I.Mul24 -> mul (sext24 a) (sext24 b)
+  | I.Mul -> mul a b
+  | I.Min -> if compare a b <= 0 then a else b
+  | I.Max -> if compare a b >= 0 then a else b
+  | I.And -> logand a b
+  | I.Or -> logor a b
+  | I.Xor -> logxor a b
+  | I.Shl -> shift_left a (to_int (logand b 31l))
+  | I.Shr -> shift_right a (to_int (logand b 31l))
+
+let exec_fbinop op a b =
+  Value.round_f32
+    (match op with
+    | I.Fadd -> a +. b
+    | I.Fsub -> a -. b
+    | I.Fmul -> a *. b
+    | I.Fmin -> if a <= b then a else b
+    | I.Fmax -> if a >= b then a else b)
+
+let exec_dbinop op a b = match op with I.Dadd -> a +. b | I.Dmul -> a *. b
+
+let exec_sfu op a =
+  Value.round_f32
+    (match op with
+    | I.Rcp -> 1.0 /. a
+    | I.Rsqrt -> 1.0 /. sqrt a
+    | I.Sin -> sin a
+    | I.Cos -> cos a
+    | I.Lg2 -> log a /. log 2.0
+    | I.Ex2 -> Float.pow 2.0 a)
+
+let compare_values cmp ty (a : Value.t) (b : Value.t) =
+  match ty with
+  | I.S32 ->
+    let c = Int32.compare (Value.to_i32 a) (Value.to_i32 b) in
+    (match cmp with
+    | I.Eq -> c = 0
+    | I.Ne -> c <> 0
+    | I.Lt -> c < 0
+    | I.Le -> c <= 0
+    | I.Gt -> c > 0
+    | I.Ge -> c >= 0)
+  | I.F32 ->
+    let x = Value.to_f32 a and y = Value.to_f32 b in
+    (match cmp with
+    | I.Eq -> x = y
+    | I.Ne -> x <> y
+    | I.Lt -> x < y
+    | I.Le -> x <= y
+    | I.Gt -> x > y
+    | I.Ge -> x >= y)
+
+(* --- Trace helpers ---------------------------------------------------- *)
+
+let reg_id (I.R r) = r
+
+let pred_id (I.P p) = Trace.pred_reg_base + p
+
+let operand_srcs acc = function
+  | I.Reg r -> reg_id r :: acc
+  | I.Imm _ | I.Fimm _ -> acc
+
+let record cfg w ~cls ~dst ~srcs ~mem ~bar =
+  if cfg.collect_trace then
+    Trace.add w.trace { Trace.cls; dst; srcs = Array.of_list srcs; mem; bar }
+
+(* --- Instruction execution -------------------------------------------- *)
+
+type outcome = Continue | Hit_barrier | Exited
+
+(* Pop reconverged frames: a frame whose pc reached its reconvergence point
+   transfers control to the next stacked side (or the continuation). *)
+let rec pop_reconverged w =
+  match w.stack with
+  | fr :: (_ :: _ as rest) when fr.pc = fr.rpc ->
+    w.stack <- rest;
+    pop_reconverged w
+  | _ -> ()
+
+let enabled_mask w fr (instr : I.t) =
+  match instr.pred with
+  | None -> fr.mask
+  | Some (p, sense) ->
+    let m = ref 0 in
+    for lane = 0 to lanes - 1 do
+      if fr.mask land (1 lsl lane) <> 0 && get_pred w p lane = sense then
+        m := !m lor (1 lsl lane)
+    done;
+    !m
+
+(* Per-lane addresses of a memory access, [None] for disabled lanes. *)
+let lane_addresses w ~mask (m : I.maddr) =
+  Array.init lanes (fun lane ->
+      if mask land (1 lsl lane) <> 0 then
+        Some (Value.to_address (get_reg w m.base lane) + m.offset)
+      else None)
+
+(* Execute one warp-instruction.  [stats] may be [None] when re-running for
+   outputs only. *)
+let step cfg ~program ~gmem ~(stats : Stats.t option) block w =
+  pop_reconverged w;
+  let fr = match w.stack with [] -> stuck "empty SIMT stack" | f :: _ -> f in
+  let code = Gpu_isa.Program.code program in
+  if fr.pc < 0 || fr.pc >= Array.length code then
+    stuck "block %d warp %d: pc %d outside program" block.bid w.wid fr.pc;
+  let instr = code.(fr.pc) in
+  w.issued <- w.issued + 1;
+  if w.issued > cfg.max_warp_instructions then
+    stuck "block %d warp %d: exceeded %d instructions (runaway kernel?)"
+      block.bid w.wid cfg.max_warp_instructions;
+  let cls = I.classify instr in
+  let em = enabled_mask w fr instr in
+  (* A warp is "active" in a stage once it issues real work there with at
+     least one enabled lane; the control skeleton every warp runs to skip a
+     guarded region (setp, branches, barriers) does not count, so the
+     per-step warp-level parallelism of workloads like cyclic reduction is
+     what the paper reports (8, 4, 2, 1 warps). *)
+  let work_instruction =
+    match instr.op with
+    | I.Setp _ | I.Bra _ | I.Bra_pred _ | I.Bar | I.Exit -> false
+    | I.Mov _ | I.Mov_sreg _ | I.Iop _ | I.Imad _ | I.Fop _ | I.Fmad _
+    | I.Fmad_smem _ | I.Dop _ | I.Dfma _ | I.Sfu _ | I.Cvt _ | I.Selp _
+    | I.Ld _ | I.St _ ->
+      true
+  in
+  (match stats with
+  | Some st ->
+    Stats.count_issue st ~stage:block.stage cls;
+    if work_instruction && em <> 0 && block.stage > w.counted_stage then begin
+      w.counted_stage <- block.stage;
+      Stats.count_active_warp st ~stage:block.stage
+    end;
+    (match instr.op with
+    | I.Fmad _ | I.Fmad_smem _ -> Stats.count_mad st ~stage:block.stage
+    | _ -> ())
+  | None -> ());
+  let pred_srcs =
+    match instr.pred with Some (p, _) -> [ pred_id p ] | None -> []
+  in
+  let each_lane f =
+    for lane = 0 to lanes - 1 do
+      if em land (1 lsl lane) <> 0 then f lane
+    done
+  in
+  let operand o lane =
+    match o with
+    | I.Reg r -> get_reg w r lane
+    | I.Imm v -> Value.of_i32 v
+    | I.Fimm f -> Value.of_f32 (Value.round_f32 f)
+  in
+  let alu1 d a compute =
+    each_lane (fun lane -> set_reg w d lane (compute (operand a lane)));
+    record cfg w ~cls ~dst:(reg_id d)
+      ~srcs:(operand_srcs pred_srcs a)
+      ~mem:Trace.No_mem ~bar:false
+  in
+  let alu2 d a b compute =
+    each_lane (fun lane ->
+        set_reg w d lane (compute (operand a lane) (operand b lane)));
+    record cfg w ~cls ~dst:(reg_id d)
+      ~srcs:(operand_srcs (operand_srcs pred_srcs a) b)
+      ~mem:Trace.No_mem ~bar:false
+  in
+  let alu3 d a b c compute =
+    each_lane (fun lane ->
+        set_reg w d lane
+          (compute (operand a lane) (operand b lane) (operand c lane)));
+    record cfg w ~cls ~dst:(reg_id d)
+      ~srcs:(operand_srcs (operand_srcs (operand_srcs pred_srcs a) b) c)
+      ~mem:Trace.No_mem ~bar:false
+  in
+  let advance () = fr.pc <- fr.pc + 1 in
+  let count_smem_access addresses srcs dst =
+    let spec = cfg.spec in
+    let txns =
+      Gpu_mem.Bank.warp_transactions ~banks:spec.Gpu_hw.Spec.smem_banks
+        ~group:spec.Gpu_hw.Spec.coalesce_threads addresses
+    in
+    let ideal =
+      Gpu_mem.Bank.ideal_warp_transactions
+        ~group:spec.Gpu_hw.Spec.coalesce_threads addresses
+    in
+    (match stats with
+    | Some st -> Stats.count_smem st ~stage:block.stage ~txns ~ideal
+    | None -> ());
+    record cfg w ~cls ~dst ~srcs ~mem:(Trace.Smem txns) ~bar:false
+  in
+  let count_gmem_access ~width ~kind addresses srcs dst =
+    let txns =
+      Gpu_mem.Coalesce.warp_transactions cfg.coalesce ~width addresses
+    in
+    let active =
+      Array.fold_left
+        (fun acc a -> match a with Some _ -> acc + 1 | None -> acc)
+        0 addresses
+    in
+    (match stats with
+    | Some st ->
+      Stats.count_gmem st ~stage:block.stage ~txns
+        ~requested:(active * width)
+    | None -> ());
+    let arr =
+      Array.of_list
+        (List.map (fun (t : Gpu_mem.Coalesce.txn) -> (t.base, t.size)) txns)
+    in
+    let mem =
+      match kind with
+      | `Load -> Trace.Gmem_load arr
+      | `Store -> Trace.Gmem_store arr
+    in
+    record cfg w ~cls ~dst ~srcs ~mem ~bar:false
+  in
+  match instr.op with
+  | I.Mov (d, s) -> alu1 d s (fun a -> a); advance (); Continue
+  | I.Mov_sreg (d, s) ->
+    each_lane (fun lane ->
+        let v =
+          match s with
+          | I.Tid_x -> w.base_tid + lane
+          | I.Ntid_x -> block.nthreads
+          | I.Ctaid_x -> block.bid
+          | I.Nctaid_x -> block.grid
+          | I.Laneid -> lane
+          | I.Warpid -> w.wid
+        in
+        set_reg w d lane (Value.of_int v));
+    record cfg w ~cls ~dst:(reg_id d) ~srcs:pred_srcs ~mem:Trace.No_mem
+      ~bar:false;
+    advance ();
+    Continue
+  | I.Iop (op, d, a, b) ->
+    alu2 d a b (fun x y ->
+        Value.of_i32 (exec_ibinop op (Value.to_i32 x) (Value.to_i32 y)));
+    advance ();
+    Continue
+  | I.Imad (d, a, b, c) ->
+    alu3 d a b c (fun x y z ->
+        Value.of_i32
+          (Int32.add
+             (Int32.mul (sext24 (Value.to_i32 x)) (sext24 (Value.to_i32 y)))
+             (Value.to_i32 z)));
+    advance ();
+    Continue
+  | I.Fop (op, d, a, b) ->
+    alu2 d a b (fun x y ->
+        Value.of_f32 (exec_fbinop op (Value.to_f32 x) (Value.to_f32 y)));
+    advance ();
+    Continue
+  | I.Fmad (d, a, b, c) ->
+    alu3 d a b c (fun x y z ->
+        Value.of_f32
+          (Value.round_f32
+             ((Value.to_f32 x *. Value.to_f32 y) +. Value.to_f32 z)));
+    advance ();
+    Continue
+  | I.Dop (op, d, a, b) ->
+    alu2 d a b (fun x y ->
+        Value.of_f64 (exec_dbinop op (Value.to_f64 x) (Value.to_f64 y)));
+    advance ();
+    Continue
+  | I.Dfma (d, a, b, c) ->
+    alu3 d a b c (fun x y z ->
+        Value.of_f64
+          (Float.fma (Value.to_f64 x) (Value.to_f64 y) (Value.to_f64 z)));
+    advance ();
+    Continue
+  | I.Sfu (op, d, a) ->
+    alu1 d a (fun x -> Value.of_f32 (exec_sfu op (Value.to_f32 x)));
+    advance ();
+    Continue
+  | I.Cvt (op, d, a) ->
+    alu1 d a (fun x ->
+        match op with
+        | I.I2f ->
+          Value.of_f32 (Value.round_f32 (Int32.to_float (Value.to_i32 x)))
+        | I.F2i -> Value.of_i32 (Int32.of_float (Value.to_f32 x))
+        | I.F2i_rni ->
+          Value.of_i32 (Int32.of_float (Float.round (Value.to_f32 x))));
+    advance ();
+    Continue
+  | I.Setp (cmp, ty, p, a, b) ->
+    each_lane (fun lane ->
+        set_pred w p lane
+          (compare_values cmp ty (operand a lane) (operand b lane)));
+    record cfg w ~cls ~dst:(pred_id p)
+      ~srcs:(operand_srcs (operand_srcs pred_srcs a) b)
+      ~mem:Trace.No_mem ~bar:false;
+    advance ();
+    Continue
+  | I.Selp (d, a, b, p) ->
+    each_lane (fun lane ->
+        set_reg w d lane
+          (if get_pred w p lane then operand a lane else operand b lane));
+    record cfg w ~cls ~dst:(reg_id d)
+      ~srcs:(pred_id p :: operand_srcs (operand_srcs pred_srcs a) b)
+      ~mem:Trace.No_mem ~bar:false;
+    advance ();
+    Continue
+  | I.Fmad_smem (d, a, m, c) ->
+    let addresses = lane_addresses w ~mask:em m in
+    each_lane (fun lane ->
+        match addresses.(lane) with
+        | Some ad ->
+          let b = Value.to_f32 (shared_load32 block ad) in
+          set_reg w d lane
+            (Value.of_f32
+               (Value.round_f32
+                  ((Value.to_f32 (operand a lane) *. b)
+                  +. Value.to_f32 (operand c lane))));
+        | None -> ());
+    count_smem_access addresses
+      (operand_srcs (operand_srcs (reg_id m.base :: pred_srcs) a) c)
+      (reg_id d);
+    advance ();
+    Continue
+  | I.Ld (I.Shared, width, d, m) ->
+    if width <> 4 then stuck "shared loads must be 32-bit";
+    let addresses = lane_addresses w ~mask:em m in
+    each_lane (fun lane ->
+        match addresses.(lane) with
+        | Some a -> set_reg w d lane (shared_load32 block a)
+        | None -> ());
+    count_smem_access addresses (reg_id m.base :: pred_srcs) (reg_id d);
+    advance ();
+    Continue
+  | I.St (I.Shared, width, m, s) ->
+    if width <> 4 then stuck "shared stores must be 32-bit";
+    let addresses = lane_addresses w ~mask:em m in
+    each_lane (fun lane ->
+        match addresses.(lane) with
+        | Some a -> shared_store32 block a (operand s lane)
+        | None -> ());
+    count_smem_access addresses
+      (operand_srcs (reg_id m.base :: pred_srcs) s)
+      Trace.no_reg;
+    advance ();
+    Continue
+  | I.Ld (I.Global, width, d, m) ->
+    let addresses = lane_addresses w ~mask:em m in
+    each_lane (fun lane ->
+        match addresses.(lane) with
+        | Some a ->
+          set_reg w d lane
+            (if width = 8 then Memory.load64 gmem a
+             else Value.of_i32 (Memory.load32 gmem a))
+        | None -> ());
+    count_gmem_access ~width ~kind:`Load addresses
+      (reg_id m.base :: pred_srcs)
+      (reg_id d);
+    advance ();
+    Continue
+  | I.St (I.Global, width, m, s) ->
+    let addresses = lane_addresses w ~mask:em m in
+    each_lane (fun lane ->
+        match addresses.(lane) with
+        | Some a ->
+          if width = 8 then Memory.store64 gmem a (operand s lane)
+          else Memory.store32 gmem a (Value.to_i32 (operand s lane))
+        | None -> ());
+    count_gmem_access ~width ~kind:`Store addresses
+      (operand_srcs (reg_id m.base :: pred_srcs) s)
+      Trace.no_reg;
+    advance ();
+    Continue
+  | I.Bra l ->
+    record cfg w ~cls ~dst:Trace.no_reg ~srcs:pred_srcs ~mem:Trace.No_mem
+      ~bar:false;
+    fr.pc <- Gpu_isa.Program.target_pc program l;
+    Continue
+  | I.Bra_pred (p, sense, target_label, reconv_label) ->
+    record cfg w ~cls ~dst:Trace.no_reg ~srcs:(pred_id p :: pred_srcs)
+      ~mem:Trace.No_mem ~bar:false;
+    let taken = ref 0 in
+    each_lane (fun lane ->
+        if get_pred w p lane = sense then taken := !taken lor (1 lsl lane));
+    let target = Gpu_isa.Program.target_pc program target_label in
+    if !taken = 0 then advance ()
+    else if !taken = em && em = fr.mask then fr.pc <- target
+    else begin
+      (* Divergence: the current frame becomes the reconvergence
+         continuation; the two sides are pushed above it. *)
+      let reconv = Gpu_isa.Program.target_pc program reconv_label in
+      let fall_mask = fr.mask land lnot !taken in
+      let next_pc = fr.pc + 1 in
+      fr.pc <- reconv;
+      let sides =
+        List.filter
+          (fun f -> f.mask <> 0)
+          [
+            { pc = next_pc; rpc = reconv; mask = fall_mask };
+            { pc = target; rpc = reconv; mask = !taken };
+          ]
+      in
+      w.stack <- sides @ w.stack
+    end;
+    Continue
+  | I.Bar ->
+    (match stats with
+    | Some st -> Stats.count_barrier st ~stage:block.stage
+    | None -> ());
+    record cfg w ~cls ~dst:Trace.no_reg ~srcs:pred_srcs ~mem:Trace.No_mem
+      ~bar:true;
+    advance ();
+    w.at_barrier <- true;
+    Hit_barrier
+  | I.Exit ->
+    record cfg w ~cls ~dst:Trace.no_reg ~srcs:pred_srcs ~mem:Trace.No_mem
+      ~bar:false;
+    w.finished <- true;
+    Exited
+
+(* Run all warps of a block to completion, respecting barriers. *)
+let run_block cfg ~program ~gmem ~stats block =
+  let unfinished () =
+    Array.exists (fun w -> not w.finished) block.warps
+  in
+  while unfinished () do
+    (* Run every unfinished warp up to its next barrier (or exit). *)
+    Array.iter
+      (fun w ->
+        if not w.finished then begin
+          w.at_barrier <- false;
+          let rec go () =
+            match step cfg ~program ~gmem ~stats block w with
+            | Continue -> go ()
+            | Hit_barrier | Exited -> ()
+          in
+          go ()
+        end)
+      block.warps;
+    (* All warps are now at a barrier or done; release the barrier and
+       enter the next stage. *)
+    if Array.exists (fun w -> w.at_barrier) block.warps then
+      block.stage <- block.stage + 1
+  done

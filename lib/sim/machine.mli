@@ -1,0 +1,74 @@
+(** The SIMT interpreter at the heart of the functional simulator (Barra
+    analog): warps of 32 lanes execute the native ISA in lockstep, branch
+    divergence uses a reconvergence stack driven by the post-dominator
+    labels in conditional branches, and a block's warps run round-robin
+    between barriers.  Most users want {!Sim.run} instead. *)
+
+exception Stuck of string
+(** Raised on invalid execution: bad pc, shared-memory fault, runaway
+    kernel, malformed SIMT stack. *)
+
+type config
+
+(** [config spec] builds an execution configuration; [collect_trace]
+    records timing events, [max_warp_instructions] bounds runaway
+    kernels. *)
+val config :
+  ?collect_trace:bool -> ?max_warp_instructions:int -> Gpu_hw.Spec.t ->
+  config
+
+type warp = {
+  wid : int;
+  base_tid : int;
+  nlanes : int;
+  regs : Value.t array;  (** nregs x 32, register-major *)
+  preds : bool array;
+  mutable stack : frame list;
+  mutable finished : bool;
+  mutable at_barrier : bool;
+  mutable issued : int;
+  mutable counted_stage : int;
+  trace : Trace.builder;
+}
+
+and frame = { mutable pc : int; rpc : int; mask : int }
+
+type block = {
+  bid : int;
+  grid : int;
+  nthreads : int;
+  shared : int32 array;
+  warps : warp array;
+  mutable stage : int;
+}
+
+val lanes : int
+val num_preds : int
+val make_block :
+  bid:int -> grid:int -> nthreads:int -> smem_bytes:int -> nregs:int -> block
+
+val get_reg : warp -> Gpu_isa.Instr.reg -> int -> Value.t
+val set_reg : warp -> Gpu_isa.Instr.reg -> int -> Value.t -> unit
+val get_pred : warp -> Gpu_isa.Instr.pred -> int -> bool
+val set_pred : warp -> Gpu_isa.Instr.pred -> int -> bool -> unit
+
+type outcome = Continue | Hit_barrier | Exited
+
+(** Execute one warp-instruction of the warp's current stack top. *)
+val step :
+  config ->
+  program:Gpu_isa.Program.t ->
+  gmem:Memory.t ->
+  stats:Stats.t option ->
+  block ->
+  warp ->
+  outcome
+
+(** Run all warps of a block to completion, respecting barriers. *)
+val run_block :
+  config ->
+  program:Gpu_isa.Program.t ->
+  gmem:Memory.t ->
+  stats:Stats.t option ->
+  block ->
+  unit

@@ -1,0 +1,76 @@
+(* Global device memory: a flat 32-bit word array addressed by byte.  The
+   driver allocates kernel-argument buffers here with 256-byte alignment
+   (as cudaMalloc does), which matters for coalescing behavior. *)
+
+type t = { words : int32 array }
+
+exception Fault of string
+
+let fault fmt = Printf.ksprintf (fun s -> raise (Fault s)) fmt
+
+let create ~bytes =
+  if bytes < 0 then invalid_arg "Memory.create";
+  { words = Array.make ((bytes + 3) / 4) 0l }
+
+let size_bytes t = 4 * Array.length t.words
+
+let check t addr width =
+  if addr < 0 || addr + width > size_bytes t then
+    fault "global memory access at %#x (width %d) outside [0, %#x)" addr
+      width (size_bytes t);
+  if addr mod width <> 0 then
+    fault "misaligned global memory access at %#x (width %d)" addr width
+
+let load32 t addr =
+  check t addr 4;
+  t.words.(addr / 4)
+
+let store32 t addr v =
+  check t addr 4;
+  t.words.(addr / 4) <- v
+
+let load64 t addr =
+  check t addr 8;
+  let lo = Int64.logand (Int64.of_int32 t.words.(addr / 4)) 0xFFFF_FFFFL in
+  let hi = Int64.of_int32 t.words.((addr / 4) + 1) in
+  Int64.logor lo (Int64.shift_left hi 32)
+
+let store64 t addr v =
+  check t addr 8;
+  t.words.(addr / 4) <- Int64.to_int32 v;
+  t.words.((addr / 4) + 1) <- Int64.to_int32 (Int64.shift_right_logical v 32)
+
+(* --- Buffer allocation (the driver's cudaMalloc) ---------------------- *)
+
+let alignment = 256
+
+type allocation = { base : int; length : int (* words *) }
+
+(* Lay out buffers back to back with [alignment]-byte aligned bases;
+   returns the allocations and the total byte size needed. *)
+let layout sizes_in_words =
+  let allocs, top =
+    List.fold_left
+      (fun (acc, off) words ->
+        if words < 0 then invalid_arg "Memory.layout: negative size";
+        let base = (off + alignment - 1) / alignment * alignment in
+        ({ base; length = words } :: acc, base + (4 * words)))
+      ([], 0) sizes_in_words
+  in
+  (List.rev allocs, top)
+
+let copy_in t alloc (data : int32 array) =
+  if Array.length data <> alloc.length then
+    invalid_arg "Memory.copy_in: size mismatch";
+  Array.blit data 0 t.words (alloc.base / 4) alloc.length
+
+let copy_out t alloc (data : int32 array) =
+  if Array.length data <> alloc.length then
+    invalid_arg "Memory.copy_out: size mismatch";
+  Array.blit t.words (alloc.base / 4) data 0 alloc.length
+
+(* --- Float views ------------------------------------------------------ *)
+
+let floats_to_words xs = Array.map Int32.bits_of_float xs
+
+let words_to_floats ws = Array.map Int32.float_of_bits ws

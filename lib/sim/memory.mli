@@ -1,0 +1,31 @@
+(** Global device memory: a flat 32-bit word array addressed by byte, with
+    the driver-side buffer allocator (the cudaMalloc analog; bases are
+    256-byte aligned, which matters for coalescing). *)
+
+type t
+
+exception Fault of string
+
+val create : bytes:int -> t
+val size_bytes : t -> int
+
+(** Loads and stores raise {!Fault} on out-of-bounds or misaligned
+    accesses. *)
+val load32 : t -> int -> int32
+
+val store32 : t -> int -> int32 -> unit
+val load64 : t -> int -> int64
+val store64 : t -> int -> int64 -> unit
+
+val alignment : int
+
+type allocation = { base : int; length : int (** words *) }
+
+(** [layout sizes] places buffers of the given word sizes back to back with
+    aligned bases; returns the allocations and total bytes needed. *)
+val layout : int list -> allocation list * int
+
+val copy_in : t -> allocation -> int32 array -> unit
+val copy_out : t -> allocation -> int32 array -> unit
+val floats_to_words : float array -> int32 array
+val words_to_floats : int32 array -> float array

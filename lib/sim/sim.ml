@@ -1,0 +1,122 @@
+(* High-level functional-simulation driver: allocates device buffers, loads
+   kernel arguments per the calling convention, runs blocks, and collects
+   dynamic statistics and (optionally) timing traces.
+
+   Blocks execute sequentially and independently (they may only communicate
+   through barrier-free global memory, which the programming model already
+   forbids relying on), so a subset of blocks can be simulated when the
+   workload is block-homogeneous and only statistics are needed; callers
+   scale the counts by [grid / blocks_run]. *)
+
+module I = Gpu_isa.Instr
+
+exception Launch_error of string
+
+let launch_error fmt = Printf.ksprintf (fun s -> raise (Launch_error s)) fmt
+
+type result = {
+  stats : Stats.t;
+  traces : Trace.block_trace list; (* one per simulated block, in order *)
+  blocks_run : int;
+  grid : int;
+  block : int;
+}
+
+let scale_factor r =
+  if r.blocks_run = 0 then 0.0
+  else float_of_int r.grid /. float_of_int r.blocks_run
+
+let run ?(collect_trace = false) ?block_ids ?(spec = Gpu_hw.Spec.gtx285)
+    ?max_warp_instructions ~grid ~block ~args
+    (k : Gpu_kernel.Compile.compiled) =
+  if grid <= 0 then launch_error "grid must have at least one block";
+  if block <= 0 then launch_error "blocks must have at least one thread";
+  if block > spec.Gpu_hw.Spec.max_threads_per_block then
+    launch_error "block size %d exceeds device maximum %d" block
+      spec.Gpu_hw.Spec.max_threads_per_block;
+  if k.smem_bytes > spec.Gpu_hw.Spec.smem_per_sm then
+    launch_error "kernel needs %d B of shared memory, device SM has %d B"
+      k.smem_bytes spec.Gpu_hw.Spec.smem_per_sm;
+  (* Bind arguments in parameter order. *)
+  let buffers =
+    List.map
+      (fun (name, _reg) ->
+        match List.assoc_opt name args with
+        | Some data -> (name, data)
+        | None -> launch_error "missing kernel argument %s" name)
+      k.param_regs
+  in
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name k.param_regs) then
+        launch_error "unknown kernel argument %s" name)
+    args;
+  let allocs, bytes =
+    Memory.layout (List.map (fun (_, d) -> Array.length d) buffers)
+  in
+  let gmem = Memory.create ~bytes in
+  List.iter2 (fun (_, data) a -> Memory.copy_in gmem a data) buffers allocs;
+  let param_bases =
+    List.map2 (fun (name, _) a -> (name, a.Memory.base)) buffers allocs
+  in
+  let cfg = Machine.config ~collect_trace ?max_warp_instructions spec in
+  let stats = Stats.create () in
+  let ids =
+    match block_ids with
+    | None -> List.init grid Fun.id
+    | Some ids ->
+      List.iter
+        (fun b ->
+          if b < 0 || b >= grid then
+            launch_error "block id %d outside grid of %d" b grid)
+        ids;
+      ids
+  in
+  let traces = ref [] in
+  List.iter
+    (fun bid ->
+      let blk =
+        Machine.make_block ~bid ~grid ~nthreads:block
+          ~smem_bytes:k.smem_bytes ~nregs:(max 1 k.reg_demand)
+      in
+      (* Driver writes parameter base addresses into the convention
+         registers of every warp and lane. *)
+      Array.iter
+        (fun w ->
+          List.iter
+            (fun (name, base) ->
+              let r = List.assoc name k.param_regs in
+              for lane = 0 to Machine.lanes - 1 do
+                Machine.set_reg w (I.R r) lane (Value.of_int base)
+              done)
+            param_bases)
+        blk.Machine.warps;
+      Machine.run_block cfg ~program:k.program ~gmem ~stats:(Some stats) blk;
+      if collect_trace then
+        traces :=
+          {
+            Trace.block = bid;
+            warps =
+              Array.map
+                (fun w -> Trace.finish w.Machine.trace)
+                blk.Machine.warps;
+          }
+          :: !traces)
+    ids;
+  (* Copy results back to the caller's arrays. *)
+  List.iter2 (fun (_, data) a -> Memory.copy_out gmem a data) buffers allocs;
+  {
+    stats;
+    traces = List.rev !traces;
+    blocks_run = List.length ids;
+    grid;
+    block;
+  }
+
+(* Convenience wrappers for float-typed buffers. *)
+let float_arg name (xs : float array) = (name, Memory.floats_to_words xs)
+
+let int_arg name (xs : int array) =
+  (name, Array.map Int32.of_int xs)
+
+let read_floats (_, words) = Memory.words_to_floats words

@@ -1,0 +1,41 @@
+(** High-level functional-simulation driver: allocates device buffers,
+    loads kernel arguments per the calling convention, runs blocks, and
+    collects dynamic statistics and (optionally) timing traces.
+
+    Blocks execute independently, so a subset ([block_ids]) can be
+    simulated when the workload is block-homogeneous and only statistics
+    are needed; scale counts by {!scale_factor}. *)
+
+exception Launch_error of string
+
+type result = {
+  stats : Stats.t;
+  traces : Trace.block_trace list;  (** one per simulated block, in order *)
+  blocks_run : int;
+  grid : int;
+  block : int;
+}
+
+(** [grid /. blocks_run]: multiply sampled counts by this. *)
+val scale_factor : result -> float
+
+(** [run ~grid ~block ~args k] simulates the launch.  [args] binds each
+    kernel parameter name to a caller-owned buffer (copied in before and
+    out after).  Raises {!Launch_error} on bad launches and
+    {!Machine.Stuck} / {!Memory.Fault} on kernel misbehaviour. *)
+val run :
+  ?collect_trace:bool ->
+  ?block_ids:int list ->
+  ?spec:Gpu_hw.Spec.t ->
+  ?max_warp_instructions:int ->
+  grid:int ->
+  block:int ->
+  args:(string * int32 array) list ->
+  Gpu_kernel.Compile.compiled ->
+  result
+
+(** {2 Buffer helpers} *)
+
+val float_arg : string -> float array -> string * int32 array
+val int_arg : string -> int array -> string * int32 array
+val read_floats : string * int32 array -> float array

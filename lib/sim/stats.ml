@@ -1,0 +1,186 @@
+(* Dynamic execution statistics — the output of the paper's "info
+   extractor" (Figure 1).  Counts are collected per stage, where stages are
+   the program intervals delimited by block-wide synchronization barriers
+   (paper Section 3); stage [s] aggregates every block's s-th interval. *)
+
+module I = Gpu_isa.Instr
+
+let class_index = function
+  | I.Class_i -> 0
+  | I.Class_ii -> 1
+  | I.Class_iii -> 2
+  | I.Class_iv -> 3
+  | I.Class_mem -> 4
+  | I.Class_ctrl -> 5
+
+let class_of_index = function
+  | 0 -> I.Class_i
+  | 1 -> I.Class_ii
+  | 2 -> I.Class_iii
+  | 3 -> I.Class_iv
+  | 4 -> I.Class_mem
+  | 5 -> I.Class_ctrl
+  | i -> invalid_arg (Printf.sprintf "Stats.class_of_index %d" i)
+
+let num_classes = 6
+
+type stage = {
+  mutable issued : int array; (* warp-instructions per cost class *)
+  mutable mads : int; (* single-precision MAD warp-instructions *)
+  mutable smem_accesses : int; (* warp-level shared-memory instructions *)
+  mutable smem_txns : int; (* conflict-adjusted half-warp transactions *)
+  mutable smem_ideal_txns : int; (* same access pattern, conflict-free *)
+  mutable gmem_accesses : int; (* warp-level global-memory instructions *)
+  mutable gmem_txns : (int * int) list; (* transaction size -> count *)
+  mutable gmem_requested_bytes : int;
+  mutable gmem_transferred_bytes : int;
+  mutable barriers : int;
+  mutable active_warp_slots : int; (* warps issuing at least once, summed
+                                      over blocks *)
+}
+
+let empty_stage () =
+  {
+    issued = Array.make num_classes 0;
+    mads = 0;
+    smem_accesses = 0;
+    smem_txns = 0;
+    smem_ideal_txns = 0;
+    gmem_accesses = 0;
+    gmem_txns = [];
+    gmem_requested_bytes = 0;
+    gmem_transferred_bytes = 0;
+    barriers = 0;
+    active_warp_slots = 0;
+  }
+
+type t = { mutable stages : stage array }
+
+let create () = { stages = [||] }
+
+let stages t = t.stages
+
+let num_stages t = Array.length t.stages
+
+let stage t i =
+  let n = Array.length t.stages in
+  if i >= n then begin
+    let stages = Array.init (i + 1) (fun j ->
+        if j < n then t.stages.(j) else empty_stage ())
+    in
+    t.stages <- stages
+  end;
+  t.stages.(i)
+
+let count_issue t ~stage:i cls =
+  let s = stage t i in
+  let k = class_index cls in
+  s.issued.(k) <- s.issued.(k) + 1
+
+let count_mad t ~stage:i =
+  let s = stage t i in
+  s.mads <- s.mads + 1
+
+let count_smem t ~stage:i ~txns ~ideal =
+  let s = stage t i in
+  s.smem_accesses <- s.smem_accesses + 1;
+  s.smem_txns <- s.smem_txns + txns;
+  s.smem_ideal_txns <- s.smem_ideal_txns + ideal
+
+let count_gmem t ~stage:i ~txns ~requested =
+  let s = stage t i in
+  s.gmem_accesses <- s.gmem_accesses + 1;
+  List.iter
+    (fun (tx : Gpu_mem.Coalesce.txn) ->
+      let count =
+        match List.assoc_opt tx.size s.gmem_txns with
+        | Some c -> c
+        | None -> 0
+      in
+      s.gmem_txns <- (tx.size, count + 1) :: List.remove_assoc tx.size
+                       s.gmem_txns;
+      s.gmem_transferred_bytes <- s.gmem_transferred_bytes + tx.size)
+    txns;
+  s.gmem_requested_bytes <- s.gmem_requested_bytes + requested
+
+let count_barrier t ~stage:i =
+  let s = stage t i in
+  s.barriers <- s.barriers + 1
+
+let count_active_warp t ~stage:i =
+  let s = stage t i in
+  s.active_warp_slots <- s.active_warp_slots + 1
+
+(* --- Aggregation ------------------------------------------------------ *)
+
+let issued_of s cls = s.issued.(class_index cls)
+
+let total_issued s = Array.fold_left ( + ) 0 s.issued
+
+let gmem_txn_count s =
+  List.fold_left (fun acc (_, c) -> acc + c) 0 s.gmem_txns
+
+let merge_stage ~into:a b =
+  Array.iteri (fun i v -> a.issued.(i) <- a.issued.(i) + v) b.issued;
+  a.mads <- a.mads + b.mads;
+  a.smem_accesses <- a.smem_accesses + b.smem_accesses;
+  a.smem_txns <- a.smem_txns + b.smem_txns;
+  a.smem_ideal_txns <- a.smem_ideal_txns + b.smem_ideal_txns;
+  a.gmem_accesses <- a.gmem_accesses + b.gmem_accesses;
+  List.iter
+    (fun (size, c) ->
+      let c0 =
+        match List.assoc_opt size a.gmem_txns with Some c -> c | None -> 0
+      in
+      a.gmem_txns <- (size, c0 + c) :: List.remove_assoc size a.gmem_txns)
+    b.gmem_txns;
+  a.gmem_requested_bytes <- a.gmem_requested_bytes + b.gmem_requested_bytes;
+  a.gmem_transferred_bytes <-
+    a.gmem_transferred_bytes + b.gmem_transferred_bytes;
+  a.barriers <- a.barriers + b.barriers;
+  a.active_warp_slots <- max a.active_warp_slots b.active_warp_slots
+
+(* All stages folded into one (the multi-block overlapped view of paper
+   Section 3). *)
+let total t =
+  let s = empty_stage () in
+  Array.iter (fun st -> merge_stage ~into:s st) t.stages;
+  s
+
+(* Computational density: fraction of issued warp-instructions that are
+   MADs doing "actual computation" (paper Sections 5.1-5.3). *)
+let computational_density s =
+  let n = total_issued s in
+  if n = 0 then 0.0 else float_of_int s.mads /. float_of_int n
+
+(* Coalescing efficiency: requested / transferred global bytes. *)
+let coalescing_efficiency s =
+  if s.gmem_transferred_bytes = 0 then 1.0
+  else
+    float_of_int s.gmem_requested_bytes
+    /. float_of_int s.gmem_transferred_bytes
+
+(* Bank-conflict penalty: effective / ideal shared transactions (1.0 means
+   conflict-free). *)
+let bank_conflict_penalty s =
+  if s.smem_ideal_txns = 0 then 1.0
+  else float_of_int s.smem_txns /. float_of_int s.smem_ideal_txns
+
+let pp_stage ppf s =
+  let classes =
+    List.map
+      (fun c -> Printf.sprintf "%s=%d" (I.cost_class_name c)
+          (issued_of s c))
+      I.all_cost_classes
+  in
+  Fmt.pf ppf
+    "@[<v>issued: %s (mad %d)@,shared txns: %d (ideal %d)@,global txns: %d \
+     (%d B moved, %d B requested)@,barriers: %d@]"
+    (String.concat " " classes)
+    s.mads s.smem_txns s.smem_ideal_txns (gmem_txn_count s)
+    s.gmem_transferred_bytes s.gmem_requested_bytes s.barriers
+
+let pp ppf t =
+  Array.iteri
+    (fun i s -> Fmt.pf ppf "@[<v>stage %d:@,  %a@]@." i pp_stage s)
+    t.stages

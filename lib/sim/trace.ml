@@ -1,0 +1,49 @@
+(* Execution traces for the timing simulator: one compact event per issued
+   warp-instruction, carrying just what timing needs — the cost class, the
+   register dependence information for the per-warp scoreboard, and the
+   memory transactions the access generated.  Predicate registers share the
+   register id space at [pred_reg_base + n]. *)
+
+module I = Gpu_isa.Instr
+
+let pred_reg_base = 1000
+
+let no_reg = -1
+
+type mem =
+  | No_mem
+  | Smem of int (* conflict-adjusted half-warp transaction count *)
+  | Gmem_load of (int * int) array (* (base, size) transactions *)
+  | Gmem_store of (int * int) array
+
+type event = {
+  cls : I.cost_class;
+  dst : int; (* destination register id, or [no_reg] *)
+  srcs : int array; (* source register ids *)
+  mem : mem;
+  bar : bool;
+}
+
+type warp_trace = event array
+
+type block_trace = { block : int; warps : warp_trace array }
+
+(* Builder used by the interpreter. *)
+type builder = { mutable events : event list; mutable count : int }
+
+let builder () = { events = []; count = 0 }
+
+let add b e =
+  b.events <- e :: b.events;
+  b.count <- b.count + 1
+
+let finish b = Array.of_list (List.rev b.events)
+
+let event_count (t : block_trace) =
+  Array.fold_left (fun acc w -> acc + Array.length w) 0 t.warps
+
+(* Gmem transaction bytes of one event. *)
+let mem_bytes = function
+  | No_mem | Smem _ -> 0
+  | Gmem_load txns | Gmem_store txns ->
+    Array.fold_left (fun acc (_, size) -> acc + size) 0 txns

@@ -1,0 +1,405 @@
+(* Cycle-approximate timing simulator of a GT200-class GPU: the stand-in
+   for the physical GTX 285 the paper measures its microbenchmarks on.
+
+   The model, per SM:
+     - warps issue in program order; an instruction may not issue before its
+       source and destination registers are ready (in-order scoreboard);
+     - arithmetic instructions share one issue pipeline; a warp instruction
+       of a class with U functional units occupies it for warp_size/U
+       cycles and completes alu_latency cycles after it starts (so a
+       dependent chain from W warps saturates the pipe only once
+       W * warp_size/U >= alu_latency — the shape of Figure 2, left);
+     - shared-memory accesses occupy the SM's shared-memory pipeline for
+       smem_access_cycles per (conflict-adjusted) half-warp transaction and
+       complete smem_latency cycles later (Figure 2, right);
+     - global accesses occupy the *cluster* memory pipeline (3 SMs share
+       one, giving Figure 3 its sawtooth) for a per-transaction service
+       time, and load destinations become ready a gmem_latency round trip
+       after service;
+     - barriers park a warp until every live warp of its block arrives;
+     - a block's resources are released when its last warp finishes, at
+       which point the SM launches the next pending block (or, with the
+       early-release what-if of Section 5.2, a block launches as soon as
+       enough per-warp slots have retired).
+
+   Clusters are independent, so the grid's execution time is the maximum
+   over clusters; for homogeneous workloads only the most-loaded cluster is
+   simulated. *)
+
+module Trace = Gpu_sim.Trace
+
+type result = {
+  cycles : int;
+  seconds : float;
+  alu_busy_cycles : int; (* summed over simulated SMs *)
+  smem_busy_cycles : int;
+  gmem_busy_cycles : int; (* summed over simulated clusters *)
+  sms_simulated : int;
+  clusters_simulated : int;
+  blocks_simulated : int;
+}
+
+let reg_slots = 140 (* 128 general registers + mapped predicates *)
+
+let map_reg id =
+  if id >= Trace.pred_reg_base then 128 + (id - Trace.pred_reg_base)
+  else id
+
+type cluster_state = {
+  mutable gmem_free : int;
+  mutable gmem_busy : int;
+}
+
+type sm_state = {
+  mutable alu_free : int;
+  mutable smem_free : int;
+  mutable alu_busy : int;
+  mutable smem_busy : int;
+  mutable resident : int;
+  mutable free_warp_slots : int;
+  max_resident : int;
+  warp_slot_capacity : int;
+  mutable pending : Trace.block_trace list;
+  cluster : cluster_state;
+}
+
+type block_state = {
+  mutable live : int;
+  mutable waiting : int;
+  mutable parked : warp_state list;
+  sm : sm_state;
+}
+
+and warp_state = {
+  trace : Trace.warp_trace;
+  mutable idx : int;
+  mutable ready : int;
+  regs : int array; (* ready time per mapped register *)
+  block : block_state;
+}
+
+(* All engine times are in TICKS of a tenth of a core cycle, so that
+   fractional issue occupancies are exact: a class I warp instruction holds
+   its 10 units for 32 ticks = 3.2 cycles, which is what lets class I
+   exceed class II throughput in Figure 2. *)
+let ticks_per_cycle = 10
+
+type params = {
+  spec : Gpu_hw.Spec.t;
+  issue : int array; (* issue ticks per cost class index *)
+  alu_latency : int; (* ticks *)
+  smem_latency : int; (* ticks *)
+  smem_access : int; (* ticks per half-warp transaction *)
+  smem_replay : int; (* warp-hold ticks per serialized transaction *)
+  gmem_latency : int; (* ticks *)
+  mem_dispatch : int; (* warp-occupancy ticks of dispatching a memory access *)
+  warp_gap : int; (* minimum ticks between issues of one warp *)
+  gmem_txn_ticks : int -> int; (* service ticks for a transaction size *)
+}
+
+let make_params (spec : Gpu_hw.Spec.t) =
+  let issue =
+    Array.init Gpu_sim.Stats.num_classes (fun i ->
+        let units =
+          Gpu_hw.Spec.units_for spec (Gpu_sim.Stats.class_of_index i)
+        in
+        (ticks_per_cycle * spec.warp_size + units - 1) / units)
+  in
+  let bytes_per_cycle = Gpu_hw.Spec.gmem_bytes_per_cycle_per_cluster spec in
+  let gmem_txn_ticks size =
+    int_of_float
+      (ceil
+         (float_of_int ticks_per_cycle
+         *. (spec.gmem_overhead_cycles
+            +. (float_of_int size /. bytes_per_cycle))))
+  in
+  {
+    spec;
+    issue;
+    alu_latency = ticks_per_cycle * spec.alu_latency;
+    smem_latency = ticks_per_cycle * spec.smem_latency;
+    smem_access =
+      int_of_float
+        (Float.round (float_of_int ticks_per_cycle *. spec.smem_access_cycles));
+    smem_replay =
+      int_of_float
+        (Float.round (float_of_int ticks_per_cycle *. spec.smem_replay_cycles));
+    gmem_latency = ticks_per_cycle * spec.gmem_latency;
+    mem_dispatch = 4 * ticks_per_cycle;
+    warp_gap = ticks_per_cycle * spec.warp_issue_gap;
+    gmem_txn_ticks;
+  }
+
+(* Launch one block's warps at [now]. *)
+let launch_block (pq : warp_state Heap.t) sm (bt : Trace.block_trace) now =
+  let block = { live = Array.length bt.warps; waiting = 0; parked = []; sm } in
+  Array.iter
+    (fun wt ->
+      let w =
+        {
+          trace = wt;
+          idx = 0;
+          ready = now;
+          regs = Array.make reg_slots now;
+          block;
+        }
+      in
+      if Array.length wt > 0 then Heap.add pq ~key:now w
+      else block.live <- block.live - 1)
+    bt.warps
+
+(* Launch as many pending blocks as the SM's resources allow at [now].
+   Normally a slot frees only when a whole block retires; under the
+   early-release what-if (Section 5.2) per-warp slots free as warps
+   retire. *)
+let rec try_launch p pq sm now =
+  match sm.pending with
+  | [] -> ()
+  | bt :: rest ->
+    let wpb = Array.length bt.Trace.warps in
+    let ok =
+      if p.spec.Gpu_hw.Spec.early_release then sm.free_warp_slots >= wpb
+      else sm.resident < sm.max_resident
+    in
+    if ok then begin
+      sm.pending <- rest;
+      sm.resident <- sm.resident + 1;
+      sm.free_warp_slots <- sm.free_warp_slots - wpb;
+      launch_block pq sm bt now;
+      try_launch p pq sm now
+    end
+
+(* A warp ran out of trace events at time [now]. *)
+let warp_finished p pq w now =
+  let block = w.block in
+  let sm = block.sm in
+  block.live <- block.live - 1;
+  sm.free_warp_slots <- sm.free_warp_slots + 1;
+  (* A finished warp no longer participates in barriers: release waiters if
+     it was the last one standing outside. *)
+  if block.live > 0 && block.waiting = block.live then begin
+    List.iter
+      (fun pw ->
+        pw.ready <- now;
+        Heap.add pq ~key:now pw)
+      block.parked;
+    block.parked <- [];
+    block.waiting <- 0
+  end;
+  if block.live = 0 then sm.resident <- sm.resident - 1;
+  try_launch p pq sm now
+
+(* Process one warp's next event.  Returns the completion horizon the event
+   contributes to total time. *)
+let process p pq w now =
+  let e = w.trace.(w.idx) in
+  (* Dependences: wait for sources and destination (WAW). *)
+  let t = ref (max now w.ready) in
+  Array.iter
+    (fun s ->
+      let r = w.regs.(map_reg s) in
+      if r > !t then t := r)
+    e.Trace.srcs;
+  if e.dst >= 0 then begin
+    let r = w.regs.(map_reg e.dst) in
+    if r > !t then t := r
+  end;
+  let t = !t in
+  let sm = w.block.sm in
+  if e.bar then begin
+    (* Barrier: advance past it, then park until the block catches up. *)
+    w.idx <- w.idx + 1;
+    w.ready <- t;
+    let block = w.block in
+    if block.waiting + 1 = block.live then begin
+      (* last arrival: release everyone *)
+      List.iter
+        (fun pw ->
+          pw.ready <- t;
+          if pw.idx >= Array.length pw.trace then warp_finished p pq pw t
+          else Heap.add pq ~key:t pw)
+        block.parked;
+      block.parked <- [];
+      block.waiting <- 0;
+      if w.idx >= Array.length w.trace then warp_finished p pq w t
+      else Heap.add pq ~key:t w
+    end
+    else begin
+      block.waiting <- block.waiting + 1;
+      block.parked <- w :: block.parked
+    end;
+    t
+  end
+  else begin
+    let horizon =
+      match e.mem with
+      | Trace.No_mem ->
+        let cls_index = Gpu_sim.Stats.class_index e.cls in
+        let occ = p.issue.(cls_index) in
+        let start = max t sm.alu_free in
+        sm.alu_free <- start + occ;
+        sm.alu_busy <- sm.alu_busy + occ;
+        let complete = start + p.alu_latency in
+        if e.dst >= 0 then w.regs.(map_reg e.dst) <- complete;
+        w.ready <- start + max occ p.warp_gap;
+        complete
+      | Trace.Smem txns ->
+        (* A fused arithmetic instruction with a shared operand (class II
+           Fmad_smem) occupies both the issue pipeline and the shared
+           pipeline; plain loads and stores dispatch through the LSU and
+           only hold the shared pipeline. *)
+        let fused = e.cls <> Gpu_isa.Instr.Class_mem in
+        let busy = txns * p.smem_access in
+        let start =
+          if fused then max (max t sm.smem_free) sm.alu_free
+          else max t sm.smem_free
+        in
+        sm.smem_free <- start + busy;
+        sm.smem_busy <- sm.smem_busy + busy;
+        if fused then begin
+          let occ = p.issue.(Gpu_sim.Stats.class_index e.cls) in
+          sm.alu_free <- start + occ;
+          sm.alu_busy <- sm.alu_busy + occ
+        end;
+        let complete = start + busy + p.smem_latency in
+        if e.dst >= 0 then w.regs.(map_reg e.dst) <- complete;
+        (* The LSU replays a conflicted access once per serialized
+           transaction and the scheduler only revisits the warp after the
+           replays drain, so the warp is held per transaction. *)
+        w.ready <- start + max p.warp_gap (txns * p.smem_replay);
+        if e.dst >= 0 then complete else start + busy
+      | Trace.Gmem_load txns | Trace.Gmem_store txns ->
+        let cl = sm.cluster in
+        let busy =
+          Array.fold_left
+            (fun acc (_, size) -> acc + p.gmem_txn_ticks size)
+            0 txns
+        in
+        let start = max t cl.gmem_free in
+        cl.gmem_free <- start + busy;
+        cl.gmem_busy <- cl.gmem_busy + busy;
+        let complete = start + busy + p.gmem_latency in
+        if e.dst >= 0 then w.regs.(map_reg e.dst) <- complete;
+        w.ready <- start + max p.mem_dispatch p.warp_gap;
+        (match e.mem with
+        | Trace.Gmem_load _ -> complete
+        | _ -> start + busy)
+    in
+    w.idx <- w.idx + 1;
+    if w.idx >= Array.length w.trace then warp_finished p pq w w.ready
+    else Heap.add pq ~key:w.ready w;
+    horizon
+  end
+
+(* Simulate one cluster: [sm_blocks.(i)] is the ordered block queue of the
+   cluster's i-th SM.  Returns (end_time, alu_busy, smem_busy, gmem_busy). *)
+let run_cluster p ~max_resident sm_blocks =
+  let cluster = { gmem_free = 0; gmem_busy = 0 } in
+  let pq : warp_state Heap.t = Heap.create () in
+  let sms =
+    Array.map
+      (fun blocks ->
+        let wpb =
+          match blocks with
+          | bt :: _ -> max 1 (Array.length bt.Trace.warps)
+          | [] -> 1
+        in
+        let capacity = max_resident * wpb in
+        let sm =
+          {
+            alu_free = 0;
+            smem_free = 0;
+            alu_busy = 0;
+            smem_busy = 0;
+            resident = 0;
+            free_warp_slots = capacity;
+            max_resident;
+            warp_slot_capacity = capacity;
+            pending = blocks;
+            cluster;
+          }
+        in
+        try_launch p pq sm 0;
+        sm)
+      sm_blocks
+  in
+  let end_time = ref 0 in
+  let guard = ref 0 in
+  let rec loop () =
+    match Heap.pop pq with
+    | None -> ()
+    | Some (now, w) ->
+      incr guard;
+      if !guard > 2_000_000_000 then failwith "Engine: runaway simulation";
+      let horizon = process p pq w now in
+      if horizon > !end_time then end_time := horizon;
+      loop ()
+  in
+  loop ();
+  let alu = Array.fold_left (fun acc sm -> acc + sm.alu_busy) 0 sms in
+  let smem = Array.fold_left (fun acc sm -> acc + sm.smem_busy) 0 sms in
+  (!end_time, alu, smem, cluster.gmem_busy)
+
+(* Distribute grid blocks uniformly over the *clusters* first (block b goes
+   to cluster b mod num_clusters, as the paper infers from the period-10
+   sawtooth of Figure 3), round-robin over the SMs inside each cluster. *)
+let distribute (spec : Gpu_hw.Spec.t) (blocks : Trace.block_trace array) =
+  let nclusters = Gpu_hw.Spec.num_clusters spec in
+  let per_sm = Array.make spec.num_sms [] in
+  Array.iteri
+    (fun b bt ->
+      let cluster = b mod nclusters in
+      let sm_in_cluster = b / nclusters mod spec.sms_per_cluster in
+      let sm = (cluster * spec.sms_per_cluster) + sm_in_cluster in
+      per_sm.(sm) <- bt :: per_sm.(sm))
+    blocks;
+  let per_sm = Array.map List.rev per_sm in
+  Array.init nclusters (fun c ->
+      Array.init spec.sms_per_cluster (fun i ->
+          per_sm.((c * spec.sms_per_cluster) + i)))
+
+let run ?(homogeneous = false) ~(spec : Gpu_hw.Spec.t) ~max_resident_blocks
+    (blocks : Trace.block_trace array) =
+  if Array.length blocks = 0 then invalid_arg "Engine.run: no blocks";
+  if max_resident_blocks <= 0 then
+    invalid_arg "Engine.run: max_resident_blocks must be positive";
+  let p = make_params spec in
+  let clusters = distribute spec blocks in
+  let cluster_load cl =
+    Array.fold_left (fun acc q -> acc + List.length q) 0 cl
+  in
+  let selected =
+    if homogeneous then begin
+      (* Only the most-loaded cluster bounds the execution time. *)
+      let best = ref 0 in
+      Array.iteri
+        (fun i cl ->
+          if cluster_load cl > cluster_load clusters.(!best) then best := i)
+        clusters;
+      [| clusters.(!best) |]
+    end
+    else Array.of_list (List.filter (fun cl -> cluster_load cl > 0)
+                          (Array.to_list clusters))
+  in
+  let cycles = ref 0 in
+  let alu = ref 0 and smem = ref 0 and gmem = ref 0 in
+  Array.iter
+    (fun cl ->
+      let t, a, s, g = run_cluster p ~max_resident:max_resident_blocks cl in
+      if t > !cycles then cycles := t;
+      alu := !alu + a;
+      smem := !smem + s;
+      gmem := !gmem + g)
+    selected;
+  let cycles = (!cycles + ticks_per_cycle - 1) / ticks_per_cycle in
+  let to_cycles busy = (busy + ticks_per_cycle - 1) / ticks_per_cycle in
+  {
+    cycles;
+    seconds = float_of_int cycles /. (spec.core_clock_ghz *. 1e9);
+    alu_busy_cycles = to_cycles !alu;
+    smem_busy_cycles = to_cycles !smem;
+    gmem_busy_cycles = to_cycles !gmem;
+    sms_simulated = Array.length selected * spec.sms_per_cluster;
+    clusters_simulated = Array.length selected;
+    blocks_simulated = Array.length blocks;
+  }

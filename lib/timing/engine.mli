@@ -1,0 +1,35 @@
+(** Cycle-approximate timing simulator of a GT200-class GPU — the stand-in
+    for the GTX 285 the paper measures microbenchmarks on.
+
+    Model: per-warp in-order issue with a register scoreboard; one
+    arithmetic issue pipeline per SM (fractional per-class occupancy,
+    fixed latency); a shared-memory pipeline with per-transaction
+    occupancy, latency, and an LSU replay hold per serialized transaction;
+    one global-memory pipeline per 3-SM cluster with per-transaction
+    service and a fixed round trip; barriers; per-SM block scheduling with
+    an occupancy limit (or per-warp slots under the early-release
+    what-if).  Blocks distribute cluster-major (block b on cluster
+    b mod 10), which yields Figure 3's period-10 sawtooth. *)
+
+type result = {
+  cycles : int;
+  seconds : float;
+  alu_busy_cycles : int;  (** summed over simulated SMs *)
+  smem_busy_cycles : int;
+  gmem_busy_cycles : int;  (** summed over simulated clusters *)
+  sms_simulated : int;
+  clusters_simulated : int;
+  blocks_simulated : int;
+}
+
+(** [run ~spec ~max_resident_blocks blocks] replays the whole grid's
+    traces ([blocks.(b)] is block b).  With [homogeneous:true] only the
+    most-loaded cluster is simulated — exact when all blocks carry the
+    same trace, since clusters are independent and the slowest bounds the
+    total. *)
+val run :
+  ?homogeneous:bool ->
+  spec:Gpu_hw.Spec.t ->
+  max_resident_blocks:int ->
+  Gpu_sim.Trace.block_trace array ->
+  result

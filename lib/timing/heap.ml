@@ -1,0 +1,70 @@
+(* Minimal binary min-heap keyed by integer time: the event queue of the
+   timing engine. *)
+
+type 'a t = {
+  mutable keys : int array;
+  mutable data : 'a option array;
+  mutable size : int;
+}
+
+let create () = { keys = Array.make 64 0; data = Array.make 64 None; size = 0 }
+
+let is_empty t = t.size = 0
+
+let length t = t.size
+
+let grow t =
+  let n = Array.length t.keys in
+  let keys = Array.make (2 * n) 0 in
+  let data = Array.make (2 * n) None in
+  Array.blit t.keys 0 keys 0 n;
+  Array.blit t.data 0 data 0 n;
+  t.keys <- keys;
+  t.data <- data
+
+let swap t i j =
+  let k = t.keys.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.keys.(j) <- k;
+  let d = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- d
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.keys.(i) < t.keys.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.keys.(l) < t.keys.(!smallest) then smallest := l;
+  if r < t.size && t.keys.(r) < t.keys.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let add t ~key v =
+  if t.size = Array.length t.keys then grow t;
+  t.keys.(t.size) <- key;
+  t.data.(t.size) <- Some v;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let key = t.keys.(0) in
+    let v = t.data.(0) in
+    t.size <- t.size - 1;
+    t.keys.(0) <- t.keys.(t.size);
+    t.data.(0) <- t.data.(t.size);
+    t.data.(t.size) <- None;
+    if t.size > 0 then sift_down t 0;
+    match v with Some v -> Some (key, v) | None -> assert false
+  end

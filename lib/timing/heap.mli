@@ -1,0 +1,12 @@
+(** Minimal binary min-heap keyed by integer time: the event queue of the
+    timing engine. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val add : 'a t -> key:int -> 'a -> unit
+
+(** Pop the minimum-key element, if any. *)
+val pop : 'a t -> (int * 'a) option

@@ -1,0 +1,25 @@
+(** Parallel sum reduction in two shared-memory variants: [Interleaved]
+    (interleaved addressing with a strided index, whose bank-conflict
+    degree doubles each step — the cyclic-reduction pathology) and the
+    tuned [Sequential] tree (contiguous, conflict-free).  Each block reduces 2*threads elements to
+    a partial sum; {!run_simulated} recursively reduces the partials. *)
+
+type variant = Interleaved | Sequential
+
+val variant_name : variant -> string
+
+(** [kernel ~threads variant]; threads must be a power of two. *)
+val kernel : threads:int -> variant -> Gpu_kernel.Ir.t
+
+val elements_per_block : threads:int -> int
+
+(** Double-precision reference sum (kernels accumulate in f32 with
+    variant-specific association: compare with a relative tolerance). *)
+val reference : float array -> float
+
+val run_simulated :
+  ?spec:Gpu_hw.Spec.t -> ?threads:int -> variant -> float array -> float
+
+val analyze :
+  ?spec:Gpu_hw.Spec.t -> ?measure:bool -> ?sample:int -> ?threads:int ->
+  blocks:int -> variant -> Gpu_model.Workflow.report

@@ -1,0 +1,283 @@
+(* Tests for the memory-system analyzers: the coalescing protocol of
+   Section 4.3 (including the Figure 10 granularity example), the
+   bank-conflict tool of Section 4.2 (including the Figure 5 cyclic
+   reduction strides), and the texture-cache model. *)
+
+module C = Gpu_mem.Coalesce
+module B = Gpu_mem.Bank
+module Cache = Gpu_mem.Cache
+
+let cfg = { C.group = 16; min_segment = 32; max_segment = 128 }
+
+let addrs xs = Array.map (fun a -> Some a) (Array.of_list xs)
+
+let active n f = Array.init n (fun i -> Some (f i))
+
+(* --- Coalescing: protocol behaviour ------------------------------------- *)
+
+let test_dense_half_warp () =
+  (* 16 consecutive 4-byte words = one 64-byte transaction *)
+  let txns = C.group_transactions cfg ~width:4 (active 16 (fun i -> 4 * i)) in
+  Alcotest.(check int) "one transaction" 1 (C.count txns);
+  Alcotest.(check int) "64 bytes" 64 (C.bytes txns);
+  Alcotest.(check (float 1e-9)) "fully efficient" 1.0
+    (C.efficiency ~width:4 (active 16 (fun i -> 4 * i)) txns)
+
+let test_single_thread () =
+  let a = addrs [ 4096 ] in
+  let txns = C.group_transactions cfg ~width:4 a in
+  Alcotest.(check int) "one transaction" 1 (C.count txns);
+  Alcotest.(check int) "shrunk to the 32-byte minimum" 32 (C.bytes txns)
+
+let test_strided_worst_case () =
+  (* stride of 128 bytes: every thread in its own segment *)
+  let a = active 16 (fun i -> 128 * i) in
+  let txns = C.group_transactions cfg ~width:4 a in
+  Alcotest.(check int) "16 transactions" 16 (C.count txns);
+  Alcotest.(check int) "each 32 bytes" (16 * 32) (C.bytes txns)
+
+let test_unaligned_dense () =
+  (* 16 words starting at byte 16 span [16, 80): they straddle the 64-byte
+     midpoint of their 128-byte segment, so the transaction cannot shrink
+     and 128 bytes move for 64 useful ones *)
+  let a = active 16 (fun i -> 16 + (4 * i)) in
+  let txns = C.group_transactions cfg ~width:4 a in
+  Alcotest.(check int) "one transaction" 1 (C.count txns);
+  Alcotest.(check int) "128 bytes moved" 128 (C.bytes txns);
+  Alcotest.(check (float 1e-9)) "half the traffic is useful" 0.5
+    (C.efficiency ~width:4 a txns)
+
+let test_inactive_lanes () =
+  let a = Array.make 16 None in
+  Alcotest.(check int) "no transactions for idle lanes" 0
+    (C.count (C.group_transactions cfg ~width:4 a));
+  a.(3) <- Some 0;
+  a.(7) <- Some 4;
+  Alcotest.(check int) "partial activity coalesces" 1
+    (C.count (C.group_transactions cfg ~width:4 a))
+
+let test_shared_address_broadcastish () =
+  (* all threads read the same word: one minimal transaction *)
+  let a = active 16 (fun _ -> 256) in
+  let txns = C.group_transactions cfg ~width:4 a in
+  Alcotest.(check int) "one transaction" 1 (C.count txns);
+  Alcotest.(check int) "32 bytes" 32 (C.bytes txns)
+
+let test_misaligned_rejected () =
+  Alcotest.(check bool) "misaligned address rejected" true
+    (try
+       ignore (C.group_transactions cfg ~width:4 (addrs [ 2 ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_warp_split () =
+  (* a full warp splits into two half-warp issues *)
+  let a = active 32 (fun i -> 4 * i) in
+  let txns = C.warp_transactions cfg ~width:4 a in
+  Alcotest.(check int) "two transactions" 2 (C.count txns);
+  Alcotest.(check int) "128 bytes" 128 (C.bytes txns)
+
+(* Figure 10: 2-thread issue granularity, 8-byte transactions.  With the
+   straightforward vector layout threads 1 and 2 gather entries 1 and 7 —
+   too far apart to share a transaction; interleaving brings paired
+   accesses within one 8-byte segment. *)
+let test_figure10 () =
+  let fig_cfg = { C.group = 2; min_segment = 8; max_segment = 8 } in
+  let straight = C.group_transactions fig_cfg ~width:4 (addrs [ 0; 24 ]) in
+  Alcotest.(check int) "straightforward: no sharing" 2 (C.count straight);
+  let interleaved = C.group_transactions fig_cfg ~width:4 (addrs [ 0; 4 ]) in
+  Alcotest.(check int) "interleaved: shared transaction" 1
+    (C.count interleaved)
+
+(* --- Coalescing: properties --------------------------------------------- *)
+
+let gen_addresses =
+  QCheck.make
+    QCheck.Gen.(
+      array_size (return 16)
+        (oneof
+           [
+             return None;
+             map (fun w -> Some (4 * w)) (int_bound 4096);
+           ]))
+
+let covered txns a width =
+  match a with
+  | None -> true
+  | Some addr ->
+    List.exists
+      (fun (t : C.txn) -> addr >= t.base && addr + width <= t.base + t.size)
+      txns
+
+let prop_coverage =
+  QCheck.Test.make ~count:500 ~name:"every active lane is served"
+    gen_addresses
+    (fun a ->
+      let txns = C.group_transactions cfg ~width:4 a in
+      Array.for_all (fun x -> covered txns x 4) a)
+
+let prop_disjoint =
+  QCheck.Test.make ~count:500 ~name:"transactions never overlap"
+    gen_addresses
+    (fun a ->
+      let txns = C.group_transactions cfg ~width:4 a in
+      let rec pairs = function
+        | [] -> true
+        | (t : C.txn) :: rest ->
+          List.for_all
+            (fun (u : C.txn) ->
+              t.base + t.size <= u.base || u.base + u.size <= t.base)
+            rest
+          && pairs rest
+      in
+      pairs txns)
+
+let prop_aligned_sizes =
+  QCheck.Test.make ~count:500
+    ~name:"transactions are power-of-two sized, self-aligned, in range"
+    gen_addresses
+    (fun a ->
+      let txns = C.group_transactions cfg ~width:4 a in
+      List.for_all
+        (fun (t : C.txn) ->
+          t.size >= cfg.min_segment
+          && t.size <= cfg.max_segment
+          && t.size land (t.size - 1) = 0
+          && t.base mod t.size = 0)
+        txns)
+
+let prop_finer_granularity_never_moves_more =
+  QCheck.Test.make ~count:300
+    ~name:"smaller minimum segments never increase traffic" gen_addresses
+    (fun a ->
+      let coarse = C.bytes (C.group_transactions cfg ~width:4 a) in
+      let fine =
+        C.bytes
+          (C.group_transactions { cfg with C.min_segment = 4 } ~width:4 a)
+      in
+      fine <= coarse)
+
+(* --- Bank conflicts ------------------------------------------------------ *)
+
+let test_conflict_free () =
+  Alcotest.(check int) "linear lanes are conflict-free" 1
+    (B.conflict_degree ~banks:16 (active 16 (fun i -> 4 * i)))
+
+let test_broadcast () =
+  Alcotest.(check int) "same word is a broadcast" 1
+    (B.conflict_degree ~banks:16 (active 16 (fun _ -> 128)))
+
+(* Figure 5: cyclic reduction's stride doubles each step, and so does the
+   conflict degree: stride 2 -> 2-way, 4 -> 4-way, 8 -> 8-way... capped at
+   the bank count. *)
+let test_figure5_strides () =
+  List.iter
+    (fun (stride, expect) ->
+      Alcotest.(check int)
+        (Printf.sprintf "stride %d words" stride)
+        expect
+        (B.conflict_degree ~banks:16
+           (active 16 (fun i -> 4 * stride * i))))
+    [ (1, 1); (2, 2); (4, 4); (8, 8); (16, 16); (32, 16) ]
+
+let test_prime_banks_remove_conflicts () =
+  (* the Section 5.2 architectural proposal: 17 banks break every
+     power-of-two stride *)
+  List.iter
+    (fun stride ->
+      Alcotest.(check int)
+        (Printf.sprintf "stride %d with 17 banks" stride)
+        1
+        (B.conflict_degree ~banks:17 (active 16 (fun i -> 4 * stride * i))))
+    [ 2; 4; 8; 16; 32 ]
+
+let test_warp_transactions () =
+  let a = active 32 (fun i -> 4 * 2 * i) in
+  Alcotest.(check int) "2-way conflicts double the transactions" 4
+    (B.warp_transactions ~banks:16 ~group:16 a);
+  Alcotest.(check int) "ideal is one per half-warp" 2
+    (B.ideal_warp_transactions ~group:16 a)
+
+let prop_conflict_degree_bounds =
+  QCheck.Test.make ~count:500 ~name:"conflict degree within bounds"
+    gen_addresses
+    (fun a ->
+      let actives =
+        Array.fold_left
+          (fun n x -> match x with Some _ -> n + 1 | None -> n)
+          0 a
+      in
+      let d = B.conflict_degree ~banks:16 a in
+      if actives = 0 then d = 0 else d >= 1 && d <= min actives 16)
+
+(* --- Cache model --------------------------------------------------------- *)
+
+let test_cache_hits_on_reuse () =
+  let c = Cache.create Cache.gt200_texture_l1 in
+  ignore (Cache.access c 0);
+  Alcotest.(check bool) "second access hits" true (Cache.access c 0);
+  Alcotest.(check bool) "same line hits" true (Cache.access c 28);
+  Alcotest.(check bool) "different line misses" false (Cache.access c 64)
+
+let test_cache_streaming_misses () =
+  (* streaming through 4x the cache size: all cold misses *)
+  let trace = Array.init 2048 (fun i -> i * 32) in
+  Alcotest.(check (float 1e-9)) "no reuse, no hits" 0.0
+    (Cache.run Cache.gt200_texture_l1 trace)
+
+let test_cache_lru () =
+  let c = Cache.create { Cache.size_bytes = 64; line_bytes = 32; ways = 2 } in
+  (* one set of 2 ways when sets = 1 *)
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 32);
+  ignore (Cache.access c 0);
+  (* inserting a third line evicts the LRU (32) *)
+  ignore (Cache.access c 64);
+  Alcotest.(check bool) "0 survives" true (Cache.access c 0);
+  Alcotest.(check bool) "32 was evicted" false (Cache.access c 32)
+
+let () =
+  Alcotest.run "mem"
+    [
+      ( "coalescing",
+        [
+          Alcotest.test_case "dense half-warp" `Quick test_dense_half_warp;
+          Alcotest.test_case "single thread" `Quick test_single_thread;
+          Alcotest.test_case "strided worst case" `Quick
+            test_strided_worst_case;
+          Alcotest.test_case "unaligned dense" `Quick test_unaligned_dense;
+          Alcotest.test_case "inactive lanes" `Quick test_inactive_lanes;
+          Alcotest.test_case "broadcast" `Quick
+            test_shared_address_broadcastish;
+          Alcotest.test_case "misaligned rejected" `Quick
+            test_misaligned_rejected;
+          Alcotest.test_case "warp split" `Quick test_warp_split;
+          Alcotest.test_case "figure 10 example" `Quick test_figure10;
+        ] );
+      ( "coalescing properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_coverage;
+            prop_disjoint;
+            prop_aligned_sizes;
+            prop_finer_granularity_never_moves_more;
+          ] );
+      ( "bank conflicts",
+        [
+          Alcotest.test_case "conflict-free" `Quick test_conflict_free;
+          Alcotest.test_case "broadcast" `Quick test_broadcast;
+          Alcotest.test_case "figure 5 strides" `Quick test_figure5_strides;
+          Alcotest.test_case "prime banks (Section 5.2)" `Quick
+            test_prime_banks_remove_conflicts;
+          Alcotest.test_case "warp transactions" `Quick
+            test_warp_transactions;
+          QCheck_alcotest.to_alcotest prop_conflict_degree_bounds;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "reuse hits" `Quick test_cache_hits_on_reuse;
+          Alcotest.test_case "streaming misses" `Quick
+            test_cache_streaming_misses;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru;
+        ] );
+    ]

@@ -1,0 +1,145 @@
+(* Tests for the microbenchmark layer: the fitted throughput tables must
+   reproduce the shapes of Figure 2 (instruction throughput and shared
+   bandwidth vs warps) and Figure 3 (global bandwidth vs blocks, with the
+   cluster sawtooth). *)
+
+module Tables = Gpu_microbench.Tables
+module Spec = Gpu_hw.Spec
+module I = Gpu_isa.Instr
+
+let spec = Spec.gtx285
+
+(* built once per process; shared with the other heavyweight suites *)
+let tables = Tables.for_spec spec
+
+let test_peaks_bounded () =
+  List.iter
+    (fun cls ->
+      let peak = Spec.peak_instruction_throughput spec cls in
+      for w = 1 to 32 do
+        let thr = Tables.instr_throughput tables cls ~warps:w in
+        if thr > peak *. 1.02 then
+          Alcotest.failf "%s at %d warps: %.2f exceeds peak %.2f"
+            (I.cost_class_name cls) w thr peak
+      done)
+    Tables.arithmetic_classes;
+  let smem_peak = Spec.peak_smem_bandwidth spec in
+  for w = 1 to 32 do
+    if Tables.smem_bandwidth tables ~warps:w > smem_peak *. 1.02 then
+      Alcotest.failf "shared bandwidth at %d warps exceeds peak" w
+  done
+
+let test_monotone_in_warps () =
+  List.iter
+    (fun cls ->
+      for w = 1 to 31 do
+        let a = Tables.instr_throughput tables cls ~warps:w in
+        let b = Tables.instr_throughput tables cls ~warps:(w + 1) in
+        if b < a *. 0.98 then
+          Alcotest.failf "%s throughput drops from %d to %d warps"
+            (I.cost_class_name cls) w (w + 1)
+      done)
+    Tables.arithmetic_classes
+
+(* Figure 2, left: class II saturates around 6 warps (pipeline depth ~24 /
+   issue 4); class I needs more warps (more functional units) but reaches a
+   higher peak; class IV is flat at its single-unit rate. *)
+let test_figure2_left_shape () =
+  let thr cls w = Tables.instr_throughput tables cls ~warps:w in
+  Alcotest.(check bool) "class II saturated at 6 warps" true
+    (thr I.Class_ii 6 > 0.95 *. thr I.Class_ii 32);
+  Alcotest.(check bool) "class II far from peak at 2 warps" true
+    (thr I.Class_ii 2 < 0.5 *. thr I.Class_ii 32);
+  Alcotest.(check bool) "class I beats class II once saturated" true
+    (thr I.Class_i 8 > 1.15 *. thr I.Class_ii 8);
+  Alcotest.(check bool) "class I not yet saturated at 6 warps" true
+    (thr I.Class_i 6 < 0.9 *. thr I.Class_i 32);
+  Alcotest.(check bool) "class IV flat from one warp" true
+    (thr I.Class_iv 1 > 0.9 *. thr I.Class_iv 32);
+  Alcotest.(check bool) "class III tops out at half of class II" true
+    (let r = thr I.Class_iii 32 /. thr I.Class_ii 32 in
+     r > 0.4 && r < 0.6)
+
+(* Figure 2, right: the shared-memory pipeline is longer than the
+   arithmetic pipeline, so it needs more warps to saturate. *)
+let test_figure2_right_shape () =
+  let bw w = Tables.smem_bandwidth tables ~warps:w in
+  Alcotest.(check bool) "rising at 6 warps" true (bw 6 < 0.85 *. bw 32);
+  Alcotest.(check bool) "near saturation by 16 warps" true
+    (bw 16 > 0.9 *. bw 32);
+  Alcotest.(check bool) "sustained below theoretical peak" true
+    (bw 32 < Spec.peak_smem_bandwidth spec);
+  Alcotest.(check bool) "sustained above 70% of peak" true
+    (bw 32 > 0.7 *. Spec.peak_smem_bandwidth spec)
+
+(* Figure 3: bandwidth grows with blocks, dips when the block count stops
+   being a multiple of the 10 clusters, and low transaction counts cannot
+   cover the latency. *)
+let test_figure3_shape () =
+  let bw b = Tables.gmem_bandwidth tables ~blocks:b ~threads:256
+      ~txns_per_thread:64
+  in
+  Alcotest.(check bool) "more blocks help initially" true (bw 10 > 3.0 *. bw 1);
+  Alcotest.(check bool) "sawtooth: 31 blocks worse than 30" true
+    (bw 31 < 0.85 *. bw 30);
+  Alcotest.(check bool) "recovered by 40 blocks" true (bw 40 > bw 31);
+  Alcotest.(check bool) "bounded by peak" true
+    (bw 60 < Spec.peak_gmem_bandwidth spec);
+  let low = Tables.gmem_bandwidth tables ~blocks:30 ~threads:512
+      ~txns_per_thread:2
+  in
+  let high = Tables.gmem_bandwidth tables ~blocks:30 ~threads:512
+      ~txns_per_thread:64
+  in
+  Alcotest.(check bool) "few transactions cannot cover latency" true
+    (low < 0.8 *. high)
+
+let test_gmem_memoized () =
+  let t0 = Unix.gettimeofday () in
+  let a = Tables.gmem_bandwidth tables ~blocks:20 ~threads:128
+      ~txns_per_thread:32
+  in
+  let mid = Unix.gettimeofday () in
+  let b = Tables.gmem_bandwidth tables ~blocks:20 ~threads:128
+      ~txns_per_thread:32
+  in
+  let t1 = Unix.gettimeofday () in
+  Alcotest.(check (float 1e-9)) "same answer" a b;
+  Alcotest.(check bool) "second lookup is cached" true
+    (t1 -. mid < (mid -. t0) /. 10.0 +. 0.001)
+
+let test_table_class_mapping () =
+  (* memory and control instructions are priced at class II issue rates *)
+  Alcotest.(check (float 1e-9)) "mem as class II"
+    (Tables.instr_throughput tables I.Class_ii ~warps:8)
+    (Tables.instr_throughput tables I.Class_mem ~warps:8);
+  Alcotest.(check (float 1e-9)) "ctrl as class II"
+    (Tables.instr_throughput tables I.Class_ii ~warps:8)
+    (Tables.instr_throughput tables I.Class_ctrl ~warps:8)
+
+let test_warp_clamping () =
+  Alcotest.(check (float 1e-9)) "0 warps clamps to 1"
+    (Tables.instr_throughput tables I.Class_ii ~warps:1)
+    (Tables.instr_throughput tables I.Class_ii ~warps:0);
+  Alcotest.(check (float 1e-9)) "40 warps clamps to 32"
+    (Tables.instr_throughput tables I.Class_ii ~warps:32)
+    (Tables.instr_throughput tables I.Class_ii ~warps:40)
+
+let () =
+  Alcotest.run "microbench"
+    [
+      ( "tables",
+        [
+          Alcotest.test_case "peaks bounded" `Quick test_peaks_bounded;
+          Alcotest.test_case "monotone in warps" `Quick
+            test_monotone_in_warps;
+          Alcotest.test_case "figure 2 left shape" `Quick
+            test_figure2_left_shape;
+          Alcotest.test_case "figure 2 right shape" `Quick
+            test_figure2_right_shape;
+          Alcotest.test_case "figure 3 shape" `Quick test_figure3_shape;
+          Alcotest.test_case "memoization" `Quick test_gmem_memoized;
+          Alcotest.test_case "class mapping" `Quick test_table_class_mapping;
+          Alcotest.test_case "warp clamping" `Quick test_warp_clamping;
+        ] );
+    ]

@@ -1,0 +1,244 @@
+(* Tests for the performance model itself: component time accounting,
+   bottleneck identification, stage serialization, cause diagnosis, and the
+   end-to-end workflow of Figure 1. *)
+
+module Ir = Gpu_kernel.Ir
+module Model = Gpu_model.Model
+module Component = Gpu_model.Component
+module Workflow = Gpu_model.Workflow
+module Stats = Gpu_sim.Stats
+
+let spec = Gpu_hw.Spec.gtx285
+
+(* --- Component arithmetic ----------------------------------------------- *)
+
+let times i s g = { Component.instruction = i; shared = s; global = g }
+
+let test_bottleneck_selection () =
+  Alcotest.(check string) "instruction wins" "instruction pipeline"
+    (Component.name (Component.bottleneck (times 3.0 1.0 2.0)));
+  Alcotest.(check string) "shared wins" "shared memory"
+    (Component.name (Component.bottleneck (times 1.0 3.0 2.0)));
+  Alcotest.(check string) "global wins" "global memory"
+    (Component.name (Component.bottleneck (times 1.0 2.0 3.0)));
+  Alcotest.(check (float 1e-9)) "stage time is the bottleneck's" 3.0
+    (Component.max_time (times 1.0 2.0 3.0))
+
+(* --- Synthetic kernels driving each bottleneck -------------------------- *)
+
+let analyze ?(grid = 120) ?(block = 256) kernel args =
+  Workflow.analyze ~spec ~sample:2 ~grid ~block ~args kernel
+
+let test_compute_bound_kernel () =
+  (* a long dependent MAD chain with almost no memory traffic *)
+  let k =
+    {
+      Ir.name = "burn";
+      params = [ "y" ];
+      shared = [];
+      body =
+        Ir.Local ("a", Ir.Float 1.5)
+        :: List.init 256 (fun _ ->
+               Ir.Assign ("a", Ir.(fmad (v "a") (f 0.999) (v "a"))))
+        @ [ Ir.St_global ("y", Ir.Tid, Ir.v "a") ];
+    }
+  in
+  let y = ("y", Array.make (120 * 256) 0l) in
+  let r = analyze k [ y ] in
+  Alcotest.(check string) "instruction bound" "instruction pipeline"
+    (Component.name r.Workflow.analysis.Model.bottleneck);
+  Alcotest.(check bool) "high density" true
+    (r.Workflow.analysis.Model.computational_density > 0.8)
+
+let test_smem_bound_kernel () =
+  (* 16-way conflicted shared traffic dominates *)
+  let k =
+    {
+      Ir.name = "conflicts";
+      params = [ "y" ];
+      shared = [ ("buf", 1024) ];
+      body =
+        [
+          Ir.Let ("p", Ir.(Tid * i 16));
+          Ir.Local ("a", Ir.Float 0.0);
+        ]
+        @ List.concat
+            (List.init 64 (fun _ ->
+                 [
+                   Ir.Assign ("a", Ir.(v "a" +. Ld_shared ("buf", v "p")));
+                   Ir.St_shared ("buf", Ir.v "p", Ir.v "a");
+                 ]))
+        @ [ Ir.St_global ("y", Ir.Tid, Ir.v "a") ];
+    }
+  in
+  let y = ("y", Array.make (120 * 64) 0l) in
+  let r = analyze ~block:64 k [ y ] in
+  let a = r.Workflow.analysis in
+  Alcotest.(check string) "shared bound" "shared memory"
+    (Component.name a.Model.bottleneck);
+  Alcotest.(check bool) "conflicts detected" true
+    (a.Model.bank_conflict_penalty > 8.0);
+  let causes = List.concat_map (fun s -> s.Model.causes) a.Model.stages in
+  Alcotest.(check bool) "bank-conflict cause reported" true
+    (List.exists
+       (function Model.Bank_conflicts _ -> true | _ -> false)
+       causes)
+
+let test_gmem_bound_kernel () =
+  (* strided (uncoalesced) streaming *)
+  let k =
+    {
+      Ir.name = "stride";
+      params = [ "x"; "y" ];
+      shared = [];
+      body =
+        [
+          Ir.Let ("gid", Ir.(imad Ctaid Ntid Tid));
+          Ir.Local ("a", Ir.Float 0.0);
+          Ir.For
+            ( "e",
+              Ir.Int 0,
+              Ir.Int 16,
+              [
+                Ir.Assign
+                  ( "a",
+                    Ir.(
+                      v "a"
+                      +. Ld_global
+                           ("x", imad (imad (v "e") Ntid (v "gid")) (i 16)
+                                   (i 0))) );
+              ] );
+          Ir.St_global ("y", Ir.v "gid", Ir.v "a");
+        ];
+    }
+  in
+  let words = 120 * 256 * 16 * 16 in
+  let x = ("x", Array.make words 0l) in
+  let y = ("y", Array.make (120 * 256) 0l) in
+  let r = analyze k [ x; y ] in
+  let a = r.Workflow.analysis in
+  Alcotest.(check string) "global bound" "global memory"
+    (Component.name a.Model.bottleneck);
+  Alcotest.(check bool) "poor coalescing measured" true
+    (a.Model.coalescing_efficiency < 0.5);
+  let causes = List.concat_map (fun s -> s.Model.causes) a.Model.stages in
+  Alcotest.(check bool) "uncoalesced cause reported" true
+    (List.exists
+       (function Model.Uncoalesced_accesses _ -> true | _ -> false)
+       causes)
+
+(* --- Stage handling ------------------------------------------------------ *)
+
+let barrier_kernel =
+  {
+    Ir.name = "stages";
+    params = [ "y" ];
+    shared = [ ("s", 512) ];
+    body =
+      [
+        Ir.St_shared ("s", Ir.Tid, Ir.I2f Ir.Tid);
+        Ir.Sync;
+        Ir.St_shared ("s", Ir.Tid, Ir.Ld_shared ("s", Ir.Tid));
+        Ir.Sync;
+        Ir.St_global ("y", Ir.Tid, Ir.Ld_shared ("s", Ir.Tid));
+      ];
+  }
+
+let test_stage_split () =
+  let y = ("y", Array.make (8 * 512) 0l) in
+  (* large shared demand: one resident block -> serialized stages *)
+  let k = { barrier_kernel with Ir.shared = [ ("s", 3000) ] } in
+  let r = Workflow.analyze ~spec ~grid:8 ~block:512 ~args:[ y ] k in
+  let a = r.Workflow.analysis in
+  Alcotest.(check int) "three stages" 3 (List.length a.Model.stages);
+  Alcotest.(check bool) "serialized with one resident block" true
+    a.Model.serialized;
+  let sum =
+    List.fold_left
+      (fun acc s -> acc +. Component.max_time s.Model.times)
+      0.0 a.Model.stages
+  in
+  Alcotest.(check (float 1e-12)) "total is the sum of stage bottlenecks" sum
+    a.Model.predicted_seconds
+
+let test_overlapped_total () =
+  let y = ("y", Array.make (120 * 512) 0l) in
+  let r = Workflow.analyze ~spec ~grid:120 ~block:512 ~args:[ y ]
+      barrier_kernel
+  in
+  let a = r.Workflow.analysis in
+  Alcotest.(check bool) "multiple resident blocks overlap stages" false
+    a.Model.serialized;
+  Alcotest.(check (float 1e-12)) "total is the max component sum"
+    (Component.max_time a.Model.totals)
+    a.Model.predicted_seconds
+
+let test_measured_comparison () =
+  let y = ("y", Array.make (120 * 512) 0l) in
+  let r =
+    Workflow.analyze ~spec ~measure:true ~sample:2 ~grid:120 ~block:512
+      ~args:[ y ] barrier_kernel
+  in
+  match (Workflow.measured_seconds r, Workflow.prediction_error r) with
+  | Some m, Some e ->
+    Alcotest.(check bool) "measured time positive" true (m > 0.0);
+    Alcotest.(check bool) "error is finite" true (Float.is_finite e)
+  | _ -> Alcotest.fail "expected a measurement"
+
+(* --- What-if engine ------------------------------------------------------ *)
+
+let test_whatif_prime_banks () =
+  (* stride-16 conflicts vanish with 17 banks *)
+  let k =
+    {
+      Ir.name = "stride16";
+      params = [ "y" ];
+      shared = [ ("buf", 2048) ];
+      body =
+        [
+          Ir.Let ("p", Ir.(Tid * i 16));
+          Ir.Local ("a", Ir.Float 0.0);
+        ]
+        @ List.init 32 (fun _ ->
+              Ir.Assign ("a", Ir.(v "a" +. Ld_shared ("buf", v "p"))))
+        @ [ Ir.St_global ("y", Ir.Tid, Ir.v "a") ];
+    }
+  in
+  let args () = [ ("y", Array.make (120 * 128) 0l) ] in
+  let baseline, outcomes =
+    Gpu_model.Whatif.run ~base:spec
+      ~variants:[ Gpu_hw.Spec.with_banks 17 spec ]
+      ~sample:2 ~grid:120 ~block:128 ~args:(args ()) k
+  in
+  let prime = List.hd outcomes in
+  Alcotest.(check bool) "baseline suffers conflicts" true
+    (baseline.Workflow.analysis.Model.bank_conflict_penalty > 4.0);
+  Alcotest.(check (float 0.01)) "prime banks remove conflicts" 1.0
+    prime.Gpu_model.Whatif.report.Workflow.analysis.Model
+      .bank_conflict_penalty;
+  Alcotest.(check bool) "and the prediction improves" true
+    (prime.Gpu_model.Whatif.speedup > 1.5)
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "components",
+        [ Alcotest.test_case "bottleneck" `Quick test_bottleneck_selection ]
+      );
+      ( "bottlenecks",
+        [
+          Alcotest.test_case "compute bound" `Quick test_compute_bound_kernel;
+          Alcotest.test_case "shared bound" `Quick test_smem_bound_kernel;
+          Alcotest.test_case "global bound" `Quick test_gmem_bound_kernel;
+        ] );
+      ( "stages",
+        [
+          Alcotest.test_case "serialized split" `Quick test_stage_split;
+          Alcotest.test_case "overlapped total" `Quick test_overlapped_total;
+          Alcotest.test_case "measured comparison" `Quick
+            test_measured_comparison;
+        ] );
+      ( "what-if",
+        [ Alcotest.test_case "prime banks" `Quick test_whatif_prime_banks ]
+      );
+    ]

@@ -1,0 +1,546 @@
+(* Tests for the functional simulator (Barra analog): SIMT execution with
+   divergence, barriers, partial warps, the dynamic statistics of the info
+   extractor, and launch validation. *)
+
+module Ir = Gpu_kernel.Ir
+module Sim = Gpu_sim.Sim
+module Stats = Gpu_sim.Stats
+module I = Gpu_isa.Instr
+
+let compile = Gpu_kernel.Compile.compile
+
+let run ?(grid = 1) ?(block = 32) ?collect_trace k args =
+  Sim.run ?collect_trace ~grid ~block ~args (compile k) ~spec:Gpu_hw.Spec.gtx285
+
+let ints a = Array.map Int32.to_int a
+
+let test_vector_add () =
+  let k =
+    {
+      Ir.name = "vadd";
+      params = [ "a"; "b"; "c" ];
+      shared = [];
+      body =
+        [
+          Ir.Let ("gid", Ir.(imad Ctaid Ntid Tid));
+          Ir.St_global
+            ( "c",
+              Ir.v "gid",
+              Ir.(Ld_global ("a", v "gid") + Ld_global ("b", v "gid")) );
+        ];
+    }
+  in
+  let n = 96 in
+  let a = ("a", Array.init n Int32.of_int) in
+  let b = ("b", Array.init n (fun i -> Int32.of_int (10 * i))) in
+  let c = ("c", Array.make n 0l) in
+  let _ = run ~grid:3 ~block:32 k [ a; b; c ] in
+  Array.iteri
+    (fun i v -> Alcotest.(check int) "sum" (11 * i) v)
+    (ints (snd c))
+
+let test_if_else_divergence () =
+  let k =
+    {
+      Ir.name = "diverge";
+      params = [ "out" ];
+      shared = [];
+      body =
+        [
+          Ir.If
+            ( Ir.(Tid < i 10),
+              [ Ir.St_global ("out", Ir.Tid, Ir.(Tid * i 2)) ],
+              [ Ir.St_global ("out", Ir.Tid, Ir.(i 1000 + Tid)) ] );
+        ];
+    }
+  in
+  let out = ("out", Array.make 32 0l) in
+  let _ = run k [ out ] in
+  Array.iteri
+    (fun t v ->
+      let expect = if t < 10 then 2 * t else 1000 + t in
+      Alcotest.(check int) (Printf.sprintf "thread %d" t) expect v)
+    (ints (snd out))
+
+let test_nested_divergence () =
+  let k =
+    {
+      Ir.name = "nested";
+      params = [ "out" ];
+      shared = [];
+      body =
+        [
+          Ir.Local ("r", Ir.Int 0);
+          Ir.If
+            ( Ir.(Tid < i 16),
+              [
+                Ir.If
+                  ( Ir.((Tid land i 1) = i 0),
+                    [ Ir.Assign ("r", Ir.Int 1) ],
+                    [ Ir.Assign ("r", Ir.Int 2) ] );
+              ],
+              [
+                Ir.If
+                  ( Ir.((Tid land i 1) = i 0),
+                    [ Ir.Assign ("r", Ir.Int 3) ],
+                    [ Ir.Assign ("r", Ir.Int 4) ] );
+              ] );
+          Ir.St_global ("out", Ir.Tid, Ir.v "r");
+        ];
+    }
+  in
+  let out = ("out", Array.make 32 0l) in
+  let _ = run k [ out ] in
+  Array.iteri
+    (fun t v ->
+      let expect =
+        match (t < 16, t land 1 = 0) with
+        | true, true -> 1
+        | true, false -> 2
+        | false, true -> 3
+        | false, false -> 4
+      in
+      Alcotest.(check int) (Printf.sprintf "thread %d" t) expect v)
+    (ints (snd out))
+
+let test_data_dependent_loop () =
+  let k =
+    {
+      Ir.name = "countdown";
+      params = [ "out" ];
+      shared = [];
+      body =
+        [
+          Ir.Local ("n", Ir.Tid);
+          Ir.Local ("acc", Ir.Int 0);
+          Ir.While
+            ( Ir.(v "n" > i 0),
+              [
+                Ir.Assign ("acc", Ir.(v "acc" + v "n"));
+                Ir.Assign ("n", Ir.(v "n" - i 1));
+              ] );
+          Ir.St_global ("out", Ir.Tid, Ir.v "acc");
+        ];
+    }
+  in
+  let out = ("out", Array.make 64 0l) in
+  let _ = run ~block:64 k [ out ] in
+  Array.iteri
+    (fun t v -> Alcotest.(check int) "triangular number" (t * (t + 1) / 2) v)
+    (ints (snd out))
+
+let test_barrier_communication () =
+  (* warp 0 writes shared memory, warp 1 reads it after a barrier:
+     reversal across warps requires the barrier to be exact *)
+  let k =
+    {
+      Ir.name = "reverse";
+      params = [ "out" ];
+      shared = [ ("buf", 64) ];
+      body =
+        [
+          Ir.St_shared ("buf", Ir.Tid, Ir.Tid);
+          Ir.Sync;
+          Ir.St_global
+            ("out", Ir.Tid, Ir.Ld_shared ("buf", Ir.(i 63 - Tid)));
+        ];
+    }
+  in
+  let out = ("out", Array.make 64 0l) in
+  let _ = run ~block:64 k [ out ] in
+  Array.iteri
+    (fun t v -> Alcotest.(check int) "reversed" (63 - t) v)
+    (ints (snd out))
+
+let test_partial_warp () =
+  let k =
+    {
+      Ir.name = "partial";
+      params = [ "out" ];
+      shared = [];
+      body = [ Ir.St_global ("out", Ir.Tid, Ir.(Tid + i 1)) ];
+    }
+  in
+  let out = ("out", Array.make 40 0l) in
+  let _ = run ~block:40 k [ out ] in
+  Alcotest.(check int) "lane 39 wrote" 40 (Int32.to_int (snd out).(39))
+
+let test_float_ops () =
+  let k =
+    {
+      Ir.name = "floats";
+      params = [ "out" ];
+      shared = [];
+      body =
+        [
+          Ir.Let ("x", Ir.I2f Ir.Tid);
+          Ir.St_global
+            ( "out",
+              Ir.Tid,
+              Ir.F2i Ir.(fmad (v "x") (v "x") (f 1.0)) );
+        ];
+    }
+  in
+  let out = ("out", Array.make 32 0l) in
+  let _ = run k [ out ] in
+  Array.iteri
+    (fun t v -> Alcotest.(check int) "t*t+1" ((t * t) + 1) v)
+    (ints (snd out))
+
+let test_sfu_rcp () =
+  let k =
+    {
+      Ir.name = "rcp";
+      params = [ "out" ];
+      shared = [];
+      body =
+        [
+          Ir.St_global
+            ( "out",
+              Ir.Tid,
+              Ir.F2i Ir.(Sfu (Rcp, f 0.25) *. f 10.0) );
+        ];
+    }
+  in
+  let out = ("out", Array.make 32 0l) in
+  let _ = run k [ out ] in
+  Alcotest.(check int) "1/0.25 * 10 = 40" 40 (Int32.to_int (snd out).(0))
+
+(* --- Statistics (the info extractor) ------------------------------------ *)
+
+let straight_line_kernel =
+  {
+    Ir.name = "stats";
+    params = [ "x" ];
+    shared = [ ("s", 32) ];
+    body =
+      [
+        Ir.Let ("a", Ir.Ld_global ("x", Ir.Tid)); (* 1 gmem access *)
+        Ir.St_shared ("s", Ir.Tid, Ir.v "a"); (* 1 smem access *)
+        Ir.Sync;
+        Ir.St_global ("x", Ir.Tid, Ir.Ld_shared ("s", Ir.Tid));
+      ];
+  }
+
+let test_stats_counts () =
+  let x = ("x", Array.make 32 0l) in
+  let r = run straight_line_kernel [ x ] in
+  Alcotest.(check int) "two stages" 2 (Stats.num_stages r.Sim.stats);
+  let s0 = Stats.stage r.Sim.stats 0 in
+  let s1 = Stats.stage r.Sim.stats 1 in
+  Alcotest.(check int) "stage 0: one gmem access" 1 s0.Stats.gmem_accesses;
+  Alcotest.(check int) "stage 0: one smem access" 1 s0.Stats.smem_accesses;
+  Alcotest.(check int) "stage 0: smem conflict-free (2 half-warps)" 2
+    s0.Stats.smem_txns;
+  Alcotest.(check int) "stage 0: one barrier" 1 s0.Stats.barriers;
+  Alcotest.(check int) "stage 1: two memory instructions" 2
+    (s1.Stats.gmem_accesses + s1.Stats.smem_accesses);
+  Alcotest.(check int) "stage 0: one active warp" 1
+    s0.Stats.active_warp_slots;
+  (* coalesced 32-lane load: 2 transactions of 64 B *)
+  Alcotest.(check int) "gmem bytes" 128 s0.Stats.gmem_transferred_bytes
+
+let test_stats_density () =
+  let k =
+    {
+      Ir.name = "mads";
+      params = [ "x" ];
+      shared = [];
+      body =
+        [
+          Ir.Local ("acc", Ir.Float 0.0);
+          Ir.Assign ("acc", Ir.(fmad (v "acc") (v "acc") (v "acc")));
+          Ir.St_global ("x", Ir.Tid, Ir.v "acc");
+        ];
+    }
+  in
+  let x = ("x", Array.make 32 0l) in
+  let r = run k [ x ] in
+  let total = Stats.total r.Sim.stats in
+  Alcotest.(check int) "one MAD" 1 total.Stats.mads;
+  Alcotest.(check bool) "density below one" true
+    (Stats.computational_density total < 1.0)
+
+let test_trace_collection () =
+  let x = ("x", Array.make 32 0l) in
+  let r = run ~collect_trace:true straight_line_kernel [ x ] in
+  match r.Sim.traces with
+  | [ t ] ->
+    Alcotest.(check int) "one warp" 1 (Array.length t.Gpu_sim.Trace.warps);
+    let events = t.Gpu_sim.Trace.warps.(0) in
+    Alcotest.(check bool) "trace has events" true (Array.length events > 4);
+    Alcotest.(check int) "exactly one barrier event" 1
+      (Array.fold_left
+         (fun acc (e : Gpu_sim.Trace.event) ->
+           if e.Gpu_sim.Trace.bar then acc + 1 else acc)
+         0 events)
+  | _ -> Alcotest.fail "expected a single block trace"
+
+(* --- Raw ISA semantics ---------------------------------------------------- *)
+
+(* Run a hand-written native program (one warp) and return the "out"
+   buffer; register r0 holds its base address per the calling convention. *)
+let run_raw ?(block = 32) ~out_words lines =
+  let program = Gpu_isa.Program.of_lines ~name:"raw" lines in
+  let k =
+    {
+      Gpu_kernel.Compile.program;
+      param_regs = [ ("out", 0) ];
+      shared_offsets = [];
+      smem_bytes = 256;
+      reg_demand = Gpu_isa.Program.register_demand program;
+    }
+  in
+  let out = ("out", Array.make out_words 0l) in
+  let _ = Sim.run ~grid:1 ~block ~args:[ out ] k in
+  snd out
+
+let ins op = Gpu_isa.Program.Instr (I.mk op)
+
+let pins ~pred op = Gpu_isa.Program.Instr (I.mk ~pred op)
+
+let r n = I.R n
+
+let test_predicated_execution () =
+  (* lanes with tid < 5 write 1, others keep 0, via predication only *)
+  let out =
+    run_raw ~out_words:32
+      [
+        ins (I.Mov_sreg (r 1, I.Tid_x));
+        ins (I.Setp (I.Lt, I.S32, I.P 0, I.Reg (r 1), I.Imm 5l));
+        ins (I.Imad (r 2, I.Reg (r 1), I.Imm 4l, I.Reg (r 0)));
+        pins ~pred:(I.P 0, true)
+          (I.St (I.Global, 4, { I.base = r 2; offset = 0 }, I.Imm 1l));
+        ins I.Exit;
+      ]
+  in
+  Array.iteri
+    (fun t v ->
+      Alcotest.(check int)
+        (Printf.sprintf "lane %d" t)
+        (if t < 5 then 1 else 0)
+        (Int32.to_int v))
+    out
+
+let test_fused_mad_semantics () =
+  (* shared[0] = 3.0; out[tid] = 2.0 * shared[0] + 1.0 = 7.0 *)
+  let out =
+    run_raw ~out_words:32
+      [
+        ins (I.Mov (r 1, I.Imm 0l));
+        ins (I.St (I.Shared, 4, { I.base = r 1; offset = 0 }, I.Fimm 3.0));
+        ins
+          (I.Fmad_smem
+             (r 2, I.Fimm 2.0, { I.base = r 1; offset = 0 }, I.Fimm 1.0));
+        ins (I.Cvt (I.F2i, r 3, I.Reg (r 2)));
+        ins (I.Mov_sreg (r 4, I.Tid_x));
+        ins (I.Imad (r 5, I.Reg (r 4), I.Imm 4l, I.Reg (r 0)));
+        ins (I.St (I.Global, 4, { I.base = r 5; offset = 0 }, I.Reg (r 3)));
+        ins I.Exit;
+      ]
+  in
+  Alcotest.(check int) "2*3+1" 7 (Int32.to_int out.(0))
+
+let test_double_precision () =
+  (* class IV path: d = 1.5 + 2.25 computed in fp64, stored as two words *)
+  let out =
+    run_raw ~out_words:2
+      [
+        ins (I.Mov (r 1, I.Imm 0l));
+        ins (I.Mov (r 2, I.Imm 0l));
+        (* build doubles via a 64-bit load would need memory; instead use
+           dadd on f64 bit patterns loaded through Mov of halves is not
+           expressible, so exercise Dadd on zero + zero and Dfma *)
+        ins (I.Dop (I.Dadd, r 3, I.Reg (r 1), I.Reg (r 2)));
+        ins (I.St (I.Global, 8, { I.base = r 0; offset = 0 }, I.Reg (r 3)));
+        ins I.Exit;
+      ]
+  in
+  Alcotest.(check int32) "lo word" 0l out.(0);
+  Alcotest.(check int32) "hi word" 0l out.(1)
+
+let test_load64_roundtrip () =
+  (* store a double, load it back, fma with it *)
+  let program =
+    [
+      ins (I.Mov_sreg (r 1, I.Laneid));
+      ins (I.Setp (I.Eq, I.S32, I.P 0, I.Reg (r 1), I.Imm 0l));
+      (* lane 0 only to avoid racing the same address *)
+      pins ~pred:(I.P 0, true)
+        (I.Ld (I.Global, 8, r 2, { I.base = r 0; offset = 0 }));
+      pins ~pred:(I.P 0, true)
+        (I.Dfma (r 3, I.Reg (r 2), I.Reg (r 2), I.Reg (r 2)));
+      pins ~pred:(I.P 0, true)
+        (I.St (I.Global, 8, { I.base = r 0; offset = 8 }, I.Reg (r 3)));
+      ins I.Exit;
+    ]
+  in
+  let p = Gpu_isa.Program.of_lines ~name:"d64" program in
+  let k =
+    {
+      Gpu_kernel.Compile.program = p;
+      param_regs = [ ("out", 0) ];
+      shared_offsets = [];
+      smem_bytes = 0;
+      reg_demand = Gpu_isa.Program.register_demand p;
+    }
+  in
+  let bits = Int64.bits_of_float 3.0 in
+  let buf =
+    [|
+      Int64.to_int32 bits;
+      Int64.to_int32 (Int64.shift_right_logical bits 32);
+      0l; 0l;
+    |]
+  in
+  let out = ("out", buf) in
+  let _ = Sim.run ~grid:1 ~block:32 ~args:[ out ] k in
+  let lo = Int64.logand (Int64.of_int32 buf.(2)) 0xFFFFFFFFL in
+  let hi = Int64.shift_left (Int64.of_int32 buf.(3)) 32 in
+  Alcotest.(check (float 1e-12)) "3*3+3" 12.0
+    (Int64.float_of_bits (Int64.logor lo hi))
+
+let test_lane_and_warp_ids () =
+  let k =
+    compile
+      {
+        Ir.name = "ids";
+        params = [ "out" ];
+        shared = [];
+        body = [ Ir.St_global ("out", Ir.Tid, Ir.Tid) ];
+      }
+  in
+  (* indirectly checks warp decomposition: 3 warps of a 96-thread block *)
+  let out = ("out", Array.make 96 0l) in
+  let _ = Sim.run ~grid:1 ~block:96 ~args:[ out ] k in
+  Alcotest.(check int) "tid 95" 95 (Int32.to_int (snd out).(95))
+
+(* --- Launch validation --------------------------------------------------- *)
+
+let test_launch_errors () =
+  let k = compile straight_line_kernel in
+  let expect name f =
+    Alcotest.(check bool) name true
+      (try
+         ignore (f ());
+         false
+       with Sim.Launch_error _ -> true)
+  in
+  expect "missing argument" (fun () ->
+      Sim.run ~grid:1 ~block:32 ~args:[] k);
+  expect "unknown argument" (fun () ->
+      Sim.run ~grid:1 ~block:32
+        ~args:[ ("x", Array.make 32 0l); ("bogus", [||]) ]
+        k);
+  expect "oversized block" (fun () ->
+      Sim.run ~grid:1 ~block:4096 ~args:[ ("x", Array.make 32 0l) ] k);
+  expect "bad block id" (fun () ->
+      Sim.run ~grid:1 ~block:32 ~block_ids:[ 5 ]
+        ~args:[ ("x", Array.make 32 0l) ]
+        k)
+
+let test_memory_fault () =
+  let k =
+    {
+      Ir.name = "oob";
+      params = [ "x" ];
+      shared = [];
+      body = [ Ir.St_global ("x", Ir.Int 1_000_000, Ir.Int 1) ];
+    }
+  in
+  Alcotest.(check bool) "out-of-bounds store faults" true
+    (try
+       ignore (run k [ ("x", Array.make 4 0l) ]);
+       false
+     with Gpu_sim.Memory.Fault _ -> true)
+
+let test_runaway_guard () =
+  let k =
+    {
+      Ir.name = "forever";
+      params = [ "x" ];
+      shared = [];
+      body =
+        [
+          Ir.Local ("n", Ir.Int 1);
+          Ir.While (Ir.(v "n" > i 0), [ Ir.Assign ("n", Ir.Int 1) ]);
+          Ir.St_global ("x", Ir.Int 0, Ir.v "n");
+        ];
+    }
+  in
+  Alcotest.(check bool) "infinite loop detected" true
+    (try
+       ignore
+         (Sim.run ~max_warp_instructions:100_000 ~grid:1 ~block:32
+            ~args:[ ("x", Array.make 4 0l) ]
+            (compile k));
+       false
+     with Gpu_sim.Machine.Stuck _ -> true)
+
+(* --- Sampling ------------------------------------------------------------ *)
+
+let test_block_sampling_scales () =
+  let k =
+    {
+      Ir.name = "homog";
+      params = [ "x" ];
+      shared = [];
+      body = [ Ir.St_global ("x", Ir.(imad Ctaid Ntid Tid), Ir.Tid) ];
+    }
+  in
+  let x = ("x", Array.make (32 * 8) 0l) in
+  let full = run ~grid:8 ~block:32 k [ x ] in
+  let sampled =
+    Sim.run ~grid:8 ~block:32 ~block_ids:[ 0; 1 ]
+      ~args:[ ("x", Array.make (32 * 8) 0l) ]
+      (compile k)
+  in
+  let tf = Stats.total full.Sim.stats in
+  let ts = Stats.total sampled.Sim.stats in
+  Alcotest.(check (float 1e-9)) "scale factor" 4.0 (Sim.scale_factor sampled);
+  Alcotest.(check int) "sampled counts scale exactly"
+    (Stats.total_issued tf)
+    (Stats.total_issued ts * 4)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "execution",
+        [
+          Alcotest.test_case "vector add" `Quick test_vector_add;
+          Alcotest.test_case "if/else divergence" `Quick
+            test_if_else_divergence;
+          Alcotest.test_case "nested divergence" `Quick
+            test_nested_divergence;
+          Alcotest.test_case "data-dependent loop" `Quick
+            test_data_dependent_loop;
+          Alcotest.test_case "barrier communication" `Quick
+            test_barrier_communication;
+          Alcotest.test_case "partial warp" `Quick test_partial_warp;
+          Alcotest.test_case "float ops" `Quick test_float_ops;
+          Alcotest.test_case "sfu rcp" `Quick test_sfu_rcp;
+        ] );
+      ( "statistics",
+        [
+          Alcotest.test_case "per-stage counts" `Quick test_stats_counts;
+          Alcotest.test_case "computational density" `Quick
+            test_stats_density;
+          Alcotest.test_case "trace collection" `Quick test_trace_collection;
+          Alcotest.test_case "block sampling" `Quick
+            test_block_sampling_scales;
+        ] );
+      ( "raw isa semantics",
+        [
+          Alcotest.test_case "predication" `Quick test_predicated_execution;
+          Alcotest.test_case "fused mad" `Quick test_fused_mad_semantics;
+          Alcotest.test_case "double precision" `Quick test_double_precision;
+          Alcotest.test_case "64-bit memory" `Quick test_load64_roundtrip;
+          Alcotest.test_case "ids and warps" `Quick test_lane_and_warp_ids;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "launch errors" `Quick test_launch_errors;
+          Alcotest.test_case "memory fault" `Quick test_memory_fault;
+          Alcotest.test_case "runaway guard" `Quick test_runaway_guard;
+        ] );
+    ]

@@ -1,0 +1,204 @@
+(* Tests for the cycle timing simulator (the GTX 285 stand-in): latency and
+   throughput behaviour of the three pipelines, barrier handling, block
+   scheduling and the early-release what-if. *)
+
+module Trace = Gpu_sim.Trace
+module Engine = Gpu_timing.Engine
+module I = Gpu_isa.Instr
+
+let spec = Gpu_hw.Spec.gtx285
+
+let alu_event ?(dst = 10) ?(srcs = [||]) cls =
+  { Trace.cls; dst; srcs; mem = Trace.No_mem; bar = false }
+
+let dependent_chain n =
+  (* each instruction reads the previous result *)
+  Array.init n (fun _ -> alu_event ~dst:10 ~srcs:[| 10 |] I.Class_ii)
+
+let exit_event = alu_event ~dst:Trace.no_reg ~srcs:[||] I.Class_ii
+
+let block_of warps = { Trace.block = 0; warps }
+
+let run ?(max_resident = 8) blocks =
+  Engine.run ~spec ~max_resident_blocks:max_resident (Array.of_list blocks)
+
+let test_dependent_chain_latency () =
+  (* one warp, n dependent class II instructions: ~n * alu_latency cycles *)
+  let n = 100 in
+  let r = run [ block_of [| dependent_chain n |] ] in
+  let expect = n * spec.Gpu_hw.Spec.alu_latency in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d cycles close to %d" r.Engine.cycles expect)
+    true
+    (abs (r.Engine.cycles - expect) < expect / 5)
+
+let test_throughput_saturates () =
+  (* with >= 6 warps the class II pipe saturates: 4 cycles per warp instr *)
+  let n = 200 in
+  let warps = Array.init 8 (fun _ -> dependent_chain n) in
+  let r = run [ block_of warps ] in
+  let ideal = 8 * n * 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d cycles ~ pipe-bound %d" r.Engine.cycles ideal)
+    true
+    (r.Engine.cycles >= ideal && r.Engine.cycles < ideal * 12 / 10)
+
+let test_more_warps_faster () =
+  let n = 300 in
+  let time w =
+    (run [ block_of (Array.init w (fun _ -> dependent_chain (n / w))) ])
+      .Engine.cycles
+  in
+  Alcotest.(check bool) "2 warps beat 1" true (time 2 < time 1);
+  Alcotest.(check bool) "6 warps beat 2" true (time 6 < time 2)
+
+let test_gmem_load_latency () =
+  let w =
+    [|
+      {
+        Trace.cls = I.Class_mem;
+        dst = 5;
+        srcs = [||];
+        mem = Trace.Gmem_load [| (0, 64) |];
+        bar = false;
+      };
+      (* consumer of the load *)
+      alu_event ~dst:6 ~srcs:[| 5 |] I.Class_ii;
+    |]
+  in
+  let r = run [ block_of [| w |] ] in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d cycles covers the %d-cycle round trip"
+       r.Engine.cycles spec.Gpu_hw.Spec.gmem_latency)
+    true
+    (r.Engine.cycles >= spec.Gpu_hw.Spec.gmem_latency)
+
+let test_smem_conflicts_slow () =
+  let access txns =
+    { Trace.cls = I.Class_mem; dst = 5; srcs = [||];
+      mem = Trace.Smem txns; bar = false }
+  in
+  let mk txns = Array.init 100 (fun _ -> access txns) in
+  let t1 = (run [ block_of [| mk 2 |] ]).Engine.cycles in
+  let t16 = (run [ block_of [| mk 32 |] ]).Engine.cycles in
+  Alcotest.(check bool) "16-way conflicts cost much more" true
+    (t16 > 4 * t1)
+
+let test_barrier_waits () =
+  (* warp 0 does 400 instructions then a barrier; warp 1 barriers
+     immediately then has one instruction: total ~ warp 0's work *)
+  let bar = { (alu_event ~dst:Trace.no_reg I.Class_ctrl) with Trace.bar = true } in
+  let w0 = Array.append (dependent_chain 400) [| bar; exit_event |] in
+  let w1 = [| bar; alu_event ~dst:11 I.Class_ii; exit_event |] in
+  let r = run [ block_of [| w0; w1 |] ] in
+  Alcotest.(check bool) "warp 1 waited for warp 0" true
+    (r.Engine.cycles >= 400 * 4)
+
+let test_block_scheduling () =
+  (* 120 blocks = 4 per SM: with 1 resident block they run in four waves,
+     with 4 resident they overlap *)
+  let blocks =
+    Array.init 120 (fun b ->
+        { Trace.block = b; warps = [| dependent_chain 100 |] })
+  in
+  let one =
+    (run ~max_resident:8 [ block_of [| dependent_chain 100 |] ]).Engine.cycles
+  in
+  let serial =
+    (Engine.run ~spec ~max_resident_blocks:1 blocks).Engine.cycles
+  in
+  Alcotest.(check bool) "1-resident runs blocks back to back" true
+    (serial >= 4 * one * 9 / 10);
+  let conc = (Engine.run ~spec ~max_resident_blocks:4 blocks).Engine.cycles in
+  Alcotest.(check bool) "4-resident overlaps blocks" true (conc < serial)
+
+let test_cluster_sharing () =
+  (* global traffic from blocks in the same cluster shares one pipe *)
+  let gmem_block () =
+    block_of
+      [|
+        Array.init 50 (fun i ->
+            {
+              Trace.cls = I.Class_mem;
+              dst = 5 + (i mod 8);
+              srcs = [||];
+              mem = Trace.Gmem_load [| (i * 64, 64) |];
+              bar = false;
+            });
+      |]
+  in
+  (* blocks 0 and 10 land on the same cluster (b mod 10); 0 and 1 on
+     different clusters *)
+  let same =
+    Engine.run ~spec ~max_resident_blocks:8
+      [| gmem_block (); gmem_block (); gmem_block (); gmem_block ();
+         gmem_block (); gmem_block (); gmem_block (); gmem_block ();
+         gmem_block (); gmem_block (); gmem_block () |]
+  in
+  (* 11 blocks: cluster 0 carries two blocks' traffic *)
+  let spread =
+    Engine.run ~spec ~max_resident_blocks:8
+      (Array.init 10 (fun _ -> gmem_block ()))
+  in
+  Alcotest.(check bool) "leftover block lengthens its cluster" true
+    (same.Engine.cycles > spread.Engine.cycles)
+
+let test_early_release () =
+  (* blocks with one long warp and 7 that retire immediately, queued 8 per
+     SM at 2-resident occupancy: releasing retired warps' slots lets later
+     blocks launch while the stragglers run *)
+  let blocks =
+    Array.init 240 (fun b ->
+        {
+          Trace.block = b;
+          warps =
+            Array.init 8 (fun w ->
+                if w = 0 then dependent_chain 400 else [| exit_event |]);
+        })
+  in
+  let base =
+    Engine.run ~spec ~max_resident_blocks:2 blocks
+  in
+  let early =
+    Engine.run
+      ~spec:(Gpu_hw.Spec.with_early_release spec)
+      ~max_resident_blocks:2 blocks
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "early release helps (%d -> %d cycles)" base.Engine.cycles
+       early.Engine.cycles)
+    true
+    (early.Engine.cycles < base.Engine.cycles)
+
+let test_homogeneous_shortcut () =
+  let blocks = Array.init 40 (fun b -> { Trace.block = b; warps = [| dependent_chain 50 |] }) in
+  let full = Engine.run ~spec ~max_resident_blocks:8 blocks in
+  let fast = Engine.run ~homogeneous:true ~spec ~max_resident_blocks:8 blocks in
+  Alcotest.(check int) "homogeneous shortcut agrees" full.Engine.cycles
+    fast.Engine.cycles
+
+let () =
+  Alcotest.run "timing"
+    [
+      ( "pipelines",
+        [
+          Alcotest.test_case "dependent chain latency" `Quick
+            test_dependent_chain_latency;
+          Alcotest.test_case "throughput saturation" `Quick
+            test_throughput_saturates;
+          Alcotest.test_case "warps help" `Quick test_more_warps_faster;
+          Alcotest.test_case "global load latency" `Quick
+            test_gmem_load_latency;
+          Alcotest.test_case "bank conflicts cost" `Quick
+            test_smem_conflicts_slow;
+        ] );
+      ( "scheduling",
+        [
+          Alcotest.test_case "barriers" `Quick test_barrier_waits;
+          Alcotest.test_case "block waves" `Quick test_block_scheduling;
+          Alcotest.test_case "cluster sharing" `Quick test_cluster_sharing;
+          Alcotest.test_case "early release" `Quick test_early_release;
+          Alcotest.test_case "homogeneous shortcut" `Quick
+            test_homogeneous_shortcut;
+        ] );
+    ]
