@@ -5,11 +5,40 @@
      gpuperf analyze (matmul|tridiag|spmv) [options]
      gpuperf disasm FILE.cubin / gpuperf asm FILE.asm -o FILE.cubin
      gpuperf coalesce --addresses 0,4,8,... [--segment 32]
-     gpuperf whatif (matmul|tridiag|spmv) ... *)
+     gpuperf whatif (matmul|tridiag|spmv) ...
+
+   Exit codes are POSIX-style: 0 on success, 1 when the toolchain reports
+   an analysis error (every such error is rendered as one stage-prefixed
+   diagnostic on stderr), 2 on command-line usage errors. *)
 
 open Cmdliner
+module D = Gpu_diag.Diag
 
 let spec = Gpu_hw.Spec.gtx285
+
+(* --- uniform error rendering --------------------------------------------- *)
+
+let color_stderr = lazy (Unix.isatty Unix.stderr)
+
+let print_diag d =
+  prerr_endline (D.render ~color:(Lazy.force color_stderr) ~prefix:"gpuperf" d)
+
+(* Stage attribution for exceptions escaping the raising APIs that the
+   workload drivers still use internally.  [D.protect] falls back on a
+   generic conversion for anything not matched here. *)
+let convert_toolchain = function
+  | Gpu_isa.Encode.Decode_error m -> Some (D.make D.Error D.Disasm m)
+  | Gpu_isa.Asm.Parse_error { line; message } ->
+    Some (D.make ~location:(D.Line line) D.Error D.Asm message)
+  | Gpu_kernel.Compile.Error m -> Some (D.make D.Error D.Compile m)
+  | Gpu_sim.Sim.Launch_error m -> Some (D.make D.Error D.Launch m)
+  | Gpu_sim.Machine.Stuck m | Gpu_sim.Memory.Fault m ->
+    Some (D.make D.Error D.Exec m)
+  | Gpu_hw.Occupancy.Invalid_launch m -> Some (D.make D.Error D.Occupancy m)
+  | Sys_error m -> Some (D.make D.Error D.Cli m)
+  | _ -> None
+
+let guard stage f = D.protect ~stage ~convert:convert_toolchain f
 
 (* --- occupancy ----------------------------------------------------------- *)
 
@@ -28,35 +57,45 @@ let occupancy_cmd =
            ~doc:"Tabulate occupancy across block sizes")
   in
   let run threads regs smem sweep =
+    let demand t =
+      {
+        Gpu_hw.Occupancy.threads_per_block = t;
+        registers_per_thread = regs;
+        smem_per_block = smem;
+      }
+    in
     if sweep then begin
       Fmt.pr "%8s %8s %8s %10s@." "threads" "blocks" "warps" "limiter";
-      List.iter
-        (fun t ->
-          match
-            Gpu_hw.Occupancy.compute ~spec
-              {
-                Gpu_hw.Occupancy.threads_per_block = t;
-                registers_per_thread = regs;
-                smem_per_block = smem;
-              }
-          with
-          | o ->
-            Fmt.pr "%8d %8d %8d %10s@." t o.Gpu_hw.Occupancy.blocks
-              o.Gpu_hw.Occupancy.active_warps o.Gpu_hw.Occupancy.limiter
-          | exception Gpu_hw.Occupancy.Invalid_launch m ->
-            Fmt.pr "%8d invalid: %s@." t m)
-        [ 32; 64; 96; 128; 192; 256; 384; 512 ]
+      let sizes = [ 32; 64; 96; 128; 192; 256; 384; 512 ] in
+      let invalid =
+        List.fold_left
+          (fun invalid t ->
+            match Gpu_hw.Occupancy.compute_result ~spec (demand t) with
+            | Ok (o, _) ->
+              Fmt.pr "%8d %8d %8d %10s@." t o.Gpu_hw.Occupancy.blocks
+                o.Gpu_hw.Occupancy.active_warps o.Gpu_hw.Occupancy.limiter;
+              invalid
+            | Error d ->
+              Fmt.pr "%8d invalid: %s@." t d.D.message;
+              invalid + 1)
+          0 sizes
+      in
+      if invalid = 0 then Ok ()
+      else
+        Error
+          (D.error D.Occupancy
+             ~hint:"lower --regs or --smem until every row fits the device"
+             "sweep: %d of %d block sizes are invalid for this resource \
+              demand"
+             invalid (List.length sizes))
     end
     else
-      let o =
-        Gpu_hw.Occupancy.compute ~spec
-          {
-            Gpu_hw.Occupancy.threads_per_block = threads;
-            registers_per_thread = regs;
-            smem_per_block = smem;
-          }
-      in
-      Fmt.pr "%a@." Gpu_hw.Occupancy.pp o
+      match Gpu_hw.Occupancy.compute_result ~spec (demand threads) with
+      | Error d -> Error d
+      | Ok (o, warnings) ->
+        Fmt.pr "%a@." Gpu_hw.Occupancy.pp o;
+        List.iter print_diag warnings;
+        Ok ()
   in
   Cmd.v
     (Cmd.info "occupancy" ~doc:"Resident blocks and warps for a kernel shape")
@@ -73,8 +112,9 @@ let microbench_cmd =
           ~doc:"Global benchmark: blocks,threads,transactions-per-thread")
   in
   let run gmem =
+    guard D.Model @@ fun () ->
     let t = Gpu_microbench.Tables.for_spec spec in
-    (match gmem with
+    match gmem with
     | Some (b, th, m) ->
       Fmt.pr "global bandwidth (%d blocks, %d threads, %d txns/thread): \
               %.1f GB/s@."
@@ -96,7 +136,7 @@ let microbench_cmd =
             Fmt.pr "%8.2f" (Gpu_microbench.Tables.instr_throughput t c ~warps:w))
           Gpu_microbench.Tables.arithmetic_classes;
         Fmt.pr "%8.0f@." (Gpu_microbench.Tables.smem_bandwidth t ~warps:w)
-      done)
+      done
   in
   Cmd.v
     (Cmd.info "microbench"
@@ -130,14 +170,7 @@ let report_of ~measure workload tile padded fmt dev =
       ()
   | `Spmv ->
     let m = Gpu_workloads.Spmv.qcd_like () in
-    let f =
-      match fmt with
-      | "ell" -> Gpu_workloads.Spmv.Ell
-      | "bell" | "bell+im" -> Gpu_workloads.Spmv.Bell_im
-      | "bell+imiv" | "imiv" -> Gpu_workloads.Spmv.Bell_imiv
-      | other -> failwith ("unknown SpMV format " ^ other)
-    in
-    Gpu_workloads.Spmv.analyze ~spec:dev ~measure m f
+    Gpu_workloads.Spmv.analyze ~spec:dev ~measure m fmt
 
 let tile_arg =
   Arg.(value & opt int 16 & info [ "tile" ] ~doc:"Matmul tile (8|16|32)")
@@ -146,9 +179,21 @@ let padded_arg =
   Arg.(value & flag & info [ "padded" ] ~doc:"Tridiag: pad shared arrays \
                                               (CR-NBC)")
 
+(* An enum rather than a free-form string: an unknown format is a usage
+   error (exit 2) caught by cmdliner, not a [failwith] at analysis time. *)
 let fmt_arg =
   Arg.(
-    value & opt string "ell"
+    value
+    & opt
+        (enum
+           [
+             ("ell", Gpu_workloads.Spmv.Ell);
+             ("bell", Gpu_workloads.Spmv.Bell_im);
+             ("bell+im", Gpu_workloads.Spmv.Bell_im);
+             ("bell+imiv", Gpu_workloads.Spmv.Bell_imiv);
+             ("imiv", Gpu_workloads.Spmv.Bell_imiv);
+           ])
+        Gpu_workloads.Spmv.Ell
     & info [ "format" ] ~doc:"SpMV format (ell|bell+im|bell+imiv)")
 
 let workload_arg =
@@ -159,6 +204,7 @@ let workload_arg =
 
 let analyze_cmd =
   let run workload tile padded fmt measure =
+    guard D.Cli @@ fun () ->
     let r = report_of ~measure workload tile padded fmt spec in
     Fmt.pr "%a@." Gpu_model.Workflow.pp r
   in
@@ -182,6 +228,7 @@ let whatif_cmd =
              segment4, bigregfile, bigsmem, earlyrelease")
   in
   let run workload tile padded fmt variants =
+    guard D.Cli @@ fun () ->
     let base = report_of ~measure:false workload tile padded fmt spec in
     let t0 = base.Gpu_model.Workflow.analysis.Gpu_model.Model.predicted_seconds in
     Fmt.pr "%-40s %8.4f ms  %s@." spec.Gpu_hw.Spec.name (1e3 *. t0)
@@ -224,8 +271,14 @@ let file_arg =
 
 let disasm_cmd =
   let run file =
-    let p = Gpu_isa.Encode.decode (read_file file) in
-    print_string (Gpu_isa.Program.to_string p)
+    match guard D.Cli (fun () -> read_file file) with
+    | Error _ as e -> e
+    | Ok data ->
+      (match Gpu_isa.Encode.decode_result data with
+      | Error _ as e -> e
+      | Ok p ->
+        print_string (Gpu_isa.Program.to_string p);
+        Ok ())
   in
   Cmd.v
     (Cmd.info "disasm" ~doc:"Disassemble a kernel image (the Decuda analog)")
@@ -239,11 +292,17 @@ let asm_cmd =
       & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Output kernel image")
   in
   let run file out =
-    let p = Gpu_isa.Asm.parse (read_file file) in
-    write_file out (Gpu_isa.Encode.encode p);
-    Fmt.pr "%s: %d instructions, %d registers@." (Gpu_isa.Program.name p)
-      (Gpu_isa.Program.length p)
-      (Gpu_isa.Program.register_demand p)
+    match guard D.Cli (fun () -> read_file file) with
+    | Error _ as e -> e
+    | Ok src ->
+      (match Gpu_isa.Asm.parse_result src with
+      | Error _ as e -> e
+      | Ok p ->
+        guard D.Cli @@ fun () ->
+        write_file out (Gpu_isa.Encode.encode p);
+        Fmt.pr "%s: %d instructions, %d registers@." (Gpu_isa.Program.name p)
+          (Gpu_isa.Program.length p)
+          (Gpu_isa.Program.register_demand p))
   in
   Cmd.v
     (Cmd.info "asm" ~doc:"Assemble a listing to a kernel image (cudasm)")
@@ -263,19 +322,27 @@ let coalesce_cmd =
     Arg.(value & opt int 32 & info [ "segment" ] ~doc:"Minimum segment bytes")
   in
   let run addresses segment =
-    let cfg =
-      { Gpu_mem.Coalesce.group = 16; min_segment = segment; max_segment = 128 }
-    in
-    let a = Array.make 16 None in
-    List.iteri (fun i x -> if i < 16 then a.(i) <- Some x) addresses;
-    let txns = Gpu_mem.Coalesce.group_transactions cfg ~width:4 a in
-    List.iter (fun t -> Fmt.pr "%a@." Gpu_mem.Coalesce.pp_txn t) txns;
-    Fmt.pr "%d transactions, %d bytes moved, efficiency %.2f@."
-      (Gpu_mem.Coalesce.count txns)
-      (Gpu_mem.Coalesce.bytes txns)
-      (Gpu_mem.Coalesce.efficiency ~width:4 a txns);
-    Fmt.pr "bank conflict degree (16 banks): %d@."
-      (Gpu_mem.Bank.conflict_degree ~banks:16 a)
+    if List.length addresses > 16 then
+      Error
+        (D.error D.Cli "expected at most 16 addresses, got %d"
+           (List.length addresses))
+    else if List.exists (fun a -> a < 0) addresses then
+      Error (D.error D.Cli "addresses must be non-negative byte offsets")
+    else
+      guard D.Cli @@ fun () ->
+      let cfg =
+        { Gpu_mem.Coalesce.group = 16; min_segment = segment; max_segment = 128 }
+      in
+      let a = Array.make 16 None in
+      List.iteri (fun i x -> if i < 16 then a.(i) <- Some x) addresses;
+      let txns = Gpu_mem.Coalesce.group_transactions cfg ~width:4 a in
+      List.iter (fun t -> Fmt.pr "%a@." Gpu_mem.Coalesce.pp_txn t) txns;
+      Fmt.pr "%d transactions, %d bytes moved, efficiency %.2f@."
+        (Gpu_mem.Coalesce.count txns)
+        (Gpu_mem.Coalesce.bytes txns)
+        (Gpu_mem.Coalesce.efficiency ~width:4 a txns);
+      Fmt.pr "bank conflict degree (16 banks): %d@."
+        (Gpu_mem.Bank.conflict_degree ~banks:16 a)
   in
   Cmd.v
     (Cmd.info "coalesce"
@@ -284,13 +351,23 @@ let coalesce_cmd =
 
 (* --- main ------------------------------------------------------------------ *)
 
+(* Every subcommand evaluates to [(unit, Diag.t) result]; the mapping to
+   process exit codes lives in exactly one place. *)
 let () =
   let doc = "quantitative GPU performance analysis (Zhang & Owens, HPCA'11)" in
   let info = Cmd.info "gpuperf" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [
+        occupancy_cmd; microbench_cmd; analyze_cmd; whatif_cmd;
+        disasm_cmd; asm_cmd; coalesce_cmd;
+      ]
+  in
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            occupancy_cmd; microbench_cmd; analyze_cmd; whatif_cmd;
-            disasm_cmd; asm_cmd; coalesce_cmd;
-          ]))
+    (match Cmd.eval_value group with
+    | Ok (`Ok (Ok ())) | Ok `Version | Ok `Help -> 0
+    | Ok (`Ok (Error d)) ->
+      print_diag d;
+      1
+    | Error `Exn -> 1
+    | Error (`Parse | `Term) -> 2)

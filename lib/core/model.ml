@@ -64,6 +64,8 @@ type stage_analysis = {
   causes : cause list;
 }
 
+type confidence = Calibrated | Degraded
+
 type t = {
   spec : Spec.t;
   grid : int;
@@ -80,6 +82,10 @@ type t = {
   coalescing_efficiency : float;
   bank_conflict_penalty : float;
   predicted_gflops : float;
+  warnings : Gpu_diag.Diag.t list;
+      (* out-of-calibrated-range conditions: the prediction stands, with
+         degraded confidence *)
+  confidence : confidence;
 }
 
 type inputs = {
@@ -240,7 +246,57 @@ let analyze_stage inp ~program_txns_per_thread ~stage_index
     causes;
   }
 
+(* Inputs the microbenchmark sweeps never measured (Section 4 calibrates
+   whole warps at 1..32 warps/SM, global configurations up to the folding
+   caps of [Tables.gmem_bandwidth], and statistics from at least one
+   simulated block).  Outside that domain the model still computes, but the
+   result is extrapolation: report it, don't abort on it. *)
+let range_warnings inp ~program_txns_per_thread =
+  let module D = Gpu_diag.Diag in
+  let w ?(severity = D.Warning) cond fmt =
+    Format.kasprintf
+      (fun m -> if cond then [ D.make severity D.Model m ] else [])
+      fmt
+  in
+  let spec = inp.in_spec in
+  let total = Stats.total inp.stats in
+  List.concat
+    [
+      w
+        (Stats.total_issued total = 0)
+        "kernel issued no instructions: the prediction is degenerate";
+      w
+        (inp.in_block mod spec.Spec.warp_size <> 0)
+        "block size %d is not a multiple of the warp size %d: throughput \
+         tables are calibrated on whole warps"
+        inp.in_block spec.Spec.warp_size;
+      w (inp.in_grid > 120)
+        "grid of %d blocks exceeds the calibrated synthetic-benchmark \
+         sweep: its bandwidth is folded onto a 120-block configuration"
+        inp.in_grid;
+      w
+        (program_txns_per_thread > 256)
+        "%d global transactions/thread exceeds the calibrated sweep (max \
+         256): bandwidth is extrapolated"
+        program_txns_per_thread;
+      w
+        (load_balance ~spec ~grid:inp.in_grid < 0.75)
+        "grid of %d blocks loads the %d SMs at %.0f%%: per-SM throughput \
+         tables are applied to an unbalanced device"
+        inp.in_grid spec.Spec.num_sms
+        (100.0 *. load_balance ~spec ~grid:inp.in_grid);
+      w ~severity:D.Info
+        (inp.scale > 1.0)
+        "statistics scaled %.3gx from a %d-block sample: exact only for \
+         block-homogeneous workloads"
+        inp.scale inp.blocks_run;
+    ]
+
 let analyze inp =
+  if inp.in_grid <= 0 then
+    invalid_arg "Model.analyze: grid must have at least one block";
+  if inp.in_block <= 0 then
+    invalid_arg "Model.analyze: blocks must have at least one thread";
   let spec = inp.in_spec in
   let resident =
     min inp.in_occupancy.Gpu_hw.Occupancy.blocks
@@ -285,6 +341,15 @@ let analyze inp =
       float_of_int all.mads *. inp.scale *. 32.0 *. 2.0
       /. predicted_seconds /. 1e9
   in
+  let warnings = range_warnings inp ~program_txns_per_thread in
+  let confidence =
+    if
+      List.exists
+        (fun (d : Gpu_diag.Diag.t) -> d.severity = Gpu_diag.Diag.Warning)
+        warnings
+    then Degraded
+    else Calibrated
+  in
   {
     spec;
     grid = inp.in_grid;
@@ -301,7 +366,20 @@ let analyze inp =
     coalescing_efficiency = Stats.coalescing_efficiency all;
     bank_conflict_penalty = Stats.bank_conflict_penalty all;
     predicted_gflops;
+    warnings;
+    confidence;
   }
+
+(* The [Result] face of [analyze]: degenerate launch geometry becomes a
+   [Model] diagnostic instead of an exception (or a NaN reaching the
+   caller through the load-balance division). *)
+let analyze_result inp =
+  let module D = Gpu_diag.Diag in
+  let convert = function
+    | Invalid_argument m -> Some (D.make D.Error D.Model m)
+    | _ -> None
+  in
+  D.protect ~stage:D.Model ~convert (fun () -> analyze inp)
 
 (* --- Reporting -------------------------------------------------------- *)
 
@@ -316,13 +394,20 @@ let pp_stage ppf st =
       List.iter (fun c -> Fmt.pf ppf "@,  cause: %a" pp_cause c) causes)
     st.causes
 
+let pp_confidence ppf t =
+  match t.confidence with
+  | Calibrated -> ()
+  | Degraded ->
+    Fmt.pf ppf "@,confidence: degraded (outside the calibrated domain)";
+    List.iter (fun d -> Fmt.pf ppf "@,%a" Gpu_diag.Diag.pp d) t.warnings
+
 let pp ppf t =
   Fmt.pf ppf
     "@[<v>%s | grid %d x %d threads | %d resident blocks (%s)@,\
      predicted: %.4g ms (%s; no-overlap bound %.4g ms)@,bottleneck: \
      %a@,components: %a@,\
      computational density %.1f%%, coalescing %.1f%%, bank-conflict \
-     penalty %.2fx@,predicted %.1f GFLOPS@,%a@]"
+     penalty %.2fx@,predicted %.1f GFLOPS@,%a%a@]"
     t.spec.Spec.name t.grid t.block t.resident_blocks
     (if t.serialized then "stages serialized" else "stages overlapped")
     (1e3 *. t.predicted_seconds)
@@ -335,4 +420,4 @@ let pp ppf t =
     t.bank_conflict_penalty t.predicted_gflops
     (fun ppf stages ->
       List.iter (fun st -> Fmt.pf ppf "@,%a" pp_stage st) stages)
-    t.stages
+    t.stages pp_confidence t

@@ -33,6 +33,12 @@ type stage_analysis = {
   causes : cause list;
 }
 
+(** Whether the inputs stayed inside the domain the microbenchmark tables
+    were calibrated on.  [Degraded] means the prediction is still computed
+    by the same arithmetic but at least one {!t.warnings} entry flags an
+    extrapolation. *)
+type confidence = Calibrated | Degraded
+
 type t = {
   spec : Gpu_hw.Spec.t;
   grid : int;
@@ -52,6 +58,10 @@ type t = {
   coalescing_efficiency : float;
   bank_conflict_penalty : float;
   predicted_gflops : float;
+  warnings : Gpu_diag.Diag.t list;
+      (** out-of-calibrated-range conditions; [Warning] severity degrades
+          {!t.confidence}, [Info] entries are purely informational *)
+  confidence : confidence;
 }
 
 type inputs = {
@@ -72,7 +82,14 @@ val load_balance : spec:Gpu_hw.Spec.t -> grid:int -> float
     benchmark's configuration, Section 4.3). *)
 val txns_per_thread : inputs -> int
 
+(** Raises [Invalid_argument] on degenerate launch geometry (non-positive
+    grid or block), which would otherwise surface as NaN through the
+    load-balance division. *)
 val analyze : inputs -> t
+
+(** Like {!analyze} but total: degenerate geometry becomes a [Model]
+    diagnostic.  No exception escapes. *)
+val analyze_result : inputs -> (t, Gpu_diag.Diag.t) result
 val pp_times : Format.formatter -> Component.times -> unit
 val pp_stage : Format.formatter -> stage_analysis -> unit
 val pp : Format.formatter -> t -> unit

@@ -19,18 +19,20 @@ type report = {
   measured : Gpu_timing.Engine.result option;
 }
 
+let demand_of ~spec ~block (k : Gpu_kernel.Compile.compiled) =
+  {
+    Gpu_hw.Occupancy.threads_per_block = block;
+    registers_per_thread = max 1 k.reg_demand;
+    (* the driver reserves launch metadata in shared memory, which is
+       what pushes e.g. a 4096-byte tile to the 3-block occupancy of
+       Table 2 *)
+    smem_per_block =
+      (if k.smem_bytes = 0 then 0
+       else k.smem_bytes + spec.Spec.smem_launch_overhead);
+  }
+
 let occupancy_of ~spec ~block (k : Gpu_kernel.Compile.compiled) =
-  Gpu_hw.Occupancy.compute ~spec
-    {
-      Gpu_hw.Occupancy.threads_per_block = block;
-      registers_per_thread = max 1 k.reg_demand;
-      (* the driver reserves launch metadata in shared memory, which is
-         what pushes e.g. a 4096-byte tile to the 3-block occupancy of
-         Table 2 *)
-      smem_per_block =
-        (if k.smem_bytes = 0 then 0
-         else k.smem_bytes + spec.Spec.smem_launch_overhead);
-    }
+  Gpu_hw.Occupancy.compute ~spec (demand_of ~spec ~block k)
 
 (* Replay traces of the sampled blocks onto the whole grid (cyclically) for
    the timing simulator.  Exact when the sample covers the grid; otherwise
@@ -92,6 +94,75 @@ let analyze_compiled ?(spec = Spec.gtx285) ?sample ?(measure = false)
 let analyze ?spec ?sample ?measure ~grid ~block ~args kernel =
   let k = Gpu_kernel.Compile.compile kernel in
   analyze_compiled ?spec ?sample ?measure ~grid ~block ~args k
+
+(* The [Result] face of the workflow: each stage's [_result] wrapper runs
+   in sequence, so the first failing stage's diagnostic surfaces and no
+   exception escapes.  Out-of-range warnings from the occupancy calculator
+   and the model are pooled into one list alongside the report. *)
+let analyze_compiled_result ?(spec = Spec.gtx285) ?sample
+    ?(measure = false) ~grid ~block ~args
+    (k : Gpu_kernel.Compile.compiled) =
+  let module D = Gpu_diag.Diag in
+  let ( let* ) = Result.bind in
+  let* occupancy, occ_warnings =
+    Gpu_hw.Occupancy.compute_result ~spec (demand_of ~spec ~block k)
+  in
+  let block_ids =
+    match sample with
+    | Some n when n < grid -> Some (List.init (max n 0) Fun.id)
+    | Some _ | None -> None
+  in
+  let* r =
+    match
+      Gpu_sim.Sim.run_result ~collect_trace:measure ?block_ids ~spec ~grid
+        ~block ~args k
+    with
+    | Ok r -> Ok r
+    | Error f -> Error f.Gpu_sim.Sim.diag
+  in
+  let scale = Gpu_sim.Sim.scale_factor r in
+  let tables = Gpu_microbench.Tables.for_spec spec in
+  let* analysis =
+    Model.analyze_result
+      {
+        Model.in_spec = spec;
+        tables;
+        stats = r.stats;
+        scale;
+        in_grid = grid;
+        in_block = block;
+        in_occupancy = occupancy;
+        blocks_run = r.blocks_run;
+      }
+  in
+  let* measured =
+    if measure then
+      D.protect ~stage:D.Timing (fun () ->
+          let traces = replicate_traces ~grid r.traces in
+          Some
+            (Gpu_timing.Engine.run
+               ~homogeneous:(r.blocks_run < grid)
+               ~spec
+               ~max_resident_blocks:occupancy.Gpu_hw.Occupancy.blocks
+               traces))
+    else Ok None
+  in
+  Ok
+    ( {
+        kernel_name = Gpu_isa.Program.name k.program;
+        compiled = k;
+        launch = { grid; block };
+        stats = r.stats;
+        scale;
+        analysis;
+        measured;
+      },
+      occ_warnings @ analysis.Model.warnings )
+
+let analyze_result ?spec ?sample ?measure ~grid ~block ~args kernel =
+  let ( let* ) = Result.bind in
+  let* k = Gpu_kernel.Compile.compile_result kernel in
+  analyze_compiled_result ?spec ?sample ?measure ~grid ~block ~args k
 
 let measured_seconds report =
   Option.map (fun (r : Gpu_timing.Engine.result) -> r.seconds)

@@ -46,6 +46,33 @@ val analyze_compiled :
   Gpu_kernel.Compile.compiled ->
   report
 
+(** Like {!analyze} but total: the first failing stage (compile, launch,
+    simulation, model, trace replay) surfaces as a diagnostic; no
+    exception escapes.  On success the report is paired with the pooled
+    out-of-calibrated-range warnings from the occupancy calculator and
+    the model (also available as [report.analysis.warnings] for the
+    model's share). *)
+val analyze_result :
+  ?spec:Gpu_hw.Spec.t ->
+  ?sample:int ->
+  ?measure:bool ->
+  grid:int ->
+  block:int ->
+  args:(string * int32 array) list ->
+  Gpu_kernel.Ir.t ->
+  (report * Gpu_diag.Diag.t list, Gpu_diag.Diag.t) result
+
+(** Like {!analyze_result} for an already-compiled kernel. *)
+val analyze_compiled_result :
+  ?spec:Gpu_hw.Spec.t ->
+  ?sample:int ->
+  ?measure:bool ->
+  grid:int ->
+  block:int ->
+  args:(string * int32 array) list ->
+  Gpu_kernel.Compile.compiled ->
+  (report * Gpu_diag.Diag.t list, Gpu_diag.Diag.t) result
+
 val measured_seconds : report -> float option
 
 (** (predicted - measured) / measured, when a measurement was taken. *)

@@ -1,0 +1,159 @@
+(* Structured diagnostics shared by every toolchain stage.  The design
+   point is the ROADMAP's production service: a malformed input anywhere in
+   the Figure-1 pipeline must degrade into a diagnosis carrying enough
+   structure (severity, stage, location, hint) for uniform rendering and
+   error budgeting, never into an uncaught exception. *)
+
+type severity = Error | Warning | Info
+
+type stage =
+  | Disasm
+  | Asm
+  | Compile
+  | Launch
+  | Exec
+  | Occupancy
+  | Model
+  | Timing
+  | Cli
+
+type location =
+  | Nowhere
+  | Line of int
+  | Byte_offset of int
+  | Ir_site of string
+  | Sim_site of { block : int option; warp : int option }
+
+type t = {
+  severity : severity;
+  stage : stage;
+  location : location;
+  message : string;
+  hint : string option;
+}
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let stage_name = function
+  | Disasm -> "disasm"
+  | Asm -> "asm"
+  | Compile -> "compile"
+  | Launch -> "launch"
+  | Exec -> "exec"
+  | Occupancy -> "occupancy"
+  | Model -> "model"
+  | Timing -> "timing"
+  | Cli -> "cli"
+
+let severity_rank = function Error -> 2 | Warning -> 1 | Info -> 0
+
+let compare_severity a b = compare (severity_rank a) (severity_rank b)
+
+let make ?(location = Nowhere) ?hint severity stage message =
+  { severity; stage; location; message; hint }
+
+let kmake severity ?location ?hint stage fmt =
+  Format.kasprintf (fun message -> make ?location ?hint severity stage message)
+    fmt
+
+let error ?location ?hint stage fmt = kmake Error ?location ?hint stage fmt
+
+let warning ?location ?hint stage fmt =
+  kmake Warning ?location ?hint stage fmt
+
+let info ?location ?hint stage fmt = kmake Info ?location ?hint stage fmt
+
+exception Diag_error of t
+
+let fail d = raise (Diag_error d)
+
+let pp_location ppf = function
+  | Nowhere -> ()
+  | Line l -> Fmt.pf ppf "line %d" l
+  | Byte_offset o -> Fmt.pf ppf "byte %#x" o
+  | Ir_site path -> Fmt.pf ppf "at %s" path
+  | Sim_site { block; warp } ->
+    (match block with
+    | Some b -> Fmt.pf ppf "block %d" b
+    | None -> Fmt.pf ppf "device");
+    (match warp with Some w -> Fmt.pf ppf " warp %d" w | None -> ())
+
+let pp ppf d =
+  Fmt.pf ppf "%s: %s" (stage_name d.stage) (severity_name d.severity);
+  (match d.location with
+  | Nowhere -> ()
+  | loc -> Fmt.pf ppf " at %a" pp_location loc);
+  Fmt.pf ppf ": %s" d.message;
+  match d.hint with None -> () | Some h -> Fmt.pf ppf "@,  hint: %s" h
+
+let to_string d = Fmt.str "@[<v>%a@]" pp d
+
+(* ANSI severity colors: red errors, yellow warnings, cyan infos; the stage
+   prefix is bold.  The caller decides whether the output is a tty. *)
+let severity_color = function
+  | Error -> "\027[31m"
+  | Warning -> "\027[33m"
+  | Info -> "\027[36m"
+
+let render ?(color = false) ?(prefix = "gpuperf") d =
+  let bold s = if color then "\027[1m" ^ s ^ "\027[0m" else s in
+  let sev =
+    let name = severity_name d.severity in
+    if color then severity_color d.severity ^ name ^ "\027[0m" else name
+  in
+  let loc =
+    match d.location with
+    | Nowhere -> ""
+    | l -> Fmt.str " at %a" pp_location l
+  in
+  let head =
+    Fmt.str "%s: %s: %s%s: %s" prefix
+      (bold (stage_name d.stage))
+      sev loc d.message
+  in
+  match d.hint with
+  | None -> head
+  | Some h -> head ^ "\n  hint: " ^ h
+
+(* --- Collector --------------------------------------------------------- *)
+
+type collector = { mutable rev_items : t list }
+
+let collector () = { rev_items = [] }
+
+let emit c d = c.rev_items <- d :: c.rev_items
+
+let items c = List.rev c.rev_items
+
+let max_severity c =
+  List.fold_left
+    (fun acc d ->
+      match acc with
+      | None -> Some d.severity
+      | Some s -> if compare_severity d.severity s > 0 then Some d.severity
+                  else acc)
+    None c.rev_items
+
+let has_errors c = List.exists (fun d -> d.severity = Error) c.rev_items
+
+(* --- Result helpers ---------------------------------------------------- *)
+
+let of_exn ~stage e =
+  match e with
+  | Diag_error d -> d
+  | Failure m | Invalid_argument m -> make Error stage m
+  | e ->
+    make Error stage
+      ~hint:"this is a toolchain bug, not an input error; please report it"
+      (Printexc.to_string e)
+
+let protect ~stage ?convert f =
+  match f () with
+  | v -> Ok v
+  | exception e ->
+    let converted = match convert with None -> None | Some c -> c e in
+    Error
+      (match converted with Some d -> d | None -> of_exn ~stage e)

@@ -1,0 +1,109 @@
+(** Structured diagnostics for the analysis toolchain.
+
+    Every stage of the paper's Figure-1 pipeline (disassembler, assembler,
+    compiler, simulator, occupancy calculator, model) reports failures and
+    degraded-confidence conditions through one diagnostic type: a severity,
+    the stage that produced it, a source location, a message and an
+    optional recovery hint.  Public stage entry points come in pairs — a
+    raising API kept for backwards compatibility, and a [Result]-returning
+    [_result] API guaranteed never to let an exception escape. *)
+
+type severity =
+  | Error  (** the stage could not produce its result *)
+  | Warning  (** the result stands, with degraded confidence *)
+  | Info
+
+type stage =
+  | Disasm  (** binary kernel-image decoding (the Decuda analog) *)
+  | Asm  (** textual assembly parsing (the cudasm analog) *)
+  | Compile  (** IR-to-ISA compilation (the nvcc analog) *)
+  | Launch  (** launch-configuration validation (the driver analog) *)
+  | Exec  (** functional simulation (the Barra analog) *)
+  | Occupancy  (** the Table-2 resident-block calculator *)
+  | Model  (** the throughput model and microbenchmark tables *)
+  | Timing  (** the cycle-approximate timing simulator *)
+  | Cli  (** command-line front end *)
+
+type location =
+  | Nowhere
+  | Line of int  (** 1-based line of an assembly listing *)
+  | Byte_offset of int  (** byte offset into a kernel image *)
+  | Ir_site of string  (** statement path inside a kernel IR body *)
+  | Sim_site of { block : int option; warp : int option }
+      (** block/warp coordinates of a simulated fault *)
+
+type t = {
+  severity : severity;
+  stage : stage;
+  location : location;
+  message : string;
+  hint : string option;
+}
+
+val severity_name : severity -> string
+val stage_name : stage -> string
+
+(** Severity ordering: [Error > Warning > Info]. *)
+val compare_severity : severity -> severity -> int
+
+val make :
+  ?location:location -> ?hint:string -> severity -> stage -> string -> t
+
+(** Printf-style constructors. *)
+val error :
+  ?location:location -> ?hint:string -> stage ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+
+val warning :
+  ?location:location -> ?hint:string -> stage ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+
+val info :
+  ?location:location -> ?hint:string -> stage ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+
+(** Raised by code that has a diagnostic but no [Result] channel to return
+    it on (the CLI uses this); {!protect} converts it back to [Error]. *)
+exception Diag_error of t
+
+(** [fail d] raises {!Diag_error}. *)
+val fail : t -> 'a
+
+val pp_location : Format.formatter -> location -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** One-line CLI rendering: ["gpuperf: <stage>: <severity>: <message>"]
+    with the location appended and the hint on a second line.  [color]
+    selects ANSI highlighting of the severity. *)
+val render : ?color:bool -> ?prefix:string -> t -> string
+
+(** {2 Collector}
+
+    Accumulates non-fatal diagnostics (typically warnings) emitted while a
+    stage still produces a result. *)
+
+type collector
+
+val collector : unit -> collector
+val emit : collector -> t -> unit
+val items : collector -> t list
+(** In emission order. *)
+
+val max_severity : collector -> severity option
+val has_errors : collector -> bool
+
+(** {2 Result helpers} *)
+
+(** [protect ~stage ?convert f] runs [f ()], mapping any raised exception
+    to [Error diag].  [convert] translates the stage's own exceptions;
+    anything it declines (and any other exception) becomes a generic
+    [stage]-attributed error, so no exception ever escapes. *)
+val protect :
+  stage:stage -> ?convert:(exn -> t option) -> (unit -> 'a) ->
+  ('a, t) result
+
+(** [of_exn ~stage e] is the generic conversion {!protect} falls back on:
+    [Failure] and [Invalid_argument] payloads become the message verbatim,
+    anything else goes through [Printexc.to_string]. *)
+val of_exn : stage:stage -> exn -> t

@@ -1,0 +1,56 @@
+(* Deterministic fault injection: splitmix64 (Steele, Lea & Flood 2014) as
+   the seeded source, plus byte-level mutations of the inter-stage
+   artifacts.  OCaml's [Random] is deliberately avoided so scenario N of
+   the injection suite corrupts the same bytes on every run and platform. *)
+
+type rng = { mutable state : int64 }
+
+let make ~seed = { state = Int64.of_int seed }
+
+let bits64 r =
+  r.state <- Int64.add r.state 0x9E3779B97F4A7C15L;
+  let z = r.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int r bound =
+  if bound <= 0 then invalid_arg "Inject.int: bound must be positive";
+  (* 62 uniform bits; the modulo bias is irrelevant for fault injection. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 r) 2) in
+  v mod bound
+
+let bool r = Int64.logand (bits64 r) 1L = 1L
+
+let corrupt_bytes r ~flips s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    for _ = 1 to flips do
+      Bytes.set b (int r (Bytes.length b)) (Char.chr (int r 256))
+    done;
+    Bytes.to_string b
+  end
+
+let flip_bits r ~flips s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    for _ = 1 to flips do
+      let i = int r (Bytes.length b) in
+      let bit = int r 8 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)))
+    done;
+    Bytes.to_string b
+  end
+
+let truncate r s =
+  if String.length s = 0 then s else String.sub s 0 (int r (String.length s))
+
+let random_bytes r n = String.init n (fun _ -> Char.chr (int r 256))

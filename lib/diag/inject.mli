@@ -1,0 +1,36 @@
+(** Deterministic fault-injection helpers.
+
+    A seeded splitmix64 generator drives reproducible corruption of the
+    byte strings that flow between toolchain stages (kernel images,
+    listings) so the test suite can assert that every stage degrades
+    malformed input into a structured diagnostic — the measurement-harness
+    discipline of the microbenchmarking literature, applied to our own
+    pipeline.  Simulator-level faults (forced traps, poisoned memory) are
+    injected through hooks on [Gpu_sim]; this module only supplies the
+    deterministic randomness and byte-level mutations. *)
+
+type rng
+
+(** Same seed, same stream — across runs and platforms. *)
+val make : seed:int -> rng
+
+(** Next raw 64-bit output. *)
+val bits64 : rng -> int64
+
+(** Uniform integer in [\[0, bound)]; [bound] must be positive. *)
+val int : rng -> int -> int
+
+val bool : rng -> bool
+
+(** Replace [flips] randomly chosen bytes with random values (the chosen
+    positions may coincide).  Empty strings pass through unchanged. *)
+val corrupt_bytes : rng -> flips:int -> string -> string
+
+(** Flip [flips] randomly chosen single bits. *)
+val flip_bits : rng -> flips:int -> string -> string
+
+(** A strict random prefix (possibly empty) of the input. *)
+val truncate : rng -> string -> string
+
+(** A fresh random byte string of length [n]. *)
+val random_bytes : rng -> int -> string

@@ -31,6 +31,10 @@ let warps_per_block ~spec demand =
 let compute ~spec demand =
   if demand.threads_per_block <= 0 then
     raise (Invalid_launch "block size must be positive");
+  if demand.registers_per_thread < 0 then
+    raise (Invalid_launch "registers per thread must be non-negative");
+  if demand.smem_per_block < 0 then
+    raise (Invalid_launch "shared memory per block must be non-negative");
   if demand.threads_per_block > spec.Spec.max_threads_per_block then
     raise
       (Invalid_launch
@@ -89,6 +93,52 @@ let compute ~spec demand =
     active_warps = blocks * wpb;
     limiter;
   }
+
+(* Out-of-calibrated-range conditions: shapes the microbenchmark sweeps
+   (whole warps, 1..32 warps/SM, ordinary register budgets) never measured.
+   They degrade the model's confidence but do not invalidate the Table-2
+   arithmetic, so they are warnings, not errors. *)
+let range_warnings ~spec demand t =
+  let module D = Gpu_diag.Diag in
+  let w cond fmt =
+    Format.kasprintf
+      (fun m -> if cond then [ D.make D.Warning D.Occupancy m ] else [])
+      fmt
+  in
+  List.concat
+    [
+      w
+        (demand.threads_per_block mod spec.Spec.warp_size <> 0)
+        "block size %d is not a multiple of the warp size %d: the partial \
+         warp wastes lanes and sits outside the microbenchmark sweep"
+        demand.threads_per_block spec.Spec.warp_size;
+      w
+        (demand.threads_per_block < spec.Spec.warp_size)
+        "block size %d is below one warp (%d threads): throughput tables \
+         are extrapolated"
+        demand.threads_per_block spec.Spec.warp_size;
+      w
+        (demand.registers_per_thread > 128)
+        "%d registers/thread exceeds any calibrated kernel shape (max 128)"
+        demand.registers_per_thread;
+      w (t.active_warps = t.warps_per_block && t.blocks = 1)
+        "only one resident block: barrier stages serialize and the \
+         overlap assumptions of the model weaken";
+    ]
+
+let compute_result ~spec demand =
+  let convert = function
+    | Invalid_launch m ->
+      Some
+        (Gpu_diag.Diag.make Gpu_diag.Diag.Error Gpu_diag.Diag.Occupancy m
+           ~hint:
+             "reduce the per-block resource demand or the block size \
+              below the device ceilings")
+    | _ -> None
+  in
+  Gpu_diag.Diag.protect ~stage:Gpu_diag.Diag.Occupancy ~convert (fun () ->
+      let t = compute ~spec demand in
+      (t, range_warnings ~spec demand t))
 
 (* Active warps on the busiest SM for a whole launch: resident blocks cannot
    exceed the number of blocks actually launched per SM. *)

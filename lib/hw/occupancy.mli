@@ -26,6 +26,14 @@ exception Invalid_launch of string
     ceiling. *)
 val compute : spec:Spec.t -> demand -> t
 
+(** Like {!compute} but total, and paired with out-of-calibrated-range
+    warnings (partial warps, sub-warp blocks, extreme register budgets,
+    single-resident-block serialization): conditions that degrade the
+    model's confidence without invalidating the Table-2 arithmetic.  No
+    exception escapes. *)
+val compute_result :
+  spec:Spec.t -> demand -> (t * Gpu_diag.Diag.t list, Gpu_diag.Diag.t) result
+
 val warps_per_block : spec:Spec.t -> demand -> int
 
 (** Active warps on the busiest SM when only [grid_blocks] blocks are

@@ -344,3 +344,25 @@ let parse text =
         | None -> ())
     lines;
   Program.of_lines ~name:!name (List.rev !rev)
+
+(* The [Result] face of [parse]: parse errors carry their source line;
+   label-resolution errors from [Program.of_lines] concern the whole
+   listing and carry no line. *)
+let parse_result text =
+  let convert = function
+    | Parse_error { line; message } ->
+      Some
+        (Gpu_diag.Diag.make
+           ~location:(Gpu_diag.Diag.Line line)
+           Gpu_diag.Diag.Error Gpu_diag.Diag.Asm message)
+    | Program.Unknown_label l ->
+      Some
+        (Gpu_diag.Diag.error Gpu_diag.Diag.Asm
+           ~hint:"every branch target must be defined as `label:`"
+           "branch targets unknown label %s" l)
+    | Program.Duplicate_label l ->
+      Some (Gpu_diag.Diag.error Gpu_diag.Diag.Asm "duplicate label %s" l)
+    | _ -> None
+  in
+  Gpu_diag.Diag.protect ~stage:Gpu_diag.Diag.Asm ~convert (fun () ->
+      parse text)

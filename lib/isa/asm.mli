@@ -10,3 +10,8 @@ val parse_instr : string -> Instr.t
 (** Parse a full listing: an optional [.entry name] line followed by labels
     ([name:]) and instructions, one per line.  [//] starts a comment. *)
 val parse : string -> Program.t
+
+(** Like {!parse} but total: syntax errors return an [Error] diagnostic
+    carrying the 1-based source line; unresolved or duplicate labels are
+    reported without a line.  No exception escapes. *)
+val parse_result : string -> (Program.t, Gpu_diag.Diag.t) result

@@ -233,16 +233,38 @@ let get_string r =
   r.pos <- r.pos + n;
   s
 
+(* Range checks on decoded indices: a corrupted image must be rejected
+   here, with a byte offset, rather than fault deep inside the simulator
+   with a register-file index out of bounds. *)
+
+let max_reg_index = 4095
+
+let max_pred_index = 3
+
+let get_reg r =
+  let i = get_int r in
+  if i < 0 || i > max_reg_index then
+    raise (Decode_error (Printf.sprintf "register index %d out of range" i));
+  Instr.R i
+
 let get_operand r =
   match get_u8 r with
-  | 0 -> Instr.Reg (R (get_int r))
+  | 0 -> Instr.Reg (get_reg r)
   | 1 -> Instr.Imm (get_i32 r)
   | 2 -> Instr.Fimm (Int32.float_of_bits (get_i32 r))
   | t -> raise (Decode_error (Printf.sprintf "bad operand tag %d" t))
 
-let get_reg r = Instr.R (get_int r)
+let get_pred r =
+  let i = get_int r in
+  if i < 0 || i > max_pred_index then
+    raise
+      (Decode_error (Printf.sprintf "predicate index %d out of range" i));
+  Instr.P i
 
-let get_pred r = Instr.P (get_int r)
+let get_width r =
+  match get_u8 r with
+  | (4 | 8) as w -> w
+  | w -> raise (Decode_error (Printf.sprintf "bad access width %d" w))
 
 let get_maddr r =
   let base = get_reg r in
@@ -308,12 +330,12 @@ let get_op r =
     Instr.Selp (d, x, y, get_pred r)
   | 12 ->
     let sp = nth_of "space" spaces (get_u8 r) in
-    let w = get_u8 r in
+    let w = get_width r in
     let d = get_reg r in
     Instr.Ld (sp, w, d, get_maddr r)
   | 13 ->
     let sp = nth_of "space" spaces (get_u8 r) in
-    let w = get_u8 r in
+    let w = get_width r in
     let m = get_maddr r in
     Instr.St (sp, w, m, get_operand r)
   | 14 -> Instr.Bra (get_string r)
@@ -341,8 +363,22 @@ let get_instr r =
   in
   Instr.mk ?pred (get_op r)
 
-let decode data =
-  let r = { data; pos = 0 } in
+(* A count field larger than the bytes left to parse is corruption: each
+   label costs at least 8 bytes, each instruction at least 2.  Checking
+   before allocating keeps a corrupted 4-byte count from provoking a
+   gigabyte [Array.init] (or the [Invalid_argument] a negative count would
+   raise from the stdlib). *)
+let get_count r ~what ~min_bytes =
+  let n = get_int r in
+  let remaining = String.length r.data - r.pos in
+  if n < 0 || n * min_bytes > remaining then
+    raise
+      (Decode_error
+         (Printf.sprintf "implausible %s count %d (%d bytes remain)" what n
+            remaining));
+  n
+
+let decode_reader r =
   let m = Bytes.create 4 in
   for i = 0 to 3 do Bytes.set m i (Char.chr (get_u8 r)) done;
   if Bytes.to_string m <> magic then raise (Decode_error "bad magic");
@@ -350,14 +386,22 @@ let decode data =
   if v <> version then
     raise (Decode_error (Printf.sprintf "unsupported version %d" v));
   let name = get_string r in
-  let nlabels = get_int r in
+  let nlabels = get_count r ~what:"label" ~min_bytes:8 in
   let labels =
     List.init nlabels (fun _ ->
         let l = get_string r in
         let pc = get_int r in
         (l, pc))
   in
-  let ninstrs = get_int r in
+  let ninstrs = get_count r ~what:"instruction" ~min_bytes:2 in
+  List.iter
+    (fun (l, pc) ->
+      if pc < 0 || pc > ninstrs then
+        raise
+          (Decode_error
+             (Printf.sprintf "label %s at pc %d outside program of %d" l pc
+                ninstrs)))
+    labels;
   let instrs = Array.init ninstrs (fun _ -> get_instr r) in
   (* Reconstruct the interleaved line list so pcs match. *)
   let lines = ref [] in
@@ -369,3 +413,31 @@ let decode data =
     List.iter (fun l -> lines := Program.Label l :: !lines) here
   done;
   Program.of_lines ~name !lines
+
+let decode data = decode_reader { data; pos = 0 }
+
+(* The [Result] face of [decode]: the reader's resting position when the
+   failure surfaced is the diagnostic's byte offset. *)
+let decode_result data =
+  let r = { data; pos = 0 } in
+  let convert e =
+    let located fmt =
+      Format.kasprintf
+        (fun m ->
+          Some
+            (Gpu_diag.Diag.make
+               ~location:(Gpu_diag.Diag.Byte_offset r.pos)
+               ~hint:
+                 "the image is corrupt or not a GCUB kernel image; \
+                  re-assemble it with `gpuperf asm`"
+               Gpu_diag.Diag.Error Gpu_diag.Diag.Disasm m))
+        fmt
+    in
+    match e with
+    | Decode_error m -> located "%s" m
+    | Program.Unknown_label l -> located "branch targets unknown label %s" l
+    | Program.Duplicate_label l -> located "duplicate label %s" l
+    | _ -> None
+  in
+  Gpu_diag.Diag.protect ~stage:Gpu_diag.Diag.Disasm ~convert (fun () ->
+      decode_reader r)

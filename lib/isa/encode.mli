@@ -8,3 +8,9 @@ val encode : Program.t -> string
 
 (** Inverse of {!encode}.  Raises {!Decode_error} on malformed input. *)
 val decode : string -> Program.t
+
+(** Like {!decode} but total: any malformed input — bad magic, implausible
+    counts, out-of-range indices, truncation — returns an [Error]
+    diagnostic carrying the byte offset at which decoding stopped.  No
+    exception escapes. *)
+val decode_result : string -> (Program.t, Gpu_diag.Diag.t) result

@@ -103,10 +103,24 @@ type state = {
   mutable temps : int; (* temporaries currently live *)
   mutable max_reg : int;
   mutable next_label : int;
+  ctx : string list ref; (* innermost-first statement path, for diags *)
   param_regs : (string * int) list;
   shared_offsets : (string * int) list;
   max_registers : int;
 }
+
+(* One-word descriptions of statements, composed into the IR path a
+   diagnostic reports ("for i > if > store gA[..]"). *)
+let stmt_tag : Ir.stmt -> string = function
+  | Ir.Let (n, _) -> "let " ^ n
+  | Ir.Local (n, _) -> "local " ^ n
+  | Ir.Assign (n, _) -> "assign " ^ n
+  | Ir.St_global (a, _, _) -> "store " ^ a ^ "[..]"
+  | Ir.St_shared (a, _, _) -> "store shared " ^ a ^ "[..]"
+  | Ir.If _ -> "if"
+  | Ir.While _ -> "while"
+  | Ir.For (x, _, _, _) -> "for " ^ x
+  | Ir.Sync -> "sync"
 
 let emit st op = st.lines <- Gpu_isa.Program.Instr (I.mk op) :: st.lines
 
@@ -130,7 +144,8 @@ let alloc_temp st =
 
 let free_operand st = function
   | I.Reg (I.R r) when r >= st.var_top ->
-    (* a temporary: stack discipline means it is the most recent one *)
+    (* invariant of the temporary stack discipline, not input-reachable:
+       frees happen in reverse allocation order *)
     assert (r = st.var_top + st.temps - 1);
     st.temps <- st.temps - 1
   | I.Reg _ | I.Imm _ | I.Fimm _ -> ()
@@ -141,6 +156,7 @@ let lookup st name =
   | None -> error "unbound variable %s" name
 
 let declare st name =
+  (* invariant, not input-reachable: statements start with no live temps *)
   assert (st.temps = 0);
   let r = st.var_top in
   st.var_top <- r + 1;
@@ -394,6 +410,14 @@ let maddr_of = function
   | `Temp addr -> { I.base = I.R addr; offset = 0 }
 
 let rec compile_stmt st (s : Ir.stmt) =
+  (* The context stack needs no unwinding on error: a raised [Error] aborts
+     the whole compilation, and [compile_result] reads the stack as the
+     diagnostic's IR location. *)
+  st.ctx := stmt_tag s :: !(st.ctx);
+  compile_stmt_inner st s;
+  st.ctx := List.tl !(st.ctx)
+
+and compile_stmt_inner st (s : Ir.stmt) =
   match s with
   | Ir.Let (name, e) | Ir.Local (name, e) ->
     let o = eval st e in
@@ -401,6 +425,7 @@ let rec compile_stmt st (s : Ir.stmt) =
     | I.Reg (I.R r) when r >= st.var_top ->
       (* the result already lives in a fresh temporary: claim it *)
       st.temps <- st.temps - 1;
+      (* invariant: the claimed temporary was the expression's only one *)
       assert (st.temps = 0);
       st.var_top <- r + 1;
       st.env <- (name, r) :: st.env
@@ -475,13 +500,15 @@ and compile_block st body =
   let saved_top = st.var_top in
   List.iter
     (fun s ->
+      (* invariant, not input-reachable: expression temporaries never
+         survive the statement that allocated them *)
       assert (st.temps = 0);
       compile_stmt st s)
     body;
   st.env <- saved_env;
   st.var_top <- saved_top
 
-let compile ?(max_registers = 128) (k : Ir.t) : compiled =
+let compile_with ~ctx ~max_registers (k : Ir.t) : compiled =
   let param_regs = List.mapi (fun i name -> (name, i)) k.params in
   (match
      List.find_opt
@@ -506,6 +533,7 @@ let compile ?(max_registers = 128) (k : Ir.t) : compiled =
       temps = 0;
       max_reg = List.length k.params - 1;
       next_label = 0;
+      ctx;
       param_regs;
       shared_offsets;
       max_registers;
@@ -533,3 +561,28 @@ let compile ?(max_registers = 128) (k : Ir.t) : compiled =
     smem_bytes;
     reg_demand = st.max_reg + 1;
   }
+
+let compile ?(max_registers = 128) k =
+  compile_with ~ctx:(ref []) ~max_registers k
+
+(* The [Result] face of [compile]: compilation errors are located by the
+   statement path being compiled when they surfaced ("for i > if > let x"),
+   the IR-level analog of a source position. *)
+let compile_result ?(max_registers = 128) (k : Ir.t) =
+  let ctx = ref [] in
+  let convert = function
+    | Error m ->
+      let location =
+        match !ctx with
+        | [] -> Gpu_diag.Diag.Nowhere
+        | path ->
+          Gpu_diag.Diag.Ir_site (String.concat " > " (List.rev path))
+      in
+      Some
+        (Gpu_diag.Diag.make ~location Gpu_diag.Diag.Error
+           Gpu_diag.Diag.Compile
+           (Printf.sprintf "kernel %s: %s" k.name m))
+    | _ -> None
+  in
+  Gpu_diag.Diag.protect ~stage:Gpu_diag.Diag.Compile ~convert (fun () ->
+      compile_with ~ctx ~max_registers k)

@@ -19,3 +19,10 @@ type compiled = {
 }
 
 val compile : ?max_registers:int -> Ir.t -> compiled
+
+(** Like {!compile} but total: rejected kernels (register-budget overflow,
+    unbound variables, malformed shared arrays, …) return an [Error]
+    diagnostic located by the IR statement path being compiled.  No
+    exception escapes. *)
+val compile_result :
+  ?max_registers:int -> Ir.t -> (compiled, Gpu_diag.Diag.t) result

@@ -70,6 +70,8 @@ let group_transactions c ~width addresses =
       let leader_addr =
         match pending.(leader) with
         | Some a -> a
+        (* invariant, not input-reachable: [remaining] only ever returns
+           the index of a pending (Some) lane *)
         | None -> assert false
       in
       (* Step 1: the max_segment-aligned segment holding the leader. *)

@@ -27,6 +27,8 @@ let measure_cycles ~(spec : Gpu_hw.Spec.t) ~grid ~block ~args
   let proto =
     match r.traces with
     | [ t ] -> t
+    (* invariant, not input-reachable: [run ~block_ids:[0]] with
+       [collect_trace] yields exactly one trace *)
     | _ -> failwith "Runner.measure_cycles: expected one block trace"
   in
   let blocks =

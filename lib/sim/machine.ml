@@ -20,15 +20,17 @@ type config = {
   coalesce : Gpu_mem.Coalesce.config;
   collect_trace : bool;
   max_warp_instructions : int; (* runaway-kernel guard *)
+  inject_stuck_at : int option; (* fault injection: trap at this issue *)
 }
 
 let config ?(collect_trace = false) ?(max_warp_instructions = 500_000_000)
-    spec =
+    ?inject_stuck_at spec =
   {
     spec;
     coalesce = Gpu_mem.Coalesce.config_of_spec spec;
     collect_trace;
     max_warp_instructions;
+    inject_stuck_at;
   }
 
 type frame = { mutable pc : int; rpc : int; mask : int }
@@ -241,6 +243,11 @@ let step cfg ~program ~gmem ~(stats : Stats.t option) block w =
   if w.issued > cfg.max_warp_instructions then
     stuck "block %d warp %d: exceeded %d instructions (runaway kernel?)"
       block.bid w.wid cfg.max_warp_instructions;
+  (match cfg.inject_stuck_at with
+  | Some n when w.issued = n ->
+    stuck "block %d warp %d: injected trap at issue %d (pc %d)" block.bid
+      w.wid n fr.pc
+  | Some _ | None -> ());
   let cls = I.classify instr in
   let em = enabled_mask w fr instr in
   (* A warp is "active" in a stage once it issues real work there with at

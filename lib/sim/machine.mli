@@ -11,10 +11,12 @@ exception Stuck of string
 type config
 
 (** [config spec] builds an execution configuration; [collect_trace]
-    records timing events, [max_warp_instructions] bounds runaway
-    kernels. *)
+    records timing events, [max_warp_instructions] bounds runaway kernels,
+    and [inject_stuck_at n] forces a deterministic {!Stuck} trap at a
+    warp's [n]-th issued instruction (fault injection). *)
 val config :
-  ?collect_trace:bool -> ?max_warp_instructions:int -> Gpu_hw.Spec.t ->
+  ?collect_trace:bool -> ?max_warp_instructions:int ->
+  ?inject_stuck_at:int -> Gpu_hw.Spec.t ->
   config
 
 type warp = {

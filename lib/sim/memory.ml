@@ -2,7 +2,10 @@
    driver allocates kernel-argument buffers here with 256-byte alignment
    (as cudaMalloc does), which matters for coalescing behavior. *)
 
-type t = { words : int32 array }
+type t = {
+  words : int32 array;
+  mutable poisoned : (int * int) list; (* injected-fault byte ranges *)
+}
 
 exception Fault of string
 
@@ -10,16 +13,27 @@ let fault fmt = Printf.ksprintf (fun s -> raise (Fault s)) fmt
 
 let create ~bytes =
   if bytes < 0 then invalid_arg "Memory.create";
-  { words = Array.make ((bytes + 3) / 4) 0l }
+  { words = Array.make ((bytes + 3) / 4) 0l; poisoned = [] }
 
 let size_bytes t = 4 * Array.length t.words
+
+(* Fault injection: a poisoned range models a failing memory transaction —
+   any access overlapping it traps, the way an Xid/ECC error would surface
+   on real hardware.  Used by the fault-injection suite. *)
+let poison t ~addr ~width = t.poisoned <- (addr, width) :: t.poisoned
 
 let check t addr width =
   if addr < 0 || addr + width > size_bytes t then
     fault "global memory access at %#x (width %d) outside [0, %#x)" addr
       width (size_bytes t);
   if addr mod width <> 0 then
-    fault "misaligned global memory access at %#x (width %d)" addr width
+    fault "misaligned global memory access at %#x (width %d)" addr width;
+  List.iter
+    (fun (base, w) ->
+      if addr < base + w && base < addr + width then
+        fault "poisoned global memory transaction at %#x (injected fault)"
+          addr)
+    t.poisoned
 
 let load32 t addr =
   check t addr 4;

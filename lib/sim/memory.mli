@@ -17,6 +17,11 @@ val store32 : t -> int -> int32 -> unit
 val load64 : t -> int -> int64
 val store64 : t -> int -> int64 -> unit
 
+(** Fault injection: mark a byte range as failing, so any overlapping
+    access raises {!Fault} — a deterministic stand-in for a failing memory
+    transaction (ECC/Xid-style errors on real devices). *)
+val poison : t -> addr:int -> width:int -> unit
+
 val alignment : int
 
 type allocation = { base : int; length : int (** words *) }

@@ -26,8 +26,15 @@ let scale_factor r =
   if r.blocks_run = 0 then 0.0
   else float_of_int r.grid /. float_of_int r.blocks_run
 
-let run ?(collect_trace = false) ?block_ids ?(spec = Gpu_hw.Spec.gtx285)
-    ?max_warp_instructions ~grid ~block ~args
+(* The shared worker behind [run] and [run_result]: [stats] and
+   [completed] live outside so that on a mid-run fault the caller still
+   holds the statistics accumulated up to the fault point (they stay
+   internally consistent — counters only ever grow, and a fault aborts
+   before the faulting instruction's own counts are partially applied
+   beyond the current warp-instruction). *)
+let run_into ?(collect_trace = false) ?block_ids
+    ?(spec = Gpu_hw.Spec.gtx285) ?max_warp_instructions ?inject_stuck_at
+    ?(poison = []) ~stats ~completed ~current_block ~grid ~block ~args
     (k : Gpu_kernel.Compile.compiled) =
   if grid <= 0 then launch_error "grid must have at least one block";
   if block <= 0 then launch_error "blocks must have at least one thread";
@@ -56,11 +63,14 @@ let run ?(collect_trace = false) ?block_ids ?(spec = Gpu_hw.Spec.gtx285)
   in
   let gmem = Memory.create ~bytes in
   List.iter2 (fun (_, data) a -> Memory.copy_in gmem a data) buffers allocs;
+  List.iter (fun (addr, width) -> Memory.poison gmem ~addr ~width) poison;
   let param_bases =
     List.map2 (fun (name, _) a -> (name, a.Memory.base)) buffers allocs
   in
-  let cfg = Machine.config ~collect_trace ?max_warp_instructions spec in
-  let stats = Stats.create () in
+  let cfg =
+    Machine.config ~collect_trace ?max_warp_instructions ?inject_stuck_at
+      spec
+  in
   let ids =
     match block_ids with
     | None -> List.init grid Fun.id
@@ -75,6 +85,7 @@ let run ?(collect_trace = false) ?block_ids ?(spec = Gpu_hw.Spec.gtx285)
   let traces = ref [] in
   List.iter
     (fun bid ->
+      current_block := Some bid;
       let blk =
         Machine.make_block ~bid ~grid ~nthreads:block
           ~smem_bytes:k.smem_bytes ~nregs:(max 1 k.reg_demand)
@@ -101,8 +112,10 @@ let run ?(collect_trace = false) ?block_ids ?(spec = Gpu_hw.Spec.gtx285)
                 (fun w -> Trace.finish w.Machine.trace)
                 blk.Machine.warps;
           }
-          :: !traces)
+          :: !traces;
+      incr completed)
     ids;
+  current_block := None;
   (* Copy results back to the caller's arrays. *)
   List.iter2 (fun (_, data) a -> Memory.copy_out gmem a data) buffers allocs;
   {
@@ -112,6 +125,64 @@ let run ?(collect_trace = false) ?block_ids ?(spec = Gpu_hw.Spec.gtx285)
     grid;
     block;
   }
+
+let run ?collect_trace ?block_ids ?spec ?max_warp_instructions
+    ?inject_stuck_at ?poison ~grid ~block ~args k =
+  run_into ?collect_trace ?block_ids ?spec ?max_warp_instructions
+    ?inject_stuck_at ?poison ~stats:(Stats.create ()) ~completed:(ref 0)
+    ~current_block:(ref None) ~grid ~block ~args k
+
+type failure = {
+  diag : Gpu_diag.Diag.t;
+  partial_stats : Stats.t;
+  blocks_completed : int;
+}
+
+(* The [Result] face of [run]: launch validation failures are [Launch]
+   diagnostics; mid-run traps ([Machine.Stuck], [Memory.Fault], injected
+   faults) are [Exec] diagnostics located at the block being simulated,
+   with the statistics accumulated up to the fault point preserved. *)
+let run_result ?collect_trace ?block_ids ?spec ?max_warp_instructions
+    ?inject_stuck_at ?poison ~grid ~block ~args k =
+  let stats = Stats.create () in
+  let completed = ref 0 in
+  let current_block = ref None in
+  let module D = Gpu_diag.Diag in
+  let convert e =
+    let exec ?hint fmt =
+      Format.kasprintf
+        (fun m ->
+          Some
+            (D.make
+               ~location:(D.Sim_site { block = !current_block; warp = None })
+               ?hint D.Error D.Exec m))
+        fmt
+    in
+    match e with
+    | Launch_error m ->
+      Some
+        (D.make D.Error D.Launch m
+           ~hint:"adjust the launch configuration or the kernel arguments")
+    | Machine.Stuck m -> exec "%s" m
+    | Memory.Fault m ->
+      exec
+        ~hint:
+          "the kernel addressed global memory outside its buffers; check \
+           index arithmetic against the argument sizes"
+        "%s" m
+    | Gpu_isa.Program.Unknown_label l ->
+      exec "branch targets unknown label %s" l
+    | _ -> None
+  in
+  match
+    Gpu_diag.Diag.protect ~stage:D.Exec ~convert (fun () ->
+        run_into ?collect_trace ?block_ids ?spec ?max_warp_instructions
+          ?inject_stuck_at ?poison ~stats ~completed ~current_block ~grid
+          ~block ~args k)
+  with
+  | Ok r -> Ok r
+  | Error diag ->
+    Error { diag; partial_stats = stats; blocks_completed = !completed }
 
 (* Convenience wrappers for float-typed buffers. *)
 let float_arg name (xs : float array) = (name, Memory.floats_to_words xs)

@@ -22,17 +22,50 @@ val scale_factor : result -> float
 (** [run ~grid ~block ~args k] simulates the launch.  [args] binds each
     kernel parameter name to a caller-owned buffer (copied in before and
     out after).  Raises {!Launch_error} on bad launches and
-    {!Machine.Stuck} / {!Memory.Fault} on kernel misbehaviour. *)
+    {!Machine.Stuck} / {!Memory.Fault} on kernel misbehaviour.
+
+    Fault injection (both also accepted by {!run_result}):
+    [inject_stuck_at n] traps deterministically at a warp's [n]-th issued
+    instruction; [poison] marks global-memory byte ranges
+    [(addr, width)] whose transactions fault on access. *)
 val run :
   ?collect_trace:bool ->
   ?block_ids:int list ->
   ?spec:Gpu_hw.Spec.t ->
   ?max_warp_instructions:int ->
+  ?inject_stuck_at:int ->
+  ?poison:(int * int) list ->
   grid:int ->
   block:int ->
   args:(string * int32 array) list ->
   Gpu_kernel.Compile.compiled ->
   result
+
+(** What {!run_result} returns instead of raising: the diagnostic, plus
+    the statistics accumulated up to the fault point (internally
+    consistent — a trap never half-counts an instruction) and the number
+    of blocks that completed before the fault. *)
+type failure = {
+  diag : Gpu_diag.Diag.t;
+  partial_stats : Stats.t;
+  blocks_completed : int;
+}
+
+(** Like {!run} but total: launch-validation failures surface as [Launch]
+    diagnostics, mid-run traps as [Exec] diagnostics located at the
+    faulting block.  No exception escapes. *)
+val run_result :
+  ?collect_trace:bool ->
+  ?block_ids:int list ->
+  ?spec:Gpu_hw.Spec.t ->
+  ?max_warp_instructions:int ->
+  ?inject_stuck_at:int ->
+  ?poison:(int * int) list ->
+  grid:int ->
+  block:int ->
+  args:(string * int32 array) list ->
+  Gpu_kernel.Compile.compiled ->
+  (result, failure) Stdlib.result
 
 (** {2 Buffer helpers} *)
 

@@ -66,5 +66,7 @@ let pop t =
     t.data.(0) <- t.data.(t.size);
     t.data.(t.size) <- None;
     if t.size > 0 then sift_down t 0;
+    (* invariant, not input-reachable: slots below [size] always hold
+       Some; [None] only marks the freed tail *)
     match v with Some v -> Some (key, v) | None -> assert false
   end
