@@ -4,8 +4,16 @@
      dune exec bench/main.exe            -- run every experiment
      dune exec bench/main.exe -- fig3    -- run selected experiments
      dune exec bench/main.exe -- --list
+     dune exec bench/main.exe -- --json [FILE.json]  -- also write wall-time
+                                                 per experiment (default
+                                                 BENCH_perf.json)
+     dune exec bench/main.exe -- --jobs N --no-cache
      dune exec bench/main.exe -- --bechamel   -- Bechamel micro-timings of
                                                  the library's own engines
+
+   Experiments fan out over the gpu_parallel domain pool, one per task;
+   each task's output is captured in a buffer and replayed in experiment
+   order, so the report reads identically to a serial run.
 
    "paper" lines quote the published numbers (GTX 285 hardware); "ours"
    lines are this reproduction (cycle timing simulator as the hardware
@@ -22,10 +30,46 @@ module Stats = Gpu_sim.Stats
 module Matmul = Gpu_workloads.Matmul
 module Tridiag = Gpu_workloads.Tridiag
 module Spmv = Gpu_workloads.Spmv
+module Pool = Gpu_parallel.Pool
+module Memo = Gpu_parallel.Memo
 
 let spec = Spec.gtx285
 
-let tables = lazy (Tables.for_spec spec)
+(* --- captured output ------------------------------------------------------
+
+   Experiments print through these shims (they shadow the stdlib printers
+   the experiment bodies use).  When the driver fans experiments out over
+   the domain pool, each task installs a domain-local buffer so its output
+   is captured and replayed in order; run standalone they print straight
+   to stdout. *)
+
+let capture_buf : Buffer.t option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+module Printf = struct
+  let printf fmt =
+    Stdlib.Printf.ksprintf
+      (fun s ->
+        match Domain.DLS.get capture_buf with
+        | Some b -> Buffer.add_string b s
+        | None ->
+          Stdlib.print_string s;
+          flush stdout)
+      fmt
+
+  let sprintf = Stdlib.Printf.sprintf
+end
+
+let print_string s =
+  match Domain.DLS.get capture_buf with
+  | Some b -> Buffer.add_string b s
+  | None -> Stdlib.print_string s
+
+let print_newline () = print_string "\n"
+
+(* Shared heavyweight artifacts: single-flight memos, not [lazy] —
+   concurrent experiments may force them from different domains. *)
+let tables = Memo.once (fun () -> Tables.for_spec spec)
 
 let header id title =
   Printf.printf "\n=== %s: %s ===\n%!" id title
@@ -62,7 +106,7 @@ let warp_axis = [ 1; 2; 4; 6; 8; 12; 16; 20; 24; 28; 32 ]
 let fig2_left () =
   header "Figure 2 (left)" "instruction throughput vs warps per SM \
                             (Ginstr/s, device-wide)";
-  let t = Lazy.force tables in
+  let t = tables () in
   Printf.printf "%-6s" "warps";
   List.iter (fun w -> Printf.printf "%7d" w) warp_axis;
   print_newline ();
@@ -81,7 +125,7 @@ let fig2_left () =
 
 let fig2_right () =
   header "Figure 2 (right)" "shared memory bandwidth vs warps per SM";
-  let t = Lazy.force tables in
+  let t = tables () in
   Printf.printf "%-6s" "warps";
   List.iter (fun w -> Printf.printf "%7d" w) warp_axis;
   print_newline ();
@@ -101,7 +145,7 @@ let fig2_right () =
 let fig3 () =
   header "Figure 3" "global memory bandwidth vs blocks (T threads, M \
                      transactions/thread)";
-  let t = Lazy.force tables in
+  let t = tables () in
   let configs =
     [
       (512, 256); (256, 256); (256, 128); (128, 256); (128, 128);
@@ -111,6 +155,13 @@ let fig3 () =
   let blocks = [ 1; 2; 4; 6; 8; 10; 11; 14; 17; 20; 21; 25; 30; 31; 35;
                  40; 41; 45; 50; 51; 56 ]
   in
+  (* Batch-measure the whole grid up front: misses run in parallel on the
+     domain pool instead of serially inside the print loop. *)
+  Tables.gmem_prefetch t
+    (List.concat_map
+       (fun (threads, m) ->
+         List.map (fun b -> (b, threads, m)) blocks)
+       configs);
   Printf.printf "%-12s" "blocks";
   List.iter (fun b -> Printf.printf "%6d" b) blocks;
   print_newline ();
@@ -209,10 +260,15 @@ let fig5 () =
     "paper: 2-way at step 1, 4-way at step 2, 8-way at step 3...; a prime \
      bank count removes all of them (Section 5.2 proposal)\n"
 
-let cr_reports = lazy
-  (let cr = Tridiag.analyze ~measure:true ~nsys:512 ~n:512 ~padded:false () in
-   let nbc = Tridiag.analyze ~measure:true ~nsys:512 ~n:512 ~padded:true () in
-   (cr, nbc))
+let cr_reports =
+  Memo.once (fun () ->
+      let cr =
+        Tridiag.analyze ~measure:true ~nsys:512 ~n:512 ~padded:false ()
+      in
+      let nbc =
+        Tridiag.analyze ~measure:true ~nsys:512 ~n:512 ~padded:true ()
+      in
+      (cr, nbc))
 
 let fig6 () =
   header "Figure 6" "per-step breakdown, CR vs CR-NBC (512 systems x 512 \
@@ -231,7 +287,7 @@ let fig6 () =
             (Component.short_name st.Model.bottleneck))
       r.Workflow.analysis.Model.stages
   in
-  let cr, nbc = Lazy.force cr_reports in
+  let cr, nbc = cr_reports () in
   show "CR" cr;
   show "CR-NBC" nbc;
   Printf.printf
@@ -242,7 +298,7 @@ let fig6 () =
 let fig7 () =
   header "Figure 7" "sustained shared bandwidth and transactions per CR \
                      step";
-  let cr, _ = Lazy.force cr_reports in
+  let cr, _ = cr_reports () in
   let stages = Array.of_list cr.Workflow.analysis.Model.stages in
   Printf.printf "%-6s %10s %15s %12s\n" "step" "BW GB/s" "txns(conflict)"
     "txns(ideal)";
@@ -263,7 +319,7 @@ let fig7 () =
 
 let fig8 () =
   header "Figure 8" "CR vs CR-NBC, model vs timing simulator";
-  let cr, nbc = Lazy.force cr_reports in
+  let cr, nbc = cr_reports () in
   let show name (r : Workflow.report) =
     let m = Option.get r.Workflow.measured in
     Printf.printf "%-8s predicted %6.3f ms   measured %6.3f ms   (model \
@@ -286,7 +342,7 @@ let fig8 () =
 
 (* --- Figures 9-12: SpMV --------------------------------------------------- *)
 
-let qcd = lazy (Spmv.qcd_like ())
+let qcd = Memo.once (fun () -> Spmv.qcd_like ())
 
 let fig9 () =
   header "Figure 9" "ELL and BELL storage layouts (12x12 example)";
@@ -342,7 +398,7 @@ let fig10 () =
 let fig11a () =
   header "Figure 11a" "bytes per matrix entry at transaction granularities \
                        32/16/4 B (QCD-like matrix)";
-  let m = Lazy.force qcd in
+  let m = qcd () in
   Printf.printf "%-10s %22s %22s %22s\n" "" "granularity 32"
     "granularity 16" "granularity 4";
   Printf.printf "%-10s %7s %7s %6s %8s %7s %6s %8s %7s %6s\n" "format"
@@ -363,16 +419,17 @@ let fig11a () =
      BELL+IMIV 4.00/1.33/1.33 (our interleaving coalesces fully already \
      at 32 B)\n"
 
-let spmv_reports = lazy
-  (let m = Lazy.force qcd in
-   List.map
-     (fun fmt -> (fmt, Spmv.analyze ~measure:true m fmt))
-     [ Spmv.Ell; Spmv.Bell_im; Spmv.Bell_imiv ])
+let spmv_reports =
+  Memo.once (fun () ->
+      let m = qcd () in
+      List.map
+        (fun fmt -> (fmt, Spmv.analyze ~measure:true m fmt))
+        [ Spmv.Ell; Spmv.Bell_im; Spmv.Bell_imiv ])
 
 let fig11b () =
   header "Figure 11b" "SpMV: model components, measured time, and the \
                        16-byte-granularity what-if";
-  let m = Lazy.force qcd in
+  let m = qcd () in
   let seg16 = Spec.with_min_segment 16 spec in
   List.iter
     (fun (fmt, (r : Workflow.report)) ->
@@ -390,7 +447,7 @@ let fig11b () =
         (1e3 *. meas.Gpu_timing.Engine.seconds)
         (Component.short_name a.Model.bottleneck)
         (1e3 *. r16.Workflow.analysis.Model.predicted_seconds))
-    (Lazy.force spmv_reports);
+    (spmv_reports ());
   Printf.printf
     "paper: all three formats global-memory bound within 5%%; a 16-byte \
      transaction granularity would improve each\n"
@@ -398,7 +455,7 @@ let fig11b () =
 let fig12 () =
   header "Figure 12" "SpMV GFLOPS, with and without the texture cache \
                       model";
-  let m = Lazy.force qcd in
+  let m = qcd () in
   List.iter
     (fun (fmt, (r : Workflow.report)) ->
       let p = r.Workflow.analysis.Model.predicted_seconds in
@@ -407,7 +464,7 @@ let fig12 () =
                      rate %.2f)\n"
         (Spmv.format_name fmt) (Spmv.gflops m p) (Spmv.gflops m pc)
         (Spmv.vector_cache_hit_rate m fmt))
-    (Lazy.force spmv_reports);
+    (spmv_reports ());
   Printf.printf
     "paper: 15.9 / 23.4 / 33.7 GFLOPS uncached; 23.4 / 32.0 / 37.7 \
      cached; BELL+IMIV+Cache is 18%% over the prior best BELL+IM+Cache; \
@@ -458,7 +515,7 @@ let whatif () =
   in
   Printf.printf "cyclic reduction, 17 banks (5.2):\n%s\n"
     (Fmt.str "%a" Gpu_model.Whatif.pp cr17);
-  let m = Lazy.force qcd in
+  let m = qcd () in
   let grid, block = Spmv.launch m Spmv.Ell in
   let ell16 =
     Gpu_model.Whatif.run ~base:spec
@@ -568,12 +625,12 @@ let validation () =
         (Printf.sprintf "matmul %dx%d" tile tile)
         (Matmul.analyze ~measure:true ~n:1024 ~tile ()))
     [ 8; 16; 32 ];
-  let cr, nbc = Lazy.force cr_reports in
+  let cr, nbc = cr_reports () in
   row "cyclic reduction" cr;
   row "cyclic reduction NBC" nbc;
   List.iter
     (fun (fmt, r) -> row ("spmv " ^ Spmv.format_name fmt) r)
-    (Lazy.force spmv_reports);
+    (spmv_reports ());
   row "reduce interleaved"
     (Gpu_workloads.Reduce.analyze ~measure:true ~blocks:4096
        Gpu_workloads.Reduce.Interleaved);
@@ -698,24 +755,175 @@ let experiments =
     ("validation", validation);
   ]
 
+(* Fan the chosen experiments out over the domain pool, one per task.
+   Each task writes into a domain-local buffer; buffers are replayed in
+   experiment order afterwards, so parallel output is byte-identical to a
+   serial run.  Exceptions are carried in the result so that every
+   experiment's captured output still prints before the failure aborts. *)
+let run_experiments chosen =
+  let timed (name, f) =
+    let buf = Buffer.create 4096 in
+    Domain.DLS.set capture_buf (Some buf);
+    let t0 = Unix.gettimeofday () in
+    let outcome =
+      try
+        f ();
+        Ok ()
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Error (e, bt)
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    Domain.DLS.set capture_buf None;
+    (name, Buffer.contents buf, dt, outcome)
+  in
+  let results = Pool.parallel_map timed chosen in
+  List.iter
+    (fun (_, out, _, _) ->
+      Stdlib.print_string out;
+      flush stdout)
+    results;
+  List.iter
+    (fun (name, _, _, outcome) ->
+      match outcome with
+      | Ok () -> ()
+      | Error (e, bt) ->
+        Stdlib.Printf.eprintf "bench: experiment %s failed: %s\n%!" name
+          (Printexc.to_string e);
+        Printexc.raise_with_backtrace e bt)
+    results;
+  results
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Stdlib.Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Perf-regression record: wall time per experiment plus calibration-work
+   counters, so CI can compare runs and assert the warm cache really skips
+   measurement (calibration_measurements = 0 on a warm run). *)
+let write_perf_json path ~results ~total_seconds
+    ~(c0 : Tables.counters) ~(c1 : Tables.counters) =
+  let b = Buffer.create 1024 in
+  let p fmt = Stdlib.Printf.bprintf b fmt in
+  let calib_meas = c1.instr_smem_measurements - c0.instr_smem_measurements in
+  let cache_state =
+    if not (Tables.disk_cache_enabled ()) then "disabled"
+    else if c1.calibrations - c0.calibrations = 0 then
+      if c1.cache_loads - c0.cache_loads > 0 then "warm" else "untouched"
+    else if calib_meas = 0 then "warm"
+    else "cold"
+  in
+  p "{\n";
+  p "  \"schema\": 1,\n";
+  p "  \"jobs\": %d,\n" (Pool.current_jobs ());
+  p "  \"disk_cache\": %b,\n" (Tables.disk_cache_enabled ());
+  p "  \"cache_state\": \"%s\",\n" cache_state;
+  p "  \"calibration_measurements\": %d,\n" calib_meas;
+  p "  \"gmem_measurements\": %d,\n"
+    (c1.gmem_measurements - c0.gmem_measurements);
+  p "  \"cache_loads\": %d,\n" (c1.cache_loads - c0.cache_loads);
+  p "  \"calibrations\": %d,\n" (c1.calibrations - c0.calibrations);
+  p "  \"experiments\": [\n";
+  List.iteri
+    (fun i (name, _, dt, _) ->
+      p "    { \"name\": \"%s\", \"seconds\": %.6f }%s\n" (json_escape name)
+        dt
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  p "  ],\n";
+  p "  \"total_seconds\": %.6f\n" total_seconds;
+  p "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Stdlib.Printf.eprintf "bench: wrote %s\n%!" path
+
+let usage () =
+  Stdlib.print_string
+    "usage: bench/main.exe [--list] [--bechamel] [--json [FILE]] \
+     [--jobs N] [--no-cache] [EXPERIMENT...]\n"
+
 let () =
-  let argv = Array.to_list Sys.argv in
-  match argv with
-  | _ :: "--list" :: _ ->
-    List.iter (fun (name, _) -> print_endline name) experiments
-  | _ :: "--bechamel" :: _ -> bechamel ()
-  | _ :: (_ :: _ as picks) ->
-    List.iter
-      (fun name ->
-        match List.assoc_opt name experiments with
-        | Some f -> f ()
-        | None ->
-          Printf.eprintf "unknown experiment %s (try --list)\n" name;
-          exit 1)
-      picks
-  | _ ->
-    Printf.printf
-      "Reproducing every table and figure of 'A Quantitative Performance \
-       Analysis Model for GPU Architectures' (HPCA 2011).\n";
-    Printf.printf "%s\n%!" (Fmt.str "%a" Spec.pp spec);
-    List.iter (fun (_, f) -> f ()) experiments
+  Tables.set_on_diag (fun d ->
+      Stdlib.Printf.eprintf "%s\n%!" (Gpu_diag.Diag.render ~prefix:"bench" d));
+  let json = ref None in
+  let picks = ref [] in
+  let list_only = ref false in
+  let run_bechamel = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--help" :: _ | "-h" :: _ ->
+      usage ();
+      exit 0
+    | "--list" :: rest ->
+      list_only := true;
+      parse rest
+    | "--bechamel" :: rest ->
+      run_bechamel := true;
+      parse rest
+    | "--no-cache" :: rest ->
+      Tables.set_disk_cache false;
+      parse rest
+    | "--jobs" :: n :: rest | "-j" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some j when j >= 1 -> Pool.set_jobs j
+      | Some _ | None ->
+        Stdlib.Printf.eprintf "bench: --jobs expects a positive integer\n";
+        exit 2);
+      parse rest
+    | "--json" :: rest -> (
+      match rest with
+      | f :: rest' when String.length f > 0 && f.[0] <> '-'
+                        && List.mem_assoc f experiments = false ->
+        json := Some f;
+        parse rest'
+      | _ ->
+        json := Some "BENCH_perf.json";
+        parse rest)
+    | name :: rest ->
+      picks := name :: !picks;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !list_only then
+    List.iter (fun (name, _) -> Stdlib.print_endline name) experiments
+  else if !run_bechamel then bechamel ()
+  else begin
+    let chosen =
+      match List.rev !picks with
+      | [] ->
+        Stdlib.Printf.printf
+          "Reproducing every table and figure of 'A Quantitative \
+           Performance Analysis Model for GPU Architectures' (HPCA 2011).\n";
+        Stdlib.Printf.printf "%s\n%!" (Fmt.str "%a" Spec.pp spec);
+        experiments
+      | picks ->
+        List.map
+          (fun name ->
+            match List.assoc_opt name experiments with
+            | Some f -> (name, f)
+            | None ->
+              Stdlib.Printf.eprintf
+                "unknown experiment %s (try --list)\n" name;
+              exit 1)
+          picks
+    in
+    let c0 = Tables.counters () in
+    let t0 = Unix.gettimeofday () in
+    let results = run_experiments chosen in
+    let total_seconds = Unix.gettimeofday () -. t0 in
+    let c1 = Tables.counters () in
+    match !json with
+    | None -> ()
+    | Some path -> write_perf_json path ~results ~total_seconds ~c0 ~c1
+  end

@@ -40,6 +40,37 @@ let convert_toolchain = function
 
 let guard stage f = D.protect ~stage ~convert:convert_toolchain f
 
+(* --- calibration options (shared by the table-driven subcommands) -------- *)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for microbenchmark calibration (default: \
+           $(b,GPUPERF_JOBS), else the machine's core count)")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Bypass the on-disk calibration cache (see \
+              $(b,GPUPERF_CACHE_DIR))")
+
+(* Route the library's cache/calibration diagnostics to stderr so users
+   can tell a slow cold calibration from a warm cache hit, and apply the
+   parallelism/cache overrides.  Call inside [guard]: a bad [--jobs]
+   surfaces as one Cli diagnostic. *)
+let apply_calibration_opts jobs no_cache =
+  (match jobs with
+  | Some n when n < 1 ->
+    D.fail (D.error D.Cli "--jobs must be a positive integer, got %d" n)
+  | Some n -> Gpu_parallel.Pool.set_jobs n
+  | None -> ());
+  if no_cache then Gpu_microbench.Tables.set_disk_cache false;
+  Gpu_microbench.Tables.set_on_diag print_diag
+
 (* --- occupancy ----------------------------------------------------------- *)
 
 let occupancy_cmd =
@@ -111,8 +142,9 @@ let microbench_cmd =
       & info [ "gmem" ]
           ~doc:"Global benchmark: blocks,threads,transactions-per-thread")
   in
-  let run gmem =
+  let run jobs no_cache gmem =
     guard D.Model @@ fun () ->
+    apply_calibration_opts jobs no_cache;
     let t = Gpu_microbench.Tables.for_spec spec in
     match gmem with
     | Some (b, th, m) ->
@@ -141,7 +173,7 @@ let microbench_cmd =
   Cmd.v
     (Cmd.info "microbench"
        ~doc:"Fit and print the microbenchmark throughput tables")
-    Term.(const run $ gmem)
+    Term.(const run $ jobs_arg $ no_cache_arg $ gmem)
 
 (* --- analyze ------------------------------------------------------------- *)
 
@@ -203,8 +235,9 @@ let workload_arg =
     & info [] ~docv:"WORKLOAD" ~doc:"matmul, tridiag or spmv")
 
 let analyze_cmd =
-  let run workload tile padded fmt measure =
+  let run workload tile padded fmt measure jobs no_cache =
     guard D.Cli @@ fun () ->
+    apply_calibration_opts jobs no_cache;
     let r = report_of ~measure workload tile padded fmt spec in
     Fmt.pr "%a@." Gpu_model.Workflow.pp r
   in
@@ -213,7 +246,7 @@ let analyze_cmd =
        ~doc:"Run the full Figure-1 workflow on a case-study workload")
     Term.(
       const run $ workload_arg $ tile_arg $ padded_arg $ fmt_arg
-      $ measure_flag)
+      $ measure_flag $ jobs_arg $ no_cache_arg)
 
 (* --- whatif -------------------------------------------------------------- *)
 
@@ -227,30 +260,41 @@ let whatif_cmd =
             "Device variant (repeatable): maxblocks16, banks17, segment16, \
              segment4, bigregfile, bigsmem, earlyrelease")
   in
-  let run workload tile padded fmt variants =
+  let run workload tile padded fmt variants jobs no_cache =
     guard D.Cli @@ fun () ->
-    let base = report_of ~measure:false workload tile padded fmt spec in
-    let t0 = base.Gpu_model.Workflow.analysis.Gpu_model.Model.predicted_seconds in
-    Fmt.pr "%-40s %8.4f ms  %s@." spec.Gpu_hw.Spec.name (1e3 *. t0)
-      (Gpu_model.Component.name
-         base.Gpu_model.Workflow.analysis.Gpu_model.Model.bottleneck);
-    List.iter
-      (fun dev ->
-        let r = report_of ~measure:false workload tile padded fmt dev in
-        let t = r.Gpu_model.Workflow.analysis.Gpu_model.Model.predicted_seconds in
-        Fmt.pr "%-40s %8.4f ms  %s (%.2fx)@." dev.Gpu_hw.Spec.name
-          (1e3 *. t)
-          (Gpu_model.Component.name
-             r.Gpu_model.Workflow.analysis.Gpu_model.Model.bottleneck)
-          (t0 /. t))
-      variants
+    apply_calibration_opts jobs no_cache;
+    (* one variant per pool task: the per-variant table re-fit dominates *)
+    match
+      Gpu_parallel.Pool.parallel_map
+        (fun dev -> report_of ~measure:false workload tile padded fmt dev)
+        (spec :: variants)
+    with
+    | [] -> assert false (* parallel_map preserves length *)
+    | base :: reports ->
+      let t0 =
+        base.Gpu_model.Workflow.analysis.Gpu_model.Model.predicted_seconds
+      in
+      Fmt.pr "%-40s %8.4f ms  %s@." spec.Gpu_hw.Spec.name (1e3 *. t0)
+        (Gpu_model.Component.name
+           base.Gpu_model.Workflow.analysis.Gpu_model.Model.bottleneck);
+      List.iter2
+        (fun dev r ->
+          let t =
+            r.Gpu_model.Workflow.analysis.Gpu_model.Model.predicted_seconds
+          in
+          Fmt.pr "%-40s %8.4f ms  %s (%.2fx)@." dev.Gpu_hw.Spec.name
+            (1e3 *. t)
+            (Gpu_model.Component.name
+               r.Gpu_model.Workflow.analysis.Gpu_model.Model.bottleneck)
+            (t0 /. t))
+        variants reports
   in
   Cmd.v
     (Cmd.info "whatif"
        ~doc:"Re-analyze a workload on architectural variants")
     Term.(
       const run $ workload_arg $ tile_arg $ padded_arg $ fmt_arg
-      $ variant_arg)
+      $ variant_arg $ jobs_arg $ no_cache_arg)
 
 (* --- disasm / asm --------------------------------------------------------- *)
 

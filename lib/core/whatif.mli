@@ -11,9 +11,14 @@ type outcome = {
   speedup : float;  (** baseline predicted time / variant predicted time *)
 }
 
-(** Returns the baseline report and one outcome per variant. *)
+(** Returns the baseline report and one outcome per variant (in variant
+    order).  Baseline and variants are evaluated in parallel on the
+    domain pool, one per task, each against a private copy of [args] —
+    so every spec is analyzed on identical inputs regardless of
+    evaluation order, and results are deterministic. *)
 val run :
   ?base:Gpu_hw.Spec.t ->
+  ?jobs:int ->
   variants:Gpu_hw.Spec.t list ->
   ?sample:int ->
   grid:int ->

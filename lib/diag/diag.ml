@@ -15,6 +15,7 @@ type stage =
   | Occupancy
   | Model
   | Timing
+  | Cache
   | Cli
 
 type location =
@@ -46,6 +47,7 @@ let stage_name = function
   | Occupancy -> "occupancy"
   | Model -> "model"
   | Timing -> "timing"
+  | Cache -> "cache"
   | Cli -> "cli"
 
 let severity_rank = function Error -> 2 | Warning -> 1 | Info -> 0

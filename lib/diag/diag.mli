@@ -22,6 +22,7 @@ type stage =
   | Occupancy  (** the Table-2 resident-block calculator *)
   | Model  (** the throughput model and microbenchmark tables *)
   | Timing  (** the cycle-approximate timing simulator *)
+  | Cache  (** the persistent calibration cache *)
   | Cli  (** command-line front end *)
 
 type location =

@@ -92,6 +92,26 @@ let gtx285 =
 
 let num_clusters t = t.num_sms / t.sms_per_cluster
 
+(* Every field, in declaration order, rendered exactly ("%h" for floats).
+   The calibration cache fingerprints specs with this string, so any new
+   field that affects measurements must be appended here — a mismatch only
+   costs a recalibration, never a stale table. *)
+let canonical t =
+  Printf.sprintf
+    "name=%s sms=%d spc=%d warp=%d core=%h ui=%d uii=%d uiii=%d uiv=%d \
+     alat=%d gap=%d regs=%d smem=%d mtpb=%d mtps=%d mbps=%d mwps=%d \
+     banks=%d words=%d slat=%d sacc=%h memclk=%h bus=%d glat=%d govh=%h \
+     minseg=%d maxseg=%d coal=%d replay=%h launch=%d early=%b"
+    t.name t.num_sms t.sms_per_cluster t.warp_size t.core_clock_ghz
+    t.units_class_i t.units_class_ii t.units_class_iii t.units_class_iv
+    t.alu_latency t.warp_issue_gap t.registers_per_sm t.smem_per_sm
+    t.max_threads_per_block t.max_threads_per_sm t.max_blocks_per_sm
+    t.max_warps_per_sm t.smem_banks t.smem_words_per_cycle t.smem_latency
+    t.smem_access_cycles t.mem_clock_ghz t.bus_width_bits t.gmem_latency
+    t.gmem_overhead_cycles t.min_segment_bytes t.max_segment_bytes
+    t.coalesce_threads t.smem_replay_cycles t.smem_launch_overhead
+    t.early_release
+
 (* --- Peak rates (Section 4 formulas) --------------------------------- *)
 
 let units_for t = function

@@ -41,6 +41,12 @@ type t = {
 val gtx285 : t
 val num_clusters : t -> int
 
+(** Canonical one-line rendering of every field, in declaration order,
+    with floats printed exactly ([%h]).  The calibration cache
+    fingerprints device specs with this string; a mismatch invalidates
+    cached tables, so any new measurement-relevant field belongs here. *)
+val canonical : t -> string
+
 (** Functional units available for a cost class (Table 1). *)
 val units_for : t -> Gpu_isa.Instr.cost_class -> int
 

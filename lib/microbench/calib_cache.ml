@@ -1,0 +1,215 @@
+(* On-disk calibration store.  The format is line-oriented text:
+
+     gpuperf-calibration 1
+     fingerprint <md5 hex>
+     spec <device name>
+     instr <classes> <warps>
+     <classes lines of <warps> %h floats>
+     smem <warps>
+     <one line of <warps> %h floats>
+     gmem <count>
+     <count lines of "blocks threads txns %h-float">
+     end
+
+   The trailing "end" distinguishes a complete file from a truncated
+   one.  Everything suspicious is a rejection (Warning diagnostic), and
+   rejections are always recoverable: the caller just recalibrates. *)
+
+module D = Gpu_diag.Diag
+
+type payload = {
+  instr : float array array;
+  smem : float array;
+  gmem : ((int * int * int) * float) list;
+}
+
+let version_line = "gpuperf-calibration 1"
+
+(* --- location ---------------------------------------------------------- *)
+
+let nonempty = function Some "" | None -> None | Some s -> Some s
+
+let dir () =
+  match nonempty (Sys.getenv_opt "GPUPERF_CACHE_DIR") with
+  | Some d -> Some d
+  | None -> (
+    match nonempty (Sys.getenv_opt "XDG_CACHE_HOME") with
+    | Some d -> Some (Filename.concat d "gpuperf")
+    | None -> (
+      match nonempty (Sys.getenv_opt "HOME") with
+      | Some h -> Some (Filename.concat (Filename.concat h ".cache") "gpuperf")
+      | None -> None))
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.' ->
+        Char.lowercase_ascii c
+      | _ -> '-')
+    name
+
+let path_for (spec : Gpu_hw.Spec.t) =
+  Option.map
+    (fun d -> Filename.concat d ("calib-" ^ sanitize spec.name ^ ".txt"))
+    (dir ())
+
+let fingerprint ~constants spec =
+  Digest.to_hex
+    (Digest.string (constants ^ "\n" ^ Gpu_hw.Spec.canonical spec))
+
+(* --- reading ----------------------------------------------------------- *)
+
+exception Reject of string
+
+let reject fmt = Printf.ksprintf (fun m -> raise (Reject m)) fmt
+
+let float_field s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> reject "unparsable float %S" s
+
+let int_field s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> reject "unparsable integer %S" s
+
+let words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let float_row ~expect line =
+  let ws = words line in
+  if List.length ws <> expect then
+    reject "expected %d values per row, got %d" expect (List.length ws);
+  Array.of_list (List.map float_field ws)
+
+let parse ~fingerprint:fp lines =
+  let lines = Array.of_list lines in
+  let pos = ref 0 in
+  let next () =
+    if !pos >= Array.length lines then reject "truncated file";
+    let l = lines.(!pos) in
+    incr pos;
+    l
+  in
+  let expect_prefix prefix =
+    let l = next () in
+    match String.length l >= String.length prefix
+          && String.sub l 0 (String.length prefix) = prefix
+    with
+    | true ->
+      String.trim
+        (String.sub l (String.length prefix)
+           (String.length l - String.length prefix))
+    | false -> reject "expected %S line, got %S" prefix l
+  in
+  if next () <> version_line then reject "unsupported schema version";
+  let file_fp = expect_prefix "fingerprint " in
+  if file_fp <> fp then
+    reject "fingerprint mismatch (spec or calibration constants changed)";
+  ignore (expect_prefix "spec ");
+  let classes, warps =
+    match words (expect_prefix "instr ") with
+    | [ c; w ] -> (int_field c, int_field w)
+    | _ -> reject "malformed instr header"
+  in
+  if classes < 1 || classes > 64 || warps < 1 || warps > 1024 then
+    reject "implausible instr dimensions %dx%d" classes warps;
+  let instr =
+    Array.init classes (fun _ -> float_row ~expect:warps (next ()))
+  in
+  let smem_warps = int_field (expect_prefix "smem ") in
+  if smem_warps <> warps then reject "smem row width mismatch";
+  let smem = float_row ~expect:warps (next ()) in
+  let gmem_count = int_field (expect_prefix "gmem ") in
+  if gmem_count < 0 || gmem_count > 1_000_000 then
+    reject "implausible gmem entry count %d" gmem_count;
+  let gmem =
+    List.init gmem_count (fun _ ->
+        match words (next ()) with
+        | [ b; t; m; v ] ->
+          ((int_field b, int_field t, int_field m), float_field v)
+        | _ -> reject "malformed gmem entry")
+  in
+  if next () <> "end" then reject "missing end marker";
+  { instr; smem; gmem }
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let rejection ~path reason =
+  D.warning D.Cache
+    ~hint:"the file will be overwritten after recalibration; use --no-cache \
+           to bypass the cache entirely"
+    "rejecting calibration cache %s: %s" path reason
+
+let load ~path ~fingerprint =
+  if not (Sys.file_exists path) then `Miss
+  else
+    match parse ~fingerprint (read_lines path) with
+    | payload -> `Hit payload
+    | exception Reject reason -> `Rejected (rejection ~path reason)
+    | exception Sys_error reason -> `Rejected (rejection ~path reason)
+
+(* --- writing ----------------------------------------------------------- *)
+
+let rec mkdir_p d =
+  if d <> "" && d <> "/" && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Sys.mkdir d 0o755
+    with Sys_error _ when Sys.file_exists d -> () (* lost a race: fine *)
+  end
+
+let render ~fingerprint ~spec_name p =
+  let b = Buffer.create 4096 in
+  let row arr =
+    Array.iteri
+      (fun i v -> Buffer.add_string b (if i = 0 then "" else " ");
+        Buffer.add_string b (Printf.sprintf "%h" v))
+      arr;
+    Buffer.add_char b '\n'
+  in
+  Buffer.add_string b (version_line ^ "\n");
+  Buffer.add_string b ("fingerprint " ^ fingerprint ^ "\n");
+  Buffer.add_string b ("spec " ^ spec_name ^ "\n");
+  Buffer.add_string b
+    (Printf.sprintf "instr %d %d\n" (Array.length p.instr)
+       (Array.length p.smem));
+  Array.iter row p.instr;
+  Buffer.add_string b (Printf.sprintf "smem %d\n" (Array.length p.smem));
+  row p.smem;
+  Buffer.add_string b (Printf.sprintf "gmem %d\n" (List.length p.gmem));
+  List.iter
+    (fun ((blocks, threads, txns), v) ->
+      Buffer.add_string b
+        (Printf.sprintf "%d %d %d %h\n" blocks threads txns v))
+    p.gmem;
+  Buffer.add_string b "end\n";
+  Buffer.contents b
+
+let save ~path ~fingerprint ~spec_name payload =
+  try
+    mkdir_p (Filename.dirname path);
+    let tmp =
+      Filename.temp_file ~temp_dir:(Filename.dirname path) "calib" ".tmp"
+    in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (render ~fingerprint ~spec_name payload));
+    Sys.rename tmp path;
+    Ok ()
+  with Sys_error reason ->
+    Error
+      (D.warning D.Cache
+         ~hint:"set GPUPERF_CACHE_DIR to a writable directory or use \
+                --no-cache"
+         "cannot write calibration cache %s: %s" path reason)

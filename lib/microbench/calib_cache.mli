@@ -1,0 +1,41 @@
+(** Persistent on-disk store for calibration tables.
+
+    Files are human-readable text under [GPUPERF_CACHE_DIR] (or
+    [$XDG_CACHE_HOME/gpuperf], or [$HOME/.cache/gpuperf]), one per device
+    spec, carrying a schema version and a fingerprint of the spec plus
+    the calibration constants.  Floats are rendered with [%h], so a
+    round-trip is bit-exact.  Readers reject anything unexpected —
+    wrong version, fingerprint mismatch, truncation, unparsable numbers
+    — with a [Warning] diagnostic; the caller recalibrates and
+    overwrites.  Writes go through a temp file and rename, so a crashed
+    writer leaves either the old file or none. *)
+
+type payload = {
+  instr : float array array;  (** [class index][warps - 1] -> Ginstr/s *)
+  smem : float array;  (** [warps - 1] -> GB/s *)
+  gmem : ((int * int * int) * float) list;
+      (** (blocks, threads, txns/thread) -> GB/s *)
+}
+
+(** Resolved cache directory, or [None] when no candidate environment
+    variable yields one.  Re-read from the environment on every call (so
+    tests and embedders can repoint it). *)
+val dir : unit -> string option
+
+(** The cache file for a spec inside {!dir} ([None] when {!dir} is). *)
+val path_for : Gpu_hw.Spec.t -> string option
+
+(** Digest of {!Gpu_hw.Spec.canonical} plus [constants], the caller's
+    rendering of the calibration constants baked into its measurement
+    code (chain lengths, warp counts, ...). *)
+val fingerprint : constants:string -> Gpu_hw.Spec.t -> string
+
+val load :
+  path:string -> fingerprint:string ->
+  [ `Hit of payload | `Miss | `Rejected of Gpu_diag.Diag.t ]
+
+(** Atomically write the payload; a failure (unwritable directory, full
+    disk) degrades to a [Warning] diagnostic, never an exception. *)
+val save :
+  path:string -> fingerprint:string -> spec_name:string -> payload ->
+  (unit, Gpu_diag.Diag.t) result

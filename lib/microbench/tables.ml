@@ -10,20 +10,81 @@
      transferred bytes.
 
    Tables are built against a device spec, so the model recalibrates
-   automatically when evaluating architectural variants. *)
+   automatically when evaluating architectural variants.
+
+   Calibration is expensive (~190 functional+timing simulations), so this
+   module attacks the cost on three fronts, all preserving bit-identical
+   results (the measurements are pure integer-cycle functions of the
+   spec):
+   - the grid of independent measurements fans out over the
+     [Gpu_parallel] domain pool, with results placed by index;
+   - tables persist to a versioned on-disk cache ([Calib_cache]), so a
+     second process skips recalibration entirely;
+   - the global-memory memo table is domain-safe with single-flight
+     misses: concurrent requests for one configuration measure once. *)
 
 module I = Gpu_isa.Instr
+module D = Gpu_diag.Diag
+module Pool = Gpu_parallel.Pool
 
 let max_warps = 32
 
 let arithmetic_classes = [ I.Class_i; I.Class_ii; I.Class_iii; I.Class_iv ]
 
+let num_classes = List.length arithmetic_classes
+
+(* Memory and control classes are charged at class II issue rates when they
+   appear in the instruction-pipeline component. *)
+let class_index = function
+  | I.Class_i -> 0
+  | I.Class_ii | I.Class_mem | I.Class_ctrl -> 1
+  | I.Class_iii -> 2
+  | I.Class_iv -> 3
+
+type gmem_slot = Ready of float | Measuring
+
 type t = {
   spec : Gpu_hw.Spec.t;
-  instr : (I.cost_class * float array) list; (* [w-1] -> Ginstr/s *)
+  instr : float array array; (* [class_index][w-1] -> Ginstr/s *)
   smem : float array; (* [w-1] -> GB/s *)
-  gmem : (int * int * int, float) Hashtbl.t;
+  gmem : (int * int * int, gmem_slot) Hashtbl.t;
+  lock : Mutex.t; (* guards [gmem] *)
+  changed : Condition.t; (* a [Measuring] slot resolved *)
 }
+
+(* --- observability ------------------------------------------------------ *)
+
+type counters = {
+  instr_smem_measurements : int;
+  gmem_measurements : int;
+  cache_loads : int;
+  calibrations : int;
+}
+
+let instr_smem_measured = Atomic.make 0
+let gmem_measured = Atomic.make 0
+let cache_loads = Atomic.make 0
+let calibrations = Atomic.make 0
+
+let counters () =
+  {
+    instr_smem_measurements = Atomic.get instr_smem_measured;
+    gmem_measurements = Atomic.get gmem_measured;
+    cache_loads = Atomic.get cache_loads;
+    calibrations = Atomic.get calibrations;
+  }
+
+(* Cache and calibration progress reporting goes through a caller-provided
+   sink (the CLI prints to stderr); the library never prints on its own. *)
+let on_diag : (D.t -> unit) ref = ref (fun _ -> ())
+let set_on_diag f = on_diag := f
+let emit d = !on_diag d
+
+let disk_enabled = Atomic.make true
+let set_disk_cache b = Atomic.set disk_enabled b
+let disk_cache_enabled () = Atomic.get disk_enabled
+
+(* --- raw measurements --------------------------------------------------- *)
 
 let chain_length = 384
 
@@ -31,6 +92,7 @@ let chain_length = 384
    n-chain isolates steady-state throughput from pipeline fill and launch
    effects. *)
 let measure_instr_throughput ~spec ~cls ~warps =
+  Atomic.incr instr_smem_measured;
   let run n =
     let program = Codegen.instruction_chain ~cls ~n in
     let k = Runner.wrap ~param_regs:[] ~smem_bytes:0 program in
@@ -46,6 +108,7 @@ let measure_instr_throughput ~spec ~cls ~warps =
 let copy_pairs = 256
 
 let measure_smem_bandwidth ~spec ~warps =
+  Atomic.incr instr_smem_measured;
   let threads = 32 * warps in
   let run n =
     let program, smem_bytes = Codegen.shared_copy ~threads ~n in
@@ -64,6 +127,7 @@ let measure_smem_bandwidth ~spec ~warps =
    what Figure 3 shows (small configurations cannot cover the memory
    latency and sustain low bandwidth). *)
 let measure_gmem_bandwidth ~spec ~blocks ~threads ~txns_per_thread =
+  Atomic.incr gmem_measured;
   let program, words =
     Codegen.global_stream ~blocks ~threads ~txns_per_thread
   in
@@ -78,38 +142,127 @@ let measure_gmem_bandwidth ~spec ~blocks ~threads ~txns_per_thread =
   *. spec.Gpu_hw.Spec.core_clock_ghz
   /. float_of_int cycles
 
-let build (spec : Gpu_hw.Spec.t) =
+(* --- construction ------------------------------------------------------- *)
+
+(* Bump when the measurement semantics change (codegen, runner, or timing
+   engine): the on-disk fingerprint folds this in, so old caches are
+   rejected as stale instead of silently served. *)
+let calibration_version = 1
+
+let calibration_constants =
+  Printf.sprintf "v=%d classes=%d max_warps=%d chain=%d pairs=%d"
+    calibration_version num_classes max_warps chain_length copy_pairs
+
+let of_parts spec instr smem gmem_entries =
+  let gmem = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace gmem k (Ready v)) gmem_entries;
+  { spec; instr; smem; gmem; lock = Mutex.create ();
+    changed = Condition.create () }
+
+let build ?jobs (spec : Gpu_hw.Spec.t) =
+  let classes = Array.of_list arithmetic_classes in
+  let n_instr = num_classes * max_warps in
+  (* One flat deterministic grid: slots [0, n_instr) are class x warps in
+     row-major order, the rest the shared-memory sweep.  Results land by
+     index, so the parallel tables are bit-identical to serial ones. *)
+  let flat =
+    Pool.parallel_init ?jobs (n_instr + max_warps) (fun i ->
+        if i < n_instr then
+          measure_instr_throughput ~spec
+            ~cls:classes.(i / max_warps)
+            ~warps:((i mod max_warps) + 1)
+        else measure_smem_bandwidth ~spec ~warps:(i - n_instr + 1))
+  in
   let instr =
-    List.map
-      (fun cls ->
-        ( cls,
-          Array.init max_warps (fun i ->
-              measure_instr_throughput ~spec ~cls ~warps:(i + 1)) ))
-      arithmetic_classes
+    Array.init num_classes (fun c -> Array.sub flat (c * max_warps) max_warps)
   in
-  let smem =
-    Array.init max_warps (fun i ->
-        measure_smem_bandwidth ~spec ~warps:(i + 1))
-  in
-  { spec; instr; smem; gmem = Hashtbl.create 64 }
+  let smem = Array.sub flat n_instr max_warps in
+  of_parts spec instr smem []
+
+(* --- persistence -------------------------------------------------------- *)
+
+(* Snapshot under the table lock, write outside it.  Concurrent writers
+   both go through temp-file + rename, so the file is always complete;
+   a lost update is re-saved by the next miss. *)
+let persist t =
+  if disk_cache_enabled () then
+    match Calib_cache.path_for t.spec with
+    | None -> ()
+    | Some path ->
+      let fingerprint =
+        Calib_cache.fingerprint ~constants:calibration_constants t.spec
+      in
+      Mutex.lock t.lock;
+      let gmem_entries =
+        Hashtbl.fold
+          (fun k s acc ->
+            match s with Ready v -> (k, v) :: acc | Measuring -> acc)
+          t.gmem []
+        |> List.sort compare
+      in
+      Mutex.unlock t.lock;
+      let payload =
+        { Calib_cache.instr = t.instr; smem = t.smem; gmem = gmem_entries }
+      in
+      (match
+         Calib_cache.save ~path ~fingerprint
+           ~spec_name:t.spec.Gpu_hw.Spec.name payload
+       with
+      | Ok () -> ()
+      | Error d -> emit d)
+
+let load_from_disk (spec : Gpu_hw.Spec.t) =
+  if not (disk_cache_enabled ()) then None
+  else
+    match Calib_cache.path_for spec with
+    | None -> None
+    | Some path -> (
+      let fingerprint =
+        Calib_cache.fingerprint ~constants:calibration_constants spec
+      in
+      match Calib_cache.load ~path ~fingerprint with
+      | `Miss -> None
+      | `Rejected d ->
+        emit d;
+        None
+      | `Hit p ->
+        if
+          Array.length p.Calib_cache.instr = num_classes
+          && Array.for_all
+               (fun row -> Array.length row = max_warps)
+               p.Calib_cache.instr
+          && Array.length p.Calib_cache.smem = max_warps
+        then begin
+          Atomic.incr cache_loads;
+          emit
+            (D.info D.Cache
+               "loaded calibration for %s from %s (%d global-memory points)"
+               spec.name path
+               (List.length p.Calib_cache.gmem));
+          Some
+            (of_parts spec p.Calib_cache.instr p.Calib_cache.smem
+               p.Calib_cache.gmem)
+        end
+        else begin
+          emit
+            (D.warning D.Cache
+               "rejecting calibration cache %s: table dimensions do not \
+                match this build"
+               path);
+          None
+        end)
+
+(* --- queries ------------------------------------------------------------ *)
 
 let clamp_warps w = max 1 (min max_warps w)
 
-(* Memory and control classes are charged at class II issue rates when they
-   appear in the instruction-pipeline component. *)
-let table_class = function
-  | I.Class_i -> I.Class_i
-  | I.Class_ii | I.Class_mem | I.Class_ctrl -> I.Class_ii
-  | I.Class_iii -> I.Class_iii
-  | I.Class_iv -> I.Class_iv
-
+(* The hottest query of the model: a dense array load, no list search. *)
 let instr_throughput t cls ~warps =
-  let arr = List.assoc (table_class cls) t.instr in
-  arr.(clamp_warps warps - 1)
+  t.instr.(class_index cls).(clamp_warps warps - 1)
 
 let smem_bandwidth t ~warps = t.smem.(clamp_warps warps - 1)
 
-let gmem_bandwidth t ~blocks ~threads ~txns_per_thread =
+let normalize_gmem_key ~blocks ~threads ~txns_per_thread =
   (* Bandwidth saturates well before these caps, and the per-cluster
      leftover effect fades for large grids (paper Section 4.3), so huge
      configurations are folded onto bounded, cluster-balanced ones to keep
@@ -118,23 +271,122 @@ let gmem_bandwidth t ~blocks ~threads ~txns_per_thread =
     if blocks > 120 then min 120 (blocks / 10 * 10) else max 1 blocks
   and threads = max 1 (min threads (32 * max_warps))
   and txns_per_thread = max 1 (min 256 txns_per_thread) in
-  let key = (blocks, threads, txns_per_thread) in
-  match Hashtbl.find_opt t.gmem key with
-  | Some bw -> bw
-  | None ->
-    let bw =
-      measure_gmem_bandwidth ~spec:t.spec ~blocks ~threads ~txns_per_thread
-    in
-    Hashtbl.add t.gmem key bw;
-    bw
+  (blocks, threads, txns_per_thread)
 
-(* Build lazily and share per spec: model queries are frequent. *)
-let cache : (string, t) Hashtbl.t = Hashtbl.create 4
+(* Single-flight memoization: the first requester of a key measures while
+   holding a [Measuring] placeholder; concurrent requesters of the same
+   key block on [changed] rather than duplicating the measurement. *)
+let gmem_bandwidth t ~blocks ~threads ~txns_per_thread =
+  let key = normalize_gmem_key ~blocks ~threads ~txns_per_thread in
+  Mutex.lock t.lock;
+  let rec obtain () =
+    match Hashtbl.find_opt t.gmem key with
+    | Some (Ready bw) ->
+      Mutex.unlock t.lock;
+      bw
+    | Some Measuring ->
+      Condition.wait t.changed t.lock;
+      obtain ()
+    | None ->
+      Hashtbl.replace t.gmem key Measuring;
+      Mutex.unlock t.lock;
+      let result =
+        let blocks, threads, txns_per_thread = key in
+        try
+          Ok
+            (measure_gmem_bandwidth ~spec:t.spec ~blocks ~threads
+               ~txns_per_thread)
+        with e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock t.lock;
+      (match result with
+      | Ok bw -> Hashtbl.replace t.gmem key (Ready bw)
+      | Error _ -> Hashtbl.remove t.gmem key);
+      Condition.broadcast t.changed;
+      Mutex.unlock t.lock;
+      (match result with
+      | Ok bw ->
+        persist t;
+        bw
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+  in
+  obtain ()
 
-let for_spec (spec : Gpu_hw.Spec.t) =
-  match Hashtbl.find_opt cache spec.name with
+let gmem_prefetch ?jobs t configs =
+  let keys =
+    List.sort_uniq compare
+      (List.map
+         (fun (blocks, threads, txns_per_thread) ->
+           normalize_gmem_key ~blocks ~threads ~txns_per_thread)
+         configs)
+  in
+  ignore
+    (Pool.parallel_map ?jobs
+       (fun (blocks, threads, txns_per_thread) ->
+         gmem_bandwidth t ~blocks ~threads ~txns_per_thread)
+       keys)
+
+(* --- per-process sharing ------------------------------------------------ *)
+
+let build_or_load ?jobs spec =
+  match load_from_disk spec with
   | Some t -> t
   | None ->
-    let t = build spec in
-    Hashtbl.add cache spec.name t;
+    emit
+      (D.info D.Cache "calibrating %d microbenchmarks for %s (%d jobs)"
+         ((num_classes * max_warps) + max_warps)
+         spec.Gpu_hw.Spec.name
+         (match jobs with Some j -> j | None -> Pool.current_jobs ()));
+    Atomic.incr calibrations;
+    let t = build ?jobs spec in
+    persist t;
     t
+
+(* Build lazily and share per spec: model queries are frequent.  The map
+   is domain-safe with single-flight misses, so e.g. parallel what-if
+   variants naming the same spec calibrate it once. *)
+type cache_slot = Table of t | Building
+
+let cache : (string, cache_slot) Hashtbl.t = Hashtbl.create 4
+let cache_lock = Mutex.create ()
+let cache_changed = Condition.create ()
+
+let clear_process_cache () =
+  Mutex.lock cache_lock;
+  Hashtbl.iter
+    (fun _ s ->
+      match s with
+      | Building -> invalid_arg "Tables: clearing cache during calibration"
+      | Table _ -> ())
+    cache;
+  Hashtbl.reset cache;
+  Mutex.unlock cache_lock
+
+let for_spec ?jobs (spec : Gpu_hw.Spec.t) =
+  Mutex.lock cache_lock;
+  let rec obtain () =
+    match Hashtbl.find_opt cache spec.name with
+    | Some (Table t) ->
+      Mutex.unlock cache_lock;
+      t
+    | Some Building ->
+      Condition.wait cache_changed cache_lock;
+      obtain ()
+    | None ->
+      Hashtbl.replace cache spec.name Building;
+      Mutex.unlock cache_lock;
+      let result =
+        try Ok (build_or_load ?jobs spec)
+        with e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock cache_lock;
+      (match result with
+      | Ok t -> Hashtbl.replace cache spec.name (Table t)
+      | Error _ -> Hashtbl.remove cache spec.name);
+      Condition.broadcast cache_changed;
+      Mutex.unlock cache_lock;
+      (match result with
+      | Ok t -> t
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+  in
+  obtain ()

@@ -1,0 +1,41 @@
+type 'a state =
+  | Pending
+  | Running
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+let once f =
+  let lock = Mutex.create () in
+  let cond = Condition.create () in
+  let state = ref Pending in
+  fun () ->
+    Mutex.lock lock;
+    let rec wait () =
+      match !state with
+      | Done v ->
+        Mutex.unlock lock;
+        v
+      | Failed (e, bt) ->
+        Mutex.unlock lock;
+        Printexc.raise_with_backtrace e bt
+      | Running ->
+        Condition.wait cond lock;
+        wait ()
+      | Pending ->
+        state := Running;
+        Mutex.unlock lock;
+        let r =
+          try Ok (f ())
+          with e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        Mutex.lock lock;
+        (match r with
+        | Ok v -> state := Done v
+        | Error (e, bt) -> state := Failed (e, bt));
+        Condition.broadcast cond;
+        Mutex.unlock lock;
+        (match r with
+        | Ok v -> v
+        | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+    in
+    wait ()

@@ -1,0 +1,10 @@
+(** Domain-safe single-flight memoization: the replacement for [lazy] in
+    code reached from multiple domains ([Lazy.force] poisons on
+    concurrent forcing). *)
+
+(** [once f] is a thunk that computes [f ()] exactly once, no matter how
+    many domains call it concurrently; late callers block until the
+    first computation finishes and then share its result.  If [f]
+    raises, the exception is cached and re-raised (with the original
+    backtrace) on every call. *)
+val once : (unit -> 'a) -> unit -> 'a

@@ -1,0 +1,223 @@
+(* Domain pool: the one place in the system that spawns domains.
+
+   Design notes:
+   - Worker domains run a generic task loop; a batch (one parallel_init
+     or parallel_map call) enqueues one "drain" task per helper it wants,
+     and every drainer (helpers plus the calling domain) pulls fixed-size
+     index chunks from the batch's counter.  Results land in
+     caller-allocated slots indexed by item, so ordering is deterministic
+     regardless of which domain computed what.
+   - Exceptions are funneled: a failing item records (index, exn,
+     backtrace), further chunks stop being claimed, and the caller
+     re-raises the lowest-indexed recorded exception once the batch
+     drains.
+   - Calls from inside a worker run serially inline (a Domain.DLS flag),
+     so nested parallelism cannot oversubscribe or deadlock. *)
+
+let parse_jobs s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Some n
+  | Some _ | None -> None
+
+let default_jobs () =
+  match Option.bind (Sys.getenv_opt "GPUPERF_JOBS") parse_jobs with
+  | Some n -> n
+  | None -> Domain.recommended_domain_count ()
+
+type pool = {
+  lock : Mutex.t;
+  work : Condition.t;
+  queue : (unit -> unit) Queue.t; (* tasks are wrapped and never raise *)
+  mutable shutdown : bool;
+  mutable workers : unit Domain.t list;
+  size : int; (* helper domains; total parallelism = size + 1 *)
+}
+
+let inside_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let rec worker_loop pool =
+  Mutex.lock pool.lock;
+  let rec await () =
+    if pool.shutdown then Mutex.unlock pool.lock
+    else
+      match Queue.take_opt pool.queue with
+      | Some task ->
+        Mutex.unlock pool.lock;
+        task ();
+        worker_loop pool
+      | None ->
+        Condition.wait pool.work pool.lock;
+        await ()
+  in
+  await ()
+
+let create ~jobs =
+  let pool =
+    {
+      lock = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      shutdown = false;
+      workers = [];
+      size = max 0 (jobs - 1);
+    }
+  in
+  pool.workers <-
+    List.init pool.size (fun _ ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set inside_worker true;
+            worker_loop pool));
+  pool
+
+let destroy pool =
+  Mutex.lock pool.lock;
+  pool.shutdown <- true;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.lock;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+let global_lock = Mutex.create ()
+let global : pool option ref = ref None
+let requested : int option ref = ref None
+
+let current_jobs () =
+  match !requested with Some n -> n | None -> default_jobs ()
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Pool.set_jobs: jobs must be >= 1";
+  Mutex.lock global_lock;
+  requested := Some n;
+  (match !global with
+  | Some p when p.size <> n - 1 ->
+    global := None;
+    destroy p
+  | Some _ | None -> ());
+  Mutex.unlock global_lock
+
+let get_pool () =
+  Mutex.lock global_lock;
+  let p =
+    match !global with
+    | Some p -> p
+    | None ->
+      let p = create ~jobs:(current_jobs ()) in
+      global := Some p;
+      p
+  in
+  Mutex.unlock global_lock;
+  p
+
+(* --- batches ----------------------------------------------------------- *)
+
+type batch = {
+  b_lock : Mutex.t;
+  b_done : Condition.t;
+  total : int;
+  chunk : int;
+  mutable next : int; (* next unclaimed index *)
+  mutable running : int; (* drainers currently inside a chunk *)
+  mutable failed : (int * exn * Printexc.raw_backtrace) option;
+}
+
+let record_failure batch i e bt =
+  Mutex.lock batch.b_lock;
+  (match batch.failed with
+  | Some (j, _, _) when j <= i -> ()
+  | Some _ | None -> batch.failed <- Some (i, e, bt));
+  batch.next <- batch.total (* stop claiming further chunks *);
+  Mutex.unlock batch.b_lock
+
+let drain batch f =
+  let rec claim () =
+    Mutex.lock batch.b_lock;
+    if batch.next >= batch.total then Mutex.unlock batch.b_lock
+    else begin
+      let lo = batch.next in
+      let hi = min batch.total (lo + batch.chunk) in
+      batch.next <- hi;
+      batch.running <- batch.running + 1;
+      Mutex.unlock batch.b_lock;
+      for i = lo to hi - 1 do
+        (* unsynchronized peek at [failed]: worst case a few extra items
+           of the already-claimed chunk run after a failure elsewhere *)
+        match batch.failed with
+        | Some _ -> ()
+        | None -> (
+          try f i
+          with e -> record_failure batch i e (Printexc.get_raw_backtrace ()))
+      done;
+      Mutex.lock batch.b_lock;
+      batch.running <- batch.running - 1;
+      if batch.next >= batch.total && batch.running = 0 then
+        Condition.broadcast batch.b_done;
+      Mutex.unlock batch.b_lock;
+      claim ()
+    end
+  in
+  claim ()
+
+(* Run [f 0 .. f (n-1)] over the pool; barrier until all complete. *)
+let run ?jobs n f =
+  if n > 0 then begin
+    let inline = Domain.DLS.get inside_worker in
+    let pool = if inline then None else Some (get_pool ()) in
+    let jobs =
+      match (jobs, pool) with
+      | _, None -> 1
+      | Some j, Some p -> max 1 (min j (p.size + 1))
+      | None, Some p -> p.size + 1
+    in
+    if jobs = 1 || n = 1 then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      let p = Option.get pool in
+      let helpers = min (jobs - 1) (min p.size (n - 1)) in
+      (* a few chunks per drainer amortize queue traffic while keeping
+         the tail balanced *)
+      let chunk = max 1 ((n + (4 * jobs) - 1) / (4 * jobs)) in
+      let batch =
+        {
+          b_lock = Mutex.create ();
+          b_done = Condition.create ();
+          total = n;
+          chunk;
+          next = 0;
+          running = 0;
+          failed = None;
+        }
+      in
+      Mutex.lock p.lock;
+      for _ = 1 to helpers do
+        Queue.add (fun () -> drain batch f) p.queue
+      done;
+      Condition.broadcast p.work;
+      Mutex.unlock p.lock;
+      drain batch f;
+      Mutex.lock batch.b_lock;
+      while not (batch.next >= batch.total && batch.running = 0) do
+        Condition.wait batch.b_done batch.b_lock
+      done;
+      let failed = batch.failed in
+      Mutex.unlock batch.b_lock;
+      match failed with
+      | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
+let parallel_init ?jobs n f =
+  if n < 0 then invalid_arg "Pool.parallel_init: negative length";
+  let results = Array.make n None in
+  run ?jobs n (fun i -> results.(i) <- Some (f i));
+  Array.map (function Some v -> v | None -> assert false) results
+
+let parallel_map ?jobs f l =
+  match l with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | l ->
+    let arr = Array.of_list l in
+    Array.to_list (parallel_init ?jobs (Array.length arr) (fun i -> f arr.(i)))

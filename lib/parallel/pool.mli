@@ -1,0 +1,37 @@
+(** A stdlib-only domain pool for the calibration and sweep engines.
+
+    The pool holds [jobs - 1] long-lived worker domains (plus the calling
+    domain, which always participates), fed by a chunked work queue.  It
+    is sized from [GPUPERF_JOBS] when set to a positive integer, else
+    [Domain.recommended_domain_count ()], and can be overridden with
+    {!set_jobs}.  Worker domains are spawned lazily on first use, so a
+    purely serial process never pays for them.
+
+    Calls made from inside a worker domain degrade to serial inline
+    execution: nested parallelism never oversubscribes the machine and
+    never deadlocks the pool. *)
+
+(** [GPUPERF_JOBS] when set to a positive integer, else
+    [Domain.recommended_domain_count ()]. *)
+val default_jobs : unit -> int
+
+(** Override the pool size for the rest of the process (the CLI's
+    [--jobs]).  An existing pool of a different size is torn down and
+    rebuilt on next use.  Raises [Invalid_argument] when [jobs < 1]. *)
+val set_jobs : int -> unit
+
+(** The job count the next parallel call will use. *)
+val current_jobs : unit -> int
+
+(** [parallel_init n f] is [Array.init n f] with the calls distributed
+    over the pool.  Result ordering is deterministic: slot [i] always
+    holds [f i], so parallel and serial runs produce identical arrays
+    whenever [f] is pure.  If one or more calls raise, the remaining
+    unclaimed chunks are skipped, in-flight chunks complete, and the
+    exception of the lowest failing index that executed is re-raised in
+    the caller with its backtrace. *)
+val parallel_init : ?jobs:int -> int -> (int -> 'a) -> 'a array
+
+(** [parallel_map f l] maps [f] over [l] on the pool, preserving list
+    order.  Same exception semantics as {!parallel_init}. *)
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -295,7 +295,19 @@ let process p pq w now =
    cluster's i-th SM.  Returns (end_time, alu_busy, smem_busy, gmem_busy). *)
 let run_cluster p ~max_resident sm_blocks =
   let cluster = { gmem_free = 0; gmem_busy = 0 } in
-  let pq : warp_state Heap.t = Heap.create () in
+  (* never scheduled: fills the heap's unused payload slots *)
+  let dummy_warp =
+    let sm =
+      {
+        alu_free = 0; smem_free = 0; alu_busy = 0; smem_busy = 0;
+        resident = 0; free_warp_slots = 0; max_resident = 0;
+        warp_slot_capacity = 0; pending = []; cluster;
+      }
+    in
+    { trace = [||]; idx = 0; ready = 0; regs = [||];
+      block = { live = 0; waiting = 0; parked = []; sm } }
+  in
+  let pq : warp_state Heap.t = Heap.create ~dummy:dummy_warp in
   let sms =
     Array.map
       (fun blocks ->

@@ -1,13 +1,19 @@
 (* Minimal binary min-heap keyed by integer time: the event queue of the
-   timing engine. *)
+   timing engine.
+
+   The payload array stores values directly (no ['a option] box): the
+   caller provides a [dummy] to fill unused slots, which removes a [Some]
+   allocation plus an indirection per event in the engine's inner loop. *)
 
 type 'a t = {
   mutable keys : int array;
-  mutable data : 'a option array;
+  mutable data : 'a array;
   mutable size : int;
+  dummy : 'a;
 }
 
-let create () = { keys = Array.make 64 0; data = Array.make 64 None; size = 0 }
+let create ~dummy =
+  { keys = Array.make 64 0; data = Array.make 64 dummy; size = 0; dummy }
 
 let is_empty t = t.size = 0
 
@@ -16,7 +22,7 @@ let length t = t.size
 let grow t =
   let n = Array.length t.keys in
   let keys = Array.make (2 * n) 0 in
-  let data = Array.make (2 * n) None in
+  let data = Array.make (2 * n) t.dummy in
   Array.blit t.keys 0 keys 0 n;
   Array.blit t.data 0 data 0 n;
   t.keys <- keys;
@@ -52,7 +58,7 @@ let rec sift_down t i =
 let add t ~key v =
   if t.size = Array.length t.keys then grow t;
   t.keys.(t.size) <- key;
-  t.data.(t.size) <- Some v;
+  t.data.(t.size) <- v;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
@@ -64,9 +70,9 @@ let pop t =
     t.size <- t.size - 1;
     t.keys.(0) <- t.keys.(t.size);
     t.data.(0) <- t.data.(t.size);
-    t.data.(t.size) <- None;
+    (* invariant: slots below [size] hold live values; the freed tail slot
+       is reset to [dummy] so the heap never retains a popped payload *)
+    t.data.(t.size) <- t.dummy;
     if t.size > 0 then sift_down t 0;
-    (* invariant, not input-reachable: slots below [size] always hold
-       Some; [None] only marks the freed tail *)
-    match v with Some v -> Some (key, v) | None -> assert false
+    Some (key, v)
   end

@@ -3,7 +3,10 @@
 
 type 'a t
 
-val create : unit -> 'a t
+(** [create ~dummy] is an empty heap; [dummy] fills unused payload slots
+    (it is never returned by {!pop}), which keeps the payload array
+    unboxed — no ['a option] wrapper per stored event. *)
+val create : dummy:'a -> 'a t
 val is_empty : 'a t -> bool
 val length : 'a t -> int
 val add : 'a t -> key:int -> 'a -> unit

@@ -1,0 +1,285 @@
+(* Tests for the domain pool and the calibration cache: deterministic
+   result ordering, exception funneling, bit-identical serial vs parallel
+   calibration, single-flight global-memory memoization, and the on-disk
+   cache round-trip with fingerprint/corruption rejection. *)
+
+module Pool = Gpu_parallel.Pool
+module Memo = Gpu_parallel.Memo
+module Tables = Gpu_microbench.Tables
+module Calib_cache = Gpu_microbench.Calib_cache
+module Spec = Gpu_hw.Spec
+module I = Gpu_isa.Instr
+module Diag = Gpu_diag.Diag
+
+(* Point the disk cache at a private directory before anything touches
+   Tables, so these tests neither read nor pollute the user's cache. *)
+let cache_dir =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gpuperf-test-cache-%d" (Unix.getpid ()))
+  in
+  Unix.putenv "GPUPERF_CACHE_DIR" d;
+  d
+
+let spec = Spec.gtx285
+
+(* --- pool ----------------------------------------------------------------- *)
+
+let test_init_matches_serial () =
+  let f i = (i * 7919) mod 104729 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "parallel_init jobs=%d" jobs)
+        (Array.init 100 f)
+        (Pool.parallel_init ~jobs 100 f))
+    [ 1; 2; 4; 7 ]
+
+let test_map_preserves_order () =
+  let xs = List.init 57 (fun i -> i) in
+  Alcotest.(check (list int))
+    "parallel_map order" (List.map succ xs)
+    (Pool.parallel_map ~jobs:4 succ xs)
+
+let test_empty_and_tiny () =
+  Alcotest.(check (list int)) "empty" [] (Pool.parallel_map ~jobs:4 succ []);
+  Alcotest.(check (array int))
+    "singleton" [| 42 |]
+    (Pool.parallel_init ~jobs:4 1 (fun _ -> 42))
+
+exception Boom of int
+
+let test_exception_propagates () =
+  Alcotest.check_raises "worker exception reaches caller" (Boom 13)
+    (fun () ->
+      ignore
+        (Pool.parallel_init ~jobs:4 64 (fun i ->
+             if i = 13 then raise (Boom 13) else i)));
+  (* the pool must still be usable afterwards *)
+  Alcotest.(check (array int))
+    "pool survives a failed batch"
+    (Array.init 16 (fun i -> i))
+    (Pool.parallel_init ~jobs:4 16 (fun i -> i))
+
+let test_nested_calls () =
+  let grids =
+    Pool.parallel_map ~jobs:4
+      (fun n -> Pool.parallel_init n (fun i -> (n * 100) + i))
+      [ 3; 5; 2 ]
+  in
+  Alcotest.(check (list (array int)))
+    "nested parallel calls run inline"
+    [
+      Array.init 3 (fun i -> 300 + i);
+      Array.init 5 (fun i -> 500 + i);
+      Array.init 2 (fun i -> 200 + i);
+    ]
+    grids
+
+let test_memo_once () =
+  let calls = Atomic.make 0 in
+  let m =
+    Memo.once (fun () ->
+        Atomic.incr calls;
+        (* give contenders a window to pile up on the memo *)
+        ignore (Pool.parallel_init ~jobs:2 64 (fun i -> i * i));
+        1729)
+  in
+  let values = Pool.parallel_map ~jobs:4 (fun _ -> m ()) [ (); (); (); () ] in
+  Alcotest.(check (list int)) "all callers see the value" [ 1729; 1729; 1729; 1729 ] values;
+  Alcotest.(check int) "body ran once" 1 (Atomic.get calls)
+
+(* --- calibration determinism --------------------------------------------- *)
+
+let check_tables_identical msg a b =
+  List.iter
+    (fun cls ->
+      for w = 1 to Tables.max_warps do
+        let x = Tables.instr_throughput a cls ~warps:w in
+        let y = Tables.instr_throughput b cls ~warps:w in
+        if x <> y then
+          Alcotest.failf "%s: %s at %d warps: %h <> %h" msg
+            (I.cost_class_name cls) w x y
+      done)
+    Tables.arithmetic_classes;
+  for w = 1 to Tables.max_warps do
+    let x = Tables.smem_bandwidth a ~warps:w in
+    let y = Tables.smem_bandwidth b ~warps:w in
+    if x <> y then Alcotest.failf "%s: smem at %d warps: %h <> %h" msg w x y
+  done
+
+let test_serial_parallel_identical () =
+  let serial = Tables.build ~jobs:1 spec in
+  let parallel = Tables.build ~jobs:4 spec in
+  check_tables_identical "serial vs parallel calibration" serial parallel
+
+let test_gmem_single_flight () =
+  let t = Tables.build ~jobs:1 spec in
+  let before = (Tables.counters ()).Tables.gmem_measurements in
+  let query () =
+    Tables.gmem_bandwidth t ~blocks:3 ~threads:64 ~txns_per_thread:4
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn query) in
+  let results = List.map Domain.join domains in
+  let after = (Tables.counters ()).Tables.gmem_measurements in
+  Alcotest.(check int) "concurrent misses measure once" 1 (after - before);
+  (match results with
+  | r :: rest ->
+    List.iter
+      (fun r' -> Alcotest.(check (float 0.0)) "all callers agree" r r')
+      rest
+  | [] -> assert false);
+  Alcotest.(check (float 0.0))
+    "memo hit returns the same value" (List.hd results) (query ());
+  Alcotest.(check int)
+    "hit does not re-measure" (after - before)
+    ((Tables.counters ()).Tables.gmem_measurements - before)
+
+(* --- on-disk cache -------------------------------------------------------- *)
+
+let payload =
+  {
+    Calib_cache.instr =
+      [| [| 1.5; 2.25 |]; [| 0.1; 1e-3 |]; [| 3.0; 4.0 |]; [| 5.5; 6.5 |] |];
+    smem = [| 0x1.91eb851eb851fp+7; 186.5 |];
+    gmem = [ ((1, 64, 4), 12.75); ((30, 512, 256), 127.125) ];
+  }
+
+let fp = Calib_cache.fingerprint ~constants:"test-constants v1" spec
+
+let roundtrip_path = Filename.concat cache_dir "roundtrip.txt"
+
+let test_cache_roundtrip () =
+  (match
+     Calib_cache.save ~path:roundtrip_path ~fingerprint:fp
+       ~spec_name:spec.Spec.name payload
+   with
+  | Ok () -> ()
+  | Error d -> Alcotest.failf "save failed: %s" (Diag.to_string d));
+  match Calib_cache.load ~path:roundtrip_path ~fingerprint:fp with
+  | `Hit p ->
+    Alcotest.(check (array (array (float 0.0))))
+      "instr bit-exact" payload.Calib_cache.instr p.Calib_cache.instr;
+    Alcotest.(check (array (float 0.0)))
+      "smem bit-exact" payload.Calib_cache.smem p.Calib_cache.smem;
+    Alcotest.(check int)
+      "gmem points survive"
+      (List.length payload.Calib_cache.gmem)
+      (List.length p.Calib_cache.gmem);
+    List.iter2
+      (fun (k, v) (k', v') ->
+        if k <> k' || v <> v' then Alcotest.fail "gmem entry mismatch")
+      payload.Calib_cache.gmem p.Calib_cache.gmem
+  | `Miss -> Alcotest.fail "expected a hit, got a miss"
+  | `Rejected d -> Alcotest.failf "rejected: %s" (Diag.to_string d)
+
+let test_cache_miss_and_rejection () =
+  (match
+     Calib_cache.load
+       ~path:(Filename.concat cache_dir "never-written.txt")
+       ~fingerprint:fp
+   with
+  | `Miss -> ()
+  | `Hit _ | `Rejected _ -> Alcotest.fail "missing file must be a miss");
+  (* stale fingerprint: the spec or the calibration constants changed *)
+  (match
+     Calib_cache.load ~path:roundtrip_path
+       ~fingerprint:(Calib_cache.fingerprint ~constants:"other" spec)
+   with
+  | `Rejected d ->
+    Alcotest.(check string) "stage" "cache" (Diag.stage_name d.Diag.stage)
+  | `Hit _ -> Alcotest.fail "stale fingerprint must be rejected"
+  | `Miss -> Alcotest.fail "file exists: not a miss");
+  (* truncation *)
+  let truncated = Filename.concat cache_dir "truncated.txt" in
+  let contents =
+    let ic = open_in_bin roundtrip_path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let oc = open_out_bin truncated in
+  output_string oc (String.sub contents 0 (String.length contents / 2));
+  close_out oc;
+  (match Calib_cache.load ~path:truncated ~fingerprint:fp with
+  | `Rejected _ -> ()
+  | `Hit _ -> Alcotest.fail "truncated file must be rejected"
+  | `Miss -> Alcotest.fail "truncated file is not a miss");
+  (* garbage *)
+  let garbage = Filename.concat cache_dir "garbage.txt" in
+  let oc = open_out_bin garbage in
+  output_string oc "gpuperf-calibration 999\nnot a cache file\n";
+  close_out oc;
+  match Calib_cache.load ~path:garbage ~fingerprint:fp with
+  | `Rejected _ -> ()
+  | `Hit _ -> Alcotest.fail "wrong version must be rejected"
+  | `Miss -> Alcotest.fail "wrong version is not a miss"
+
+(* End-to-end through Tables: calibrate (writes the cache), drop the
+   in-process table, reload from disk — values identical, no re-measure. *)
+let test_tables_warm_reload () =
+  let diags = ref [] in
+  Tables.set_on_diag (fun d -> diags := d :: !diags);
+  let cold = Tables.for_spec ~jobs:2 spec in
+  let c0 = Tables.counters () in
+  Tables.clear_process_cache ();
+  let warm = Tables.for_spec ~jobs:2 spec in
+  let c1 = Tables.counters () in
+  Alcotest.(check int)
+    "warm reload skips measurement" 0
+    (c1.Tables.instr_smem_measurements - c0.Tables.instr_smem_measurements);
+  Alcotest.(check int)
+    "warm reload loads from disk" 1 (c1.Tables.cache_loads - c0.Tables.cache_loads);
+  check_tables_identical "cold vs warm tables" cold warm;
+  (* now corrupt the file: the next load must warn and recalibrate *)
+  let path = Option.get (Calib_cache.path_for spec) in
+  let oc = open_out_bin path in
+  output_string oc "gpuperf-calibration 1\nfingerprint deadbeef\n";
+  close_out oc;
+  diags := [];
+  Tables.clear_process_cache ();
+  let rebuilt = Tables.for_spec ~jobs:2 spec in
+  let c2 = Tables.counters () in
+  Alcotest.(check bool)
+    "corrupt cache recalibrates" true
+    (c2.Tables.calibrations - c1.Tables.calibrations = 1);
+  Alcotest.(check bool)
+    "corrupt cache warns" true
+    (List.exists (fun d -> d.Diag.severity = Diag.Warning) !diags);
+  check_tables_identical "recalibrated tables" cold rebuilt;
+  Tables.set_on_diag (fun _ -> ())
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "init matches serial" `Quick
+            test_init_matches_serial;
+          Alcotest.test_case "map preserves order" `Quick
+            test_map_preserves_order;
+          Alcotest.test_case "empty and tiny inputs" `Quick
+            test_empty_and_tiny;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "nested calls" `Quick test_nested_calls;
+          Alcotest.test_case "memo single-flight" `Quick test_memo_once;
+        ] );
+      ( "calibration",
+        [
+          Alcotest.test_case "serial = parallel (bit-identical)" `Quick
+            test_serial_parallel_identical;
+          Alcotest.test_case "gmem single-flight" `Quick
+            test_gmem_single_flight;
+        ] );
+      ( "disk cache",
+        [
+          Alcotest.test_case "round-trip" `Quick test_cache_roundtrip;
+          Alcotest.test_case "miss and rejection" `Quick
+            test_cache_miss_and_rejection;
+          Alcotest.test_case "warm reload through Tables" `Quick
+            test_tables_warm_reload;
+        ] );
+    ]
