@@ -393,6 +393,93 @@ let coalesce_cmd =
        ~doc:"Run the memory-transaction simulator on an address list")
     Term.(const run $ addresses $ segment)
 
+(* --- check ----------------------------------------------------------------- *)
+
+let check_cmd =
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Root seed for the deterministic case generator")
+  in
+  let cases =
+    Arg.(
+      value & opt int 500
+      & info [ "cases" ] ~docv:"N"
+          ~doc:
+            "Oracle comparisons per memory property; engine audits run at \
+             1/5 of this, model differentials at 1/25")
+  in
+  let tol =
+    Arg.(
+      value
+      & opt float Gpu_check.Diff.default_tolerance
+      & info [ "tol" ] ~docv:"X"
+          ~doc:
+            "Model-vs-engine tolerance band: predicted and simulated times \
+             must agree within a factor of $(docv)")
+  in
+  let out =
+    Arg.(
+      value & opt string "_check"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Directory for shrunk failing-case reproducers")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Re-check one dumped reproducer instead of fuzzing")
+  in
+  let run seed cases tol out replay jobs no_cache =
+    guard D.Timing @@ fun () ->
+    apply_calibration_opts jobs no_cache;
+    if tol < 1.0 then
+      D.fail (D.error D.Cli "--tol must be >= 1.0, got %g" tol);
+    match replay with
+    | Some path -> (
+      match Gpu_check.Harness.replay ~spec ~tol path with
+      | Ok msg -> Fmt.pr "%s@." msg
+      | Error m -> D.fail (D.error D.Timing "%s" m))
+    | None ->
+      if cases < 1 then
+        D.fail (D.error D.Cli "--cases must be >= 1, got %d" cases);
+      let cfg =
+        { Gpu_check.Harness.seed; cases; tol; out_dir = Some out; spec }
+      in
+      let s = Gpu_check.Harness.run ~progress:(Fmt.epr "%s@.") cfg in
+      Fmt.pr
+        "seed %d: %d coalesce + %d bank oracle comparisons, %d engine \
+         audits, %d model differentials (band %.2fx)@."
+        seed s.coalesce_cases s.bank_cases s.audit_cases s.diff_cases tol;
+      if Gpu_check.Harness.ok s then Fmt.pr "all properties hold@."
+      else begin
+        List.iter
+          (fun (f : Gpu_check.Harness.failure) ->
+            Fmt.pr "@.FAILED %s (case %d)%a:@.%s@." f.property f.case_index
+              (fun ppf -> function
+                | Some p -> Fmt.pf ppf " [reproducer: %s]" p
+                | None -> ())
+              f.reproducer f.detail)
+          s.failures;
+        D.fail
+          (D.error D.Timing
+             ~hint:
+               "replay a dumped reproducer with gpuperf check --replay FILE"
+             "%d of %d properties' cases failed"
+             (List.length s.failures)
+             (s.coalesce_cases + s.bank_cases + s.audit_cases + s.diff_cases))
+      end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Property-based checking: brute-force memory oracles, engine \
+          invariant audit, model-vs-engine differential")
+    Term.(
+      const run $ seed $ cases $ tol $ out $ replay $ jobs_arg $ no_cache_arg)
+
 (* --- main ------------------------------------------------------------------ *)
 
 (* Every subcommand evaluates to [(unit, Diag.t) result]; the mapping to
@@ -404,7 +491,7 @@ let () =
     Cmd.group info
       [
         occupancy_cmd; microbench_cmd; analyze_cmd; whatif_cmd;
-        disasm_cmd; asm_cmd; coalesce_cmd;
+        disasm_cmd; asm_cmd; coalesce_cmd; check_cmd;
       ]
   in
   exit

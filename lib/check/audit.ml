@@ -1,0 +1,92 @@
+(* Engine invariant auditor: run a case through the full timing engine
+   (every cluster simulated) and check everything that must hold for
+   *any* valid input:
+
+     - liveness/conservation: every warp launched and retired, every
+       block retired, nothing left in a pending queue — a deadlocked
+       barrier or leaked block slot surfaces here instead of as a
+       silently-short simulation;
+     - busy accounting: per-pipeline busy cycles equal the analytic
+       summation [Engine.expected_busy] exactly, and never exceed the
+       elapsed time times the unit count (the pipeline cannot be more
+       than fully busy);
+     - internal structural checks (scoreboard monotonicity, no warp
+       scheduled past its trace) are asserted by the engine itself and
+       arrive as exceptions.
+
+   The only slack is on the arithmetic pipeline's upper bound: the last
+   issue may hold the pipe past the completion horizon by up to its own
+   occupancy (at most warp_size cycles when a class has one unit), plus
+   one cycle of tick rounding per counter. *)
+
+module Engine = Gpu_timing.Engine
+
+let check ~(spec : Gpu_hw.Spec.t) (c : Case.t) : (unit, string) result =
+  match Case.validate c with
+  | Error m -> Error ("invalid case: " ^ m)
+  | Ok () -> (
+    let traces = Case.traces c in
+    match
+      Engine.run ~homogeneous:false ~spec ~max_resident_blocks:c.max_resident
+        traces
+    with
+    | exception e ->
+      Error
+        (Fmt.str "@[<v>engine raised %s@,on %a@]" (Printexc.to_string e)
+           Case.pp c)
+    | r ->
+      let expected = Engine.expected_busy ~spec traces in
+      let problems = ref [] in
+      let ensure cond fmt =
+        Format.kasprintf
+          (fun m -> if not cond then problems := m :: !problems)
+          fmt
+      in
+      let total_warps = Case.num_warps c in
+      let total_blocks = Case.num_blocks c in
+      ensure
+        (r.warps_launched = total_warps)
+        "launched %d of %d warps" r.warps_launched total_warps;
+      ensure
+        (r.warps_retired = r.warps_launched)
+        "retired %d of %d launched warps" r.warps_retired r.warps_launched;
+      ensure
+        (r.blocks_retired = total_blocks)
+        "retired %d of %d blocks" r.blocks_retired total_blocks;
+      ensure (r.blocks_unlaunched = 0) "%d blocks never left a pending queue"
+        r.blocks_unlaunched;
+      ensure
+        (r.alu_busy_cycles = expected.alu_cycles)
+        "alu busy %d cycles, summation says %d" r.alu_busy_cycles
+        expected.alu_cycles;
+      ensure
+        (r.smem_busy_cycles = expected.smem_cycles)
+        "smem busy %d cycles, summation says %d" r.smem_busy_cycles
+        expected.smem_cycles;
+      ensure
+        (r.gmem_busy_cycles = expected.gmem_cycles)
+        "gmem busy %d cycles, summation says %d" r.gmem_busy_cycles
+        expected.gmem_cycles;
+      ensure (r.cycles >= 0) "negative elapsed time %d" r.cycles;
+      let alu_slack = spec.warp_size + 1 in
+      ensure
+        (r.alu_busy_cycles <= (r.cycles + alu_slack) * r.sms_simulated)
+        "alu busier (%d cycles) than %d SMs over %d cycles can be"
+        r.alu_busy_cycles r.sms_simulated r.cycles;
+      ensure
+        (r.smem_busy_cycles <= (r.cycles + 1) * r.sms_simulated)
+        "smem busier (%d cycles) than %d SMs over %d cycles can be"
+        r.smem_busy_cycles r.sms_simulated r.cycles;
+      ensure
+        (r.gmem_busy_cycles <= (r.cycles + 1) * r.clusters_simulated)
+        "gmem busier (%d cycles) than %d clusters over %d cycles can be"
+        r.gmem_busy_cycles r.clusters_simulated r.cycles;
+      match !problems with
+      | [] -> Ok ()
+      | ps ->
+        Error
+          (Fmt.str "@[<v>%a@,on %a@]"
+             Fmt.(list ~sep:cut string)
+             (List.rev ps) Case.pp c))
+
+let fails ~spec c = Result.is_error (check ~spec c)

@@ -1,0 +1,12 @@
+(** Engine invariant auditor: simulate a case on every cluster and check
+    the input-independent invariants — warp/block conservation (launched
+    = retired, no pending leftovers), per-pipeline busy counters equal to
+    the analytic summation {!Gpu_timing.Engine.expected_busy}, and busy
+    never exceeding elapsed × units.  Engine-internal assertions
+    (scoreboard monotonicity, scheduling past a trace end) surface as
+    captured exceptions. *)
+
+val check : spec:Gpu_hw.Spec.t -> Case.t -> (unit, string) result
+
+(** Shrinking predicate: does the case (still) violate an invariant? *)
+val fails : spec:Gpu_hw.Spec.t -> Case.t -> bool

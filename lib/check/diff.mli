@@ -1,0 +1,37 @@
+(** Model-vs-engine differential: predict a uniform case with the
+    throughput model (over synthetically accumulated statistics
+    mirroring the interpreter's info extractor) and measure it with the
+    timing engine; the two must agree within a multiplicative tolerance
+    band.  The band ({!default_tolerance}) is documented in DESIGN §10:
+    the model charges aggregate work at calibrated throughputs while the
+    engine schedules every instruction, so agreement is expected only on
+    the calibrated domain the generator targets. *)
+
+type report = {
+  predicted : float;
+  measured : float;
+  ratio : float;  (** predicted / measured *)
+  active_warps : int;
+  bottleneck : string;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+(** Symmetric multiplicative band: [max (ratio, 1/ratio) <= tol]. *)
+val default_tolerance : float
+
+(** Build the statistics the interpreter would have extracted for this
+    case (exposed for tests). *)
+val stats_of_case : Case.t -> Gpu_sim.Stats.t
+
+val check :
+  spec:Gpu_hw.Spec.t ->
+  tables:Gpu_microbench.Tables.t ->
+  tol:float ->
+  Case.t ->
+  (report, string) result
+
+(** Shrinking predicate: does the case (still) fall outside the band? *)
+val fails :
+  spec:Gpu_hw.Spec.t -> tables:Gpu_microbench.Tables.t -> tol:float ->
+  Case.t -> bool

@@ -1,0 +1,161 @@
+(* Greedy case shrinking: walk a candidate list (coarsest cuts first),
+   restart from the first candidate that still fails, stop when none
+   does or the evaluation budget runs out.  Every transformation is
+   monotone — it removes blocks/warps/stages/events or simplifies an
+   event in place — so the walk terminates; transformations apply the
+   same structural edit to *every* block, which keeps uniform cases
+   uniform (the differential's precondition). *)
+
+let drop a i =
+  Array.append (Array.sub a 0 i) (Array.sub a (i + 1) (Array.length a - i - 1))
+
+let map_stages f (c : Case.t) =
+  {
+    c with
+    blocks =
+      Array.map
+        (fun (b : Case.block) ->
+          {
+            b with
+            warps =
+              Array.map
+                (function
+                  | Case.Empty -> Case.Empty
+                  | Case.Stages st -> Case.Stages (Array.map f st))
+                b.warps;
+          })
+        c.blocks;
+  }
+
+let simplify_ev = function
+  | Case.Smem ({ txns; _ } as s) when txns > 1 ->
+    Some (Case.Smem { s with txns = 1 })
+  | Case.Gmem ({ txns; _ } as g) when Array.length txns > 1 ->
+    Some (Case.Gmem { g with txns = [| txns.(0) |] })
+  | Case.Alu _ | Case.Smem _ | Case.Gmem _ -> None
+
+let candidates (c : Case.t) : Case.t list =
+  let nblocks = Array.length c.blocks in
+  let halves =
+    if nblocks >= 2 then
+      [
+        { c with blocks = Array.sub c.blocks 0 (nblocks / 2) };
+        { c with blocks = Array.sub c.blocks (nblocks / 2) (nblocks - (nblocks / 2)) };
+      ]
+    else []
+  in
+  let single_blocks =
+    if nblocks >= 2 && nblocks <= 8 then
+      List.init nblocks (fun i -> { c with blocks = drop c.blocks i })
+    else []
+  in
+  let max_warps =
+    Array.fold_left
+      (fun m (b : Case.block) -> max m (Array.length b.warps))
+      0 c.blocks
+  in
+  let drop_warp j =
+    {
+      c with
+      blocks =
+        Array.map
+          (fun (b : Case.block) ->
+            if Array.length b.warps > 1 && j < Array.length b.warps then
+              { b with warps = drop b.warps j }
+            else b)
+          c.blocks;
+    }
+  in
+  let warp_drops = List.init max_warps drop_warp in
+  let max_stages =
+    Array.fold_left
+      (fun m (b : Case.block) -> max m b.nstages)
+      0 c.blocks
+  in
+  let drop_stage k =
+    {
+      c with
+      blocks =
+        Array.map
+          (fun (b : Case.block) ->
+            if b.nstages > 1 && k < b.nstages then
+              {
+                Case.nstages = b.nstages - 1;
+                warps =
+                  Array.map
+                    (function
+                      | Case.Empty -> Case.Empty
+                      | Case.Stages st -> Case.Stages (drop st k))
+                    b.warps;
+              }
+            else b)
+          c.blocks;
+    }
+  in
+  let stage_drops = List.init max_stages drop_stage in
+  let halve_events =
+    map_stages (fun evs -> Array.sub evs 0 (Array.length evs / 2)) c
+  in
+  let drop_last_event =
+    map_stages
+      (fun evs ->
+        if Array.length evs > 0 then Array.sub evs 0 (Array.length evs - 1)
+        else evs)
+      c
+  in
+  let empty_warp j =
+    {
+      c with
+      blocks =
+        Array.map
+          (fun (b : Case.block) ->
+            if j < Array.length b.warps then
+              {
+                b with
+                warps =
+                  Array.mapi
+                    (fun i w -> if i = j then Case.Empty else w)
+                    b.warps;
+              }
+            else b)
+          c.blocks;
+    }
+  in
+  let warp_empties = List.init max_warps empty_warp in
+  let residency =
+    if c.max_resident > 1 then [ { c with max_resident = 1 } ] else []
+  in
+  let simplified =
+    map_stages
+      (fun evs ->
+        Array.map (fun e -> Option.value (simplify_ev e) ~default:e) evs)
+      c
+  in
+  List.filter
+    (fun cand -> cand <> c)
+    (halves @ single_blocks @ stage_drops @ warp_drops
+    @ [ halve_events ] @ warp_empties @ residency
+    @ [ drop_last_event; simplified ])
+
+(* Returns the shrunk case and the number of predicate evaluations spent.
+   [fails] must hold of the input (otherwise it is returned unchanged). *)
+let minimize ?(max_evals = 400) ~fails (c0 : Case.t) =
+  let evals = ref 0 in
+  let rec go c =
+    let rec try_cands = function
+      | [] -> c
+      | cand :: rest ->
+        if !evals >= max_evals then c
+        else if
+          Result.is_ok (Case.validate cand)
+          && begin
+               incr evals;
+               fails cand
+             end
+        then go cand
+        else try_cands rest
+    in
+    try_cands (candidates c)
+  in
+  let shrunk = go c0 in
+  (shrunk, !evals)

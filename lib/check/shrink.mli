@@ -1,0 +1,15 @@
+(** Greedy shrinking of failing cases to a minimal reproducer: coarse
+    cuts first (half the blocks, whole stages, whole warps), then event
+    halving and in-place simplification.  Structural edits apply to every
+    block at once, so uniform cases stay uniform. *)
+
+(** One shrink step's candidate list, coarsest first; every candidate is
+    structurally valid-or-rejected by the caller and differs from the
+    input. *)
+val candidates : Case.t -> Case.t list
+
+(** [minimize ~fails c] greedily minimizes a failing case ([fails c]
+    must hold on entry) and returns it with the number of predicate
+    evaluations spent (capped by [max_evals], default 400). *)
+val minimize :
+  ?max_evals:int -> fails:(Case.t -> bool) -> Case.t -> Case.t * int

@@ -6,43 +6,62 @@
    bank are served by one broadcast.  The paper notes Barra does not track
    conflicts, so it derives effective transaction counts with a separate
    tool; this module is that tool, generalized to any bank count so the
-   prime-bank-count architectural proposal of Section 5.2 can be evaluated. *)
+   prime-bank-count architectural proposal of Section 5.2 can be evaluated.
+
+   Accesses wider than one word span several banks: a 64-bit access on
+   GT200 touches two adjacent 4-byte words, so even a perfectly strided
+   64-bit pattern costs two transactions per half-warp — every word a lane
+   touches is tallied in its bank. *)
 
 let word_size = 4
+
+(* Words [addr/4 .. (addr+width-1)/4] touched by one lane's access. *)
+let iter_words ~width addr f =
+  let first = addr / word_size in
+  let last = (addr + width - 1) / word_size in
+  for w = first to last do
+    f w
+  done
+
+let check_width ~who width =
+  if width <= 0 then
+    invalid_arg (Printf.sprintf "Bank.%s: width must be > 0" who)
 
 (* Conflict degree of one access group: the maximum, over banks, of the
    number of *distinct* words addressed in that bank.  1 means conflict-free
    (or served by broadcast); an inactive group has degree 0. *)
-let conflict_degree ~banks addresses =
+let conflict_degree ?(width = word_size) ~banks addresses =
   if banks <= 0 then invalid_arg "Bank.conflict_degree: banks must be > 0";
+  check_width ~who:"conflict_degree" width;
   let per_bank = Hashtbl.create 16 in
   Array.iter
     (function
       | None -> ()
       | Some addr ->
-        let w = addr / word_size in
-        let b = w mod banks in
-        let words =
-          match Hashtbl.find_opt per_bank b with
-          | Some ws -> ws
-          | None ->
-            let ws = Hashtbl.create 4 in
-            Hashtbl.add per_bank b ws;
-            ws
-        in
-        Hashtbl.replace words w ())
+        iter_words ~width addr (fun w ->
+            let b = w mod banks in
+            let words =
+              match Hashtbl.find_opt per_bank b with
+              | Some ws -> ws
+              | None ->
+                let ws = Hashtbl.create 4 in
+                Hashtbl.add per_bank b ws;
+                ws
+            in
+            Hashtbl.replace words w ()))
     addresses;
   Hashtbl.fold (fun _ words acc -> max acc (Hashtbl.length words)) per_bank 0
 
 (* Number of serialized shared-memory transactions needed to serve one
    access group: its conflict degree (0 if no lane is active, which costs no
    transaction). *)
-let transactions ~banks addresses = conflict_degree ~banks addresses
+let transactions ?width ~banks addresses =
+  conflict_degree ?width ~banks addresses
 
 (* Split a warp's lane addresses into half-warp groups of [group] lanes and
    sum their transaction counts.  This is the effective transaction count
    the performance model charges against shared-memory bandwidth. *)
-let warp_transactions ~banks ~group addresses =
+let warp_transactions ?width ~banks ~group addresses =
   if group <= 0 then invalid_arg "Bank.warp_transactions: group must be > 0";
   let n = Array.length addresses in
   let rec go start acc =
@@ -50,24 +69,31 @@ let warp_transactions ~banks ~group addresses =
     else
       let len = min group (n - start) in
       let slice = Array.sub addresses start len in
-      go (start + group) (acc + transactions ~banks slice)
+      go (start + group) (acc + transactions ?width ~banks slice)
   in
   go 0 0
 
-(* Conflict-free transaction count for the same access: 1 per half-warp
-   group with at least one active lane. *)
-let ideal_warp_transactions ~group addresses =
+(* Conflict-free transaction count for the same access: the widest active
+   lane's word count per group with at least one active lane (a multi-word
+   access needs that many transactions even without conflicts). *)
+let ideal_warp_transactions ?(width = word_size) ~group addresses =
   if group <= 0 then
     invalid_arg "Bank.ideal_warp_transactions: group must be > 0";
+  check_width ~who:"ideal_warp_transactions" width;
+  let words_of addr =
+    ((addr + width - 1) / word_size) - (addr / word_size) + 1
+  in
   let n = Array.length addresses in
   let rec go start acc =
     if start >= n then acc
     else
       let len = min group (n - start) in
-      let active = ref false in
+      let widest = ref 0 in
       for i = start to start + len - 1 do
-        if addresses.(i) <> None then active := true
+        match addresses.(i) with
+        | Some a -> widest := max !widest (words_of a)
+        | None -> ()
       done;
-      go (start + group) (if !active then acc + 1 else acc)
+      go (start + group) (acc + !widest)
   in
   go 0 0

@@ -1,19 +1,25 @@
 (** Shared-memory bank-conflict analyzer (paper Section 4.2), generalized to
     any bank count so the prime-bank proposal of Section 5.2 can be
-    evaluated.  Addresses are byte addresses of 4-byte words. *)
+    evaluated.  Addresses are byte addresses; [width] is the access width
+    in bytes (default 4).  An access wider than one 4-byte word spans
+    adjacent banks — on GT200 a 64-bit access touches two words, and both
+    are tallied in their banks. *)
 
 val word_size : int
 
 (** Maximum over banks of the number of distinct words addressed in that
     bank by one access group: 1 = conflict-free, 0 = no active lane. *)
-val conflict_degree : banks:int -> int option array -> int
+val conflict_degree : ?width:int -> banks:int -> int option array -> int
 
 (** Serialized transactions to serve one access group (= conflict degree). *)
-val transactions : banks:int -> int option array -> int
+val transactions : ?width:int -> banks:int -> int option array -> int
 
 (** Effective transactions for a warp access, split into groups of [group]
     lanes (half-warps on real hardware). *)
-val warp_transactions : banks:int -> group:int -> int option array -> int
+val warp_transactions :
+  ?width:int -> banks:int -> group:int -> int option array -> int
 
-(** Transactions the same access would need were it conflict-free. *)
-val ideal_warp_transactions : group:int -> int option array -> int
+(** Transactions the same access would need were it conflict-free: per
+    active group, the word count of its widest active lane. *)
+val ideal_warp_transactions :
+  ?width:int -> group:int -> int option array -> int

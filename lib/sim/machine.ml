@@ -310,14 +310,15 @@ let step cfg ~program ~gmem ~(stats : Stats.t option) block w =
       ~mem:Trace.No_mem ~bar:false
   in
   let advance () = fr.pc <- fr.pc + 1 in
-  let count_smem_access addresses srcs dst =
+  let count_smem_access ~width addresses srcs dst =
     let spec = cfg.spec in
     let txns =
-      Gpu_mem.Bank.warp_transactions ~banks:spec.Gpu_hw.Spec.smem_banks
+      Gpu_mem.Bank.warp_transactions ~width
+        ~banks:spec.Gpu_hw.Spec.smem_banks
         ~group:spec.Gpu_hw.Spec.coalesce_threads addresses
     in
     let ideal =
-      Gpu_mem.Bank.ideal_warp_transactions
+      Gpu_mem.Bank.ideal_warp_transactions ~width
         ~group:spec.Gpu_hw.Spec.coalesce_threads addresses
     in
     (match stats with
@@ -448,7 +449,7 @@ let step cfg ~program ~gmem ~(stats : Stats.t option) block w =
                   ((Value.to_f32 (operand a lane) *. b)
                   +. Value.to_f32 (operand c lane))));
         | None -> ());
-    count_smem_access addresses
+    count_smem_access ~width:4 addresses
       (operand_srcs (operand_srcs (reg_id m.base :: pred_srcs) a) c)
       (reg_id d);
     advance ();
@@ -460,7 +461,8 @@ let step cfg ~program ~gmem ~(stats : Stats.t option) block w =
         match addresses.(lane) with
         | Some a -> set_reg w d lane (shared_load32 block a)
         | None -> ());
-    count_smem_access addresses (reg_id m.base :: pred_srcs) (reg_id d);
+    count_smem_access ~width addresses (reg_id m.base :: pred_srcs)
+      (reg_id d);
     advance ();
     Continue
   | I.St (I.Shared, width, m, s) ->
@@ -470,7 +472,7 @@ let step cfg ~program ~gmem ~(stats : Stats.t option) block w =
         match addresses.(lane) with
         | Some a -> shared_store32 block a (operand s lane)
         | None -> ());
-    count_smem_access addresses
+    count_smem_access ~width addresses
       (operand_srcs (reg_id m.base :: pred_srcs) s)
       Trace.no_reg;
     advance ();

@@ -37,6 +37,14 @@ type result = {
   sms_simulated : int;
   clusters_simulated : int;
   blocks_simulated : int;
+  (* Conservation accounting over the simulated clusters: the checking
+     harness (lib/check) asserts launched = retired and nothing left
+     pending — a liveness violation (deadlocked barrier, leaked block
+     slot) shows up here instead of as a silently-short simulation. *)
+  warps_launched : int;
+  warps_retired : int;
+  blocks_retired : int;
+  blocks_unlaunched : int; (* left in SM pending queues at exhaustion *)
 }
 
 let reg_slots = 140 (* 128 general registers + mapped predicates *)
@@ -60,6 +68,9 @@ type sm_state = {
   max_resident : int;
   warp_slot_capacity : int;
   mutable pending : Trace.block_trace list;
+  mutable warps_launched : int;
+  mutable warps_retired : int;
+  mutable blocks_retired : int;
   cluster : cluster_state;
 }
 
@@ -130,9 +141,13 @@ let make_params (spec : Gpu_hw.Spec.t) =
     gmem_txn_ticks;
   }
 
-(* Launch one block's warps at [now]. *)
-let launch_block (pq : warp_state Heap.t) sm (bt : Trace.block_trace) now =
+(* Launch one block's warps at [now].  Empty-trace warps retire through
+   [warp_finished] like any other warp, so their slots return and an
+   all-empty block still releases the SM. *)
+let rec launch_block p (pq : warp_state Heap.t) sm (bt : Trace.block_trace)
+    now =
   let block = { live = Array.length bt.warps; waiting = 0; parked = []; sm } in
+  sm.warps_launched <- sm.warps_launched + Array.length bt.warps;
   Array.iter
     (fun wt ->
       let w =
@@ -145,14 +160,14 @@ let launch_block (pq : warp_state Heap.t) sm (bt : Trace.block_trace) now =
         }
       in
       if Array.length wt > 0 then Heap.add pq ~key:now w
-      else block.live <- block.live - 1)
+      else warp_finished p pq w now)
     bt.warps
 
 (* Launch as many pending blocks as the SM's resources allow at [now].
    Normally a slot frees only when a whole block retires; under the
    early-release what-if (Section 5.2) per-warp slots free as warps
    retire. *)
-let rec try_launch p pq sm now =
+and try_launch p pq sm now =
   match sm.pending with
   | [] -> ()
   | bt :: rest ->
@@ -165,33 +180,64 @@ let rec try_launch p pq sm now =
       sm.pending <- rest;
       sm.resident <- sm.resident + 1;
       sm.free_warp_slots <- sm.free_warp_slots - wpb;
-      launch_block pq sm bt now;
+      launch_block p pq sm bt now;
       try_launch p pq sm now
     end
 
 (* A warp ran out of trace events at time [now]. *)
-let warp_finished p pq w now =
+and warp_finished p pq w now =
   let block = w.block in
   let sm = block.sm in
   block.live <- block.live - 1;
+  (* Whether *this* retirement emptied the block: released parked warps may
+     recursively retire below and must not double-release the SM slot. *)
+  let block_done = block.live = 0 in
   sm.free_warp_slots <- sm.free_warp_slots + 1;
+  sm.warps_retired <- sm.warps_retired + 1;
   (* A finished warp no longer participates in barriers: release waiters if
      it was the last one standing outside. *)
-  if block.live > 0 && block.waiting = block.live then begin
-    List.iter
-      (fun pw ->
-        pw.ready <- now;
-        Heap.add pq ~key:now pw)
-      block.parked;
-    block.parked <- [];
-    block.waiting <- 0
+  if block.live > 0 && block.waiting = block.live then
+    release_parked p pq block now;
+  if block_done then begin
+    sm.resident <- sm.resident - 1;
+    sm.blocks_retired <- sm.blocks_retired + 1
   end;
-  if block.live = 0 then sm.resident <- sm.resident - 1;
   try_launch p pq sm now
+
+(* Release every warp parked at a block's barrier at time [t].  The parked
+   list and arrival count clear *before* any warp re-queues: a released
+   warp whose trace ended at the barrier retires immediately, and that
+   retirement must see the barrier already drained, not re-release the
+   list it is being released from. *)
+and release_parked p pq block t =
+  let parked = block.parked in
+  block.parked <- [];
+  block.waiting <- 0;
+  List.iter
+    (fun pw ->
+      pw.ready <- t;
+      if pw.idx >= Array.length pw.trace then warp_finished p pq pw t
+      else Heap.add pq ~key:t pw)
+    parked
+
+(* In-order scoreboard invariant: a register's ready time never moves
+   backward, because the dependence wait already includes the WAW check on
+   the destination.  A violation means the scoreboard lost an ordering
+   edge — an engine bug the fuzz harness must be able to see. *)
+let write_reg w r time =
+  let r = map_reg r in
+  if time < w.regs.(r) then
+    failwith "Engine: non-monotone register ready-time";
+  w.regs.(r) <- time
 
 (* Process one warp's next event.  Returns the completion horizon the event
    contributes to total time. *)
 let process p pq w now =
+  (* Engine invariant: scheduled warps always have an event left.  A
+     violation is an engine bug (lost retirement accounting), not bad
+     input; fail structurally instead of via the array bounds check. *)
+  if w.idx >= Array.length w.trace then
+    failwith "Engine: warp scheduled past the end of its trace";
   let e = w.trace.(w.idx) in
   (* Dependences: wait for sources and destination (WAW). *)
   let t = ref (max now w.ready) in
@@ -213,14 +259,7 @@ let process p pq w now =
     let block = w.block in
     if block.waiting + 1 = block.live then begin
       (* last arrival: release everyone *)
-      List.iter
-        (fun pw ->
-          pw.ready <- t;
-          if pw.idx >= Array.length pw.trace then warp_finished p pq pw t
-          else Heap.add pq ~key:t pw)
-        block.parked;
-      block.parked <- [];
-      block.waiting <- 0;
+      release_parked p pq block t;
       if w.idx >= Array.length w.trace then warp_finished p pq w t
       else Heap.add pq ~key:t w
     end
@@ -240,7 +279,7 @@ let process p pq w now =
         sm.alu_free <- start + occ;
         sm.alu_busy <- sm.alu_busy + occ;
         let complete = start + p.alu_latency in
-        if e.dst >= 0 then w.regs.(map_reg e.dst) <- complete;
+        if e.dst >= 0 then write_reg w e.dst complete;
         w.ready <- start + max occ p.warp_gap;
         complete
       | Trace.Smem txns ->
@@ -262,7 +301,7 @@ let process p pq w now =
           sm.alu_busy <- sm.alu_busy + occ
         end;
         let complete = start + busy + p.smem_latency in
-        if e.dst >= 0 then w.regs.(map_reg e.dst) <- complete;
+        if e.dst >= 0 then write_reg w e.dst complete;
         (* The LSU replays a conflicted access once per serialized
            transaction and the scheduler only revisits the warp after the
            replays drain, so the warp is held per transaction. *)
@@ -279,7 +318,7 @@ let process p pq w now =
         cl.gmem_free <- start + busy;
         cl.gmem_busy <- cl.gmem_busy + busy;
         let complete = start + busy + p.gmem_latency in
-        if e.dst >= 0 then w.regs.(map_reg e.dst) <- complete;
+        if e.dst >= 0 then write_reg w e.dst complete;
         w.ready <- start + max p.mem_dispatch p.warp_gap;
         (match e.mem with
         | Trace.Gmem_load _ -> complete
@@ -301,7 +340,8 @@ let run_cluster p ~max_resident sm_blocks =
       {
         alu_free = 0; smem_free = 0; alu_busy = 0; smem_busy = 0;
         resident = 0; free_warp_slots = 0; max_resident = 0;
-        warp_slot_capacity = 0; pending = []; cluster;
+        warp_slot_capacity = 0; pending = []; warps_launched = 0;
+        warps_retired = 0; blocks_retired = 0; cluster;
       }
     in
     { trace = [||]; idx = 0; ready = 0; regs = [||];
@@ -328,6 +368,9 @@ let run_cluster p ~max_resident sm_blocks =
             max_resident;
             warp_slot_capacity = capacity;
             pending = blocks;
+            warps_launched = 0;
+            warps_retired = 0;
+            blocks_retired = 0;
             cluster;
           }
         in
@@ -348,9 +391,15 @@ let run_cluster p ~max_resident sm_blocks =
       loop ()
   in
   loop ();
-  let alu = Array.fold_left (fun acc sm -> acc + sm.alu_busy) 0 sms in
-  let smem = Array.fold_left (fun acc sm -> acc + sm.smem_busy) 0 sms in
-  (!end_time, alu, smem, cluster.gmem_busy)
+  let sum f = Array.fold_left (fun acc sm -> acc + f sm) 0 sms in
+  ( !end_time,
+    sum (fun sm -> sm.alu_busy),
+    sum (fun sm -> sm.smem_busy),
+    cluster.gmem_busy,
+    ( sum (fun sm -> sm.warps_launched),
+      sum (fun sm -> sm.warps_retired),
+      sum (fun sm -> sm.blocks_retired),
+      sum (fun sm -> List.length sm.pending) ) )
 
 (* Distribute grid blocks uniformly over the *clusters* first (block b goes
    to cluster b mod num_clusters, as the paper infers from the period-10
@@ -395,13 +444,21 @@ let run ?(homogeneous = false) ~(spec : Gpu_hw.Spec.t) ~max_resident_blocks
   in
   let cycles = ref 0 in
   let alu = ref 0 and smem = ref 0 and gmem = ref 0 in
+  let launched = ref 0 and retired = ref 0 in
+  let blocks_retired = ref 0 and unlaunched = ref 0 in
   Array.iter
     (fun cl ->
-      let t, a, s, g = run_cluster p ~max_resident:max_resident_blocks cl in
+      let t, a, s, g, (wl, wr, br, bu) =
+        run_cluster p ~max_resident:max_resident_blocks cl
+      in
       if t > !cycles then cycles := t;
       alu := !alu + a;
       smem := !smem + s;
-      gmem := !gmem + g)
+      gmem := !gmem + g;
+      launched := !launched + wl;
+      retired := !retired + wr;
+      blocks_retired := !blocks_retired + br;
+      unlaunched := !unlaunched + bu)
     selected;
   let cycles = (!cycles + ticks_per_cycle - 1) / ticks_per_cycle in
   let to_cycles busy = (busy + ticks_per_cycle - 1) / ticks_per_cycle in
@@ -414,4 +471,52 @@ let run ?(homogeneous = false) ~(spec : Gpu_hw.Spec.t) ~max_resident_blocks
     sms_simulated = Array.length selected * spec.sms_per_cluster;
     clusters_simulated = Array.length selected;
     blocks_simulated = Array.length blocks;
+    warps_launched = !launched;
+    warps_retired = !retired;
+    blocks_retired = !blocks_retired;
+    blocks_unlaunched = !unlaunched;
+  }
+
+(* --- Analytic busy oracle (for lib/check) ----------------------------- *)
+
+type busy = { alu_cycles : int; smem_cycles : int; gmem_cycles : int }
+
+(* What the event-driven simulation must charge each pipeline, computed by
+   summation alone — no scheduling, no event queue.  [run]'s busy counters
+   must equal these exactly whenever every block is simulated
+   ([homogeneous:false]); the checking harness asserts that they do. *)
+let expected_busy ~(spec : Gpu_hw.Spec.t) (blocks : Trace.block_trace array)
+    =
+  let p = make_params spec in
+  let alu = ref 0 and smem = ref 0 and gmem = ref 0 in
+  Array.iter
+    (fun (bt : Trace.block_trace) ->
+      Array.iter
+        (fun wt ->
+          Array.iter
+            (fun (e : Trace.event) ->
+              if not e.bar then
+                match e.mem with
+                | Trace.No_mem ->
+                  alu := !alu + p.issue.(Gpu_sim.Stats.class_index e.cls)
+                | Trace.Smem txns ->
+                  smem := !smem + (txns * p.smem_access);
+                  (* fused arithmetic with a shared operand also holds the
+                     issue pipeline (mirrors [process]) *)
+                  if e.cls <> Gpu_isa.Instr.Class_mem then
+                    alu := !alu + p.issue.(Gpu_sim.Stats.class_index e.cls)
+                | Trace.Gmem_load txns | Trace.Gmem_store txns ->
+                  gmem :=
+                    !gmem
+                    + Array.fold_left
+                        (fun acc (_, size) -> acc + p.gmem_txn_ticks size)
+                        0 txns)
+            wt)
+        bt.warps)
+    blocks;
+  let to_cycles b = (b + ticks_per_cycle - 1) / ticks_per_cycle in
+  {
+    alu_cycles = to_cycles !alu;
+    smem_cycles = to_cycles !smem;
+    gmem_cycles = to_cycles !gmem;
   }

@@ -20,6 +20,14 @@ type result = {
   sms_simulated : int;
   clusters_simulated : int;
   blocks_simulated : int;
+  warps_launched : int;
+      (** conservation accounting over the simulated clusters: the
+          checking harness ([lib/check]) asserts launched = retired and
+          nothing left pending, so a deadlocked barrier or leaked block
+          slot is observable instead of a silently-short simulation *)
+  warps_retired : int;
+  blocks_retired : int;
+  blocks_unlaunched : int;  (** left in SM pending queues at exhaustion *)
 }
 
 (** [run ~spec ~max_resident_blocks blocks] replays the whole grid's
@@ -33,3 +41,14 @@ val run :
   max_resident_blocks:int ->
   Gpu_sim.Trace.block_trace array ->
   result
+
+(** Analytic pipeline-busy totals for a trace set, in the same rounded
+    cycles as {!result}'s busy counters. *)
+type busy = { alu_cycles : int; smem_cycles : int; gmem_cycles : int }
+
+(** What the event-driven simulation must charge each pipeline, computed
+    by summation alone (no scheduling).  Equals {!result}'s busy counters
+    exactly whenever every block is simulated ([homogeneous:false]); the
+    checking harness asserts that it does. *)
+val expected_busy :
+  spec:Gpu_hw.Spec.t -> Gpu_sim.Trace.block_trace array -> busy

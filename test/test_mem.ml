@@ -198,6 +198,23 @@ let test_warp_transactions () =
   Alcotest.(check int) "ideal is one per half-warp" 2
     (B.ideal_warp_transactions ~group:16 a)
 
+let test_wide_accesses () =
+  (* a 64-bit access spans two adjacent banks; sequential 8-byte lanes
+     over 16 banks put two distinct words in every bank of each
+     half-warp: 2-way conflicts *)
+  Alcotest.(check int) "sequential 64-bit lanes conflict 2-way" 2
+    (B.conflict_degree ~width:8 ~banks:16 (active 16 (fun i -> 8 * i)));
+  (* with 32 banks the same pattern spreads out again *)
+  Alcotest.(check int) "32 banks absorb sequential 64-bit lanes" 1
+    (B.conflict_degree ~width:8 ~banks:32 (active 16 (fun i -> 8 * i)));
+  (* a 64-bit broadcast still touches only one word per bank *)
+  Alcotest.(check int) "64-bit broadcast stays free" 1
+    (B.conflict_degree ~width:8 ~banks:16 (active 16 (fun _ -> 256)));
+  (* ideal transactions count words, so doubles for 64-bit accesses *)
+  Alcotest.(check int) "ideal is two words per half-warp" 4
+    (B.ideal_warp_transactions ~width:8 ~group:16
+       (active 32 (fun i -> 8 * i)))
+
 let prop_conflict_degree_bounds =
   QCheck.Test.make ~count:500 ~name:"conflict degree within bounds"
     gen_addresses
@@ -271,6 +288,8 @@ let () =
             test_prime_banks_remove_conflicts;
           Alcotest.test_case "warp transactions" `Quick
             test_warp_transactions;
+          Alcotest.test_case "wide (64-bit) accesses" `Quick
+            test_wide_accesses;
           QCheck_alcotest.to_alcotest prop_conflict_degree_bounds;
         ] );
       ( "cache",
