@@ -833,6 +833,7 @@ let write_perf_json path ~results ~total_seconds
     (c1.gmem_measurements - c0.gmem_measurements);
   p "  \"cache_loads\": %d,\n" (c1.cache_loads - c0.cache_loads);
   p "  \"calibrations\": %d,\n" (c1.calibrations - c0.calibrations);
+  p "  \"metrics\": %s,\n" (Gpu_obs.Metrics.dump_json ());
   p "  \"experiments\": [\n";
   List.iteri
     (fun i (name, _, dt, _) ->
@@ -875,10 +876,10 @@ let () =
       Tables.set_disk_cache false;
       parse rest
     | "--jobs" :: n :: rest | "-j" :: n :: rest ->
-      (match int_of_string_opt n with
-      | Some j when j >= 1 -> Pool.set_jobs j
-      | Some _ | None ->
-        Stdlib.Printf.eprintf "bench: --jobs expects a positive integer\n";
+      (match Pool.parse_jobs n with
+      | Ok j -> Pool.set_jobs j
+      | Error m ->
+        Stdlib.Printf.eprintf "bench: --jobs: %s\n" m;
         exit 2);
       parse rest
     | "--json" :: rest -> (

@@ -42,11 +42,27 @@ let guard stage f = D.protect ~stage ~convert:convert_toolchain f
 
 (* --- calibration options (shared by the table-driven subcommands) -------- *)
 
+(* A job count parses through [Pool.parse_jobs] — the one validator for
+   both the flag and GPUPERF_JOBS — so either spelling of an invalid
+   value is a usage error (exit 2) from cmdliner, never a late failure. *)
+let jobs_conv =
+  let parse s =
+    match Gpu_parallel.Pool.parse_jobs s with
+    | Ok n -> Ok n
+    | Error m -> Error (`Msg m)
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let jobs_env =
+  Cmd.Env.info "GPUPERF_JOBS"
+    ~doc:"Worker domains for microbenchmark calibration; same validation \
+          as $(b,--jobs)."
+
 let jobs_arg =
   Arg.(
     value
-    & opt (some int) None
-    & info [ "jobs"; "j" ] ~docv:"N"
+    & opt (some jobs_conv) None
+    & info [ "jobs"; "j" ] ~docv:"N" ~env:jobs_env
         ~doc:
           "Worker domains for microbenchmark calibration (default: \
            $(b,GPUPERF_JOBS), else the machine's core count)")
@@ -60,16 +76,29 @@ let no_cache_arg =
 
 (* Route the library's cache/calibration diagnostics to stderr so users
    can tell a slow cold calibration from a warm cache hit, and apply the
-   parallelism/cache overrides.  Call inside [guard]: a bad [--jobs]
-   surfaces as one Cli diagnostic. *)
+   parallelism/cache overrides.  [jobs] is already validated by
+   [jobs_conv]. *)
 let apply_calibration_opts jobs no_cache =
-  (match jobs with
-  | Some n when n < 1 ->
-    D.fail (D.error D.Cli "--jobs must be a positive integer, got %d" n)
-  | Some n -> Gpu_parallel.Pool.set_jobs n
-  | None -> ());
+  Option.iter Gpu_parallel.Pool.set_jobs jobs;
   if no_cache then Gpu_microbench.Tables.set_disk_cache false;
   Gpu_microbench.Tables.set_on_diag print_diag
+
+(* --- metrics ------------------------------------------------------------- *)
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Dump the metrics registry (DESIGN §11) to stderr on exit")
+
+(* Dump even when the command fails: the counters are most interesting
+   exactly when something went wrong. *)
+let with_metrics metrics f =
+  if not metrics then f ()
+  else
+    Fun.protect
+      ~finally:(fun () -> prerr_string (Gpu_obs.Metrics.dump_text ()))
+      f
 
 (* --- occupancy ----------------------------------------------------------- *)
 
@@ -142,7 +171,8 @@ let microbench_cmd =
       & info [ "gmem" ]
           ~doc:"Global benchmark: blocks,threads,transactions-per-thread")
   in
-  let run jobs no_cache gmem =
+  let run metrics jobs no_cache gmem =
+    with_metrics metrics @@ fun () ->
     guard D.Model @@ fun () ->
     apply_calibration_opts jobs no_cache;
     let t = Gpu_microbench.Tables.for_spec spec in
@@ -173,7 +203,7 @@ let microbench_cmd =
   Cmd.v
     (Cmd.info "microbench"
        ~doc:"Fit and print the microbenchmark throughput tables")
-    Term.(const run $ jobs_arg $ no_cache_arg $ gmem)
+    Term.(const run $ metrics_arg $ jobs_arg $ no_cache_arg $ gmem)
 
 (* --- analyze ------------------------------------------------------------- *)
 
@@ -235,7 +265,8 @@ let workload_arg =
     & info [] ~docv:"WORKLOAD" ~doc:"matmul, tridiag or spmv")
 
 let analyze_cmd =
-  let run workload tile padded fmt measure jobs no_cache =
+  let run workload tile padded fmt measure metrics jobs no_cache =
+    with_metrics metrics @@ fun () ->
     guard D.Cli @@ fun () ->
     apply_calibration_opts jobs no_cache;
     let r = report_of ~measure workload tile padded fmt spec in
@@ -246,7 +277,7 @@ let analyze_cmd =
        ~doc:"Run the full Figure-1 workflow on a case-study workload")
     Term.(
       const run $ workload_arg $ tile_arg $ padded_arg $ fmt_arg
-      $ measure_flag $ jobs_arg $ no_cache_arg)
+      $ measure_flag $ metrics_arg $ jobs_arg $ no_cache_arg)
 
 (* --- whatif -------------------------------------------------------------- *)
 
@@ -260,7 +291,8 @@ let whatif_cmd =
             "Device variant (repeatable): maxblocks16, banks17, segment16, \
              segment4, bigregfile, bigsmem, earlyrelease")
   in
-  let run workload tile padded fmt variants jobs no_cache =
+  let run workload tile padded fmt variants metrics jobs no_cache =
+    with_metrics metrics @@ fun () ->
     guard D.Cli @@ fun () ->
     apply_calibration_opts jobs no_cache;
     (* one variant per pool task: the per-variant table re-fit dominates *)
@@ -294,7 +326,7 @@ let whatif_cmd =
        ~doc:"Re-analyze a workload on architectural variants")
     Term.(
       const run $ workload_arg $ tile_arg $ padded_arg $ fmt_arg
-      $ variant_arg $ jobs_arg $ no_cache_arg)
+      $ variant_arg $ metrics_arg $ jobs_arg $ no_cache_arg)
 
 (* --- disasm / asm --------------------------------------------------------- *)
 
@@ -432,7 +464,8 @@ let check_cmd =
       & info [ "replay" ] ~docv:"FILE"
           ~doc:"Re-check one dumped reproducer instead of fuzzing")
   in
-  let run seed cases tol out replay jobs no_cache =
+  let run seed cases tol out replay metrics jobs no_cache =
+    with_metrics metrics @@ fun () ->
     guard D.Timing @@ fun () ->
     apply_calibration_opts jobs no_cache;
     if tol < 1.0 then
@@ -478,7 +511,90 @@ let check_cmd =
          "Property-based checking: brute-force memory oracles, engine \
           invariant audit, model-vs-engine differential")
     Term.(
-      const run $ seed $ cases $ tol $ out $ replay $ jobs_arg $ no_cache_arg)
+      const run $ seed $ cases $ tol $ out $ replay $ metrics_arg $ jobs_arg
+      $ no_cache_arg)
+
+(* --- trace ----------------------------------------------------------------- *)
+
+let trace_cmd =
+  let out =
+    Arg.(
+      value
+      & opt string "trace.json"
+      & info [ "trace-out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Output file for the trace-event JSON (open in \
+             chrome://tracing or Perfetto)")
+  in
+  let capacity =
+    Arg.(
+      value
+      & opt int 262_144
+      & info [ "trace-capacity" ] ~docv:"SLICES"
+          ~doc:
+            "Timeline ring-buffer capacity; past it the oldest slices are \
+             dropped (and reported)")
+  in
+  let n =
+    Arg.(
+      value
+      & opt int 1024
+      & info [ "n" ] ~docv:"N"
+          ~doc:
+            "Problem size: matmul matrix order (divisible by 64 and the \
+             tile) or tridiag system size (power of two); ignored by spmv")
+  in
+  let run workload tile padded fmt n out capacity metrics jobs no_cache =
+    with_metrics metrics @@ fun () ->
+    guard D.Cli @@ fun () ->
+    apply_calibration_opts jobs no_cache;
+    if capacity < 1 then
+      D.fail (D.error D.Cli "--trace-capacity must be >= 1, got %d" capacity);
+    let tl = Gpu_obs.Timeline.create ~capacity () in
+    Gpu_obs.Span.set_enabled true;
+    let r =
+      match workload with
+      | `Matmul ->
+        Gpu_workloads.Matmul.analyze ~spec ~measure:true ~timeline:tl ~n
+          ~tile ()
+      | `Tridiag ->
+        Gpu_workloads.Tridiag.analyze ~spec ~measure:true ~timeline:tl
+          ~nsys:512 ~n ~padded ()
+      | `Spmv ->
+        let m = Gpu_workloads.Spmv.qcd_like () in
+        Gpu_workloads.Spmv.analyze ~spec ~measure:true ~timeline:tl m fmt
+    in
+    let oc = open_out_bin out in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        Gpu_obs.Timeline.write_json
+          ~scale:(1.0 /. float_of_int Gpu_timing.Engine.ticks_per_cycle)
+          ~spans:(Gpu_obs.Span.completed ())
+          oc tl);
+    Fmt.pr "%a@." Gpu_model.Workflow.pp r;
+    (match r.Gpu_model.Workflow.measured with
+    | Some m -> Fmt.pr "%a@." Gpu_timing.Engine.pp_stage_attribution m
+    | None -> ());
+    let added = Gpu_obs.Timeline.added tl in
+    let dropped = Gpu_obs.Timeline.dropped tl in
+    Fmt.pr "wrote %s: %d timeline slices (%d dropped), %d workflow spans@."
+      out (added - dropped) dropped
+      (List.length (Gpu_obs.Span.completed ()));
+    if dropped > 0 then
+      print_diag
+        (D.warning D.Cli
+           ~hint:"raise --trace-capacity to keep the whole timeline"
+           "timeline overflowed: the oldest %d slices were dropped" dropped)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run the workflow with span + engine-timeline tracing and export \
+          Chrome trace-event JSON")
+    Term.(
+      const run $ workload_arg $ tile_arg $ padded_arg $ fmt_arg $ n $ out
+      $ capacity $ metrics_arg $ jobs_arg $ no_cache_arg)
 
 (* --- main ------------------------------------------------------------------ *)
 
@@ -491,7 +607,7 @@ let () =
     Cmd.group info
       [
         occupancy_cmd; microbench_cmd; analyze_cmd; whatif_cmd;
-        disasm_cmd; asm_cmd; coalesce_cmd; check_cmd;
+        disasm_cmd; asm_cmd; coalesce_cmd; check_cmd; trace_cmd;
       ]
   in
   exit

@@ -17,18 +17,47 @@
    The only slack is on the arithmetic pipeline's upper bound: the last
    issue may hold the pipe past the completion horizon by up to its own
    occupancy (at most warp_size cycles when a class has one unit), plus
-   one cycle of tick rounding per counter. *)
+   one cycle of tick rounding per counter.
+
+   Every audit runs with a timeline recorder attached and additionally
+   checks the observability contract: per pipeline category the recorded
+   slice durations (ticks, rounded up to cycles) tile exactly into the
+   engine's busy counters, and the per-stage attribution ticks sum to the
+   same totals.  The timeline is sized so nothing can drop — a dropped
+   slice would make tiling vacuous. *)
 
 module Engine = Gpu_timing.Engine
+module Timeline = Gpu_obs.Timeline
+
+(* Ticks of recorded busy time, rounded up to cycles the way the engine's
+   counters round each slice-free accumulation: the counters accumulate
+   raw ticks and convert once at the end, so a single global round-up
+   matches. *)
+let cycles_of_ticks t = (t + Engine.ticks_per_cycle - 1) / Engine.ticks_per_cycle
 
 let check ~(spec : Gpu_hw.Spec.t) (c : Case.t) : (unit, string) result =
   match Case.validate c with
   | Error m -> Error ("invalid case: " ^ m)
   | Ok () -> (
     let traces = Case.traces c in
+    (* Capacity: a fused smem event emits at most 3 slices, barrier slices
+       are bounded by the bar-flagged events, and each warp adds one
+       retire marker — 4x the events plus one per warp covers it all. *)
+    let events =
+      Array.fold_left
+        (fun acc b -> acc + Gpu_sim.Trace.event_count b)
+        0 traces
+    in
+    let warps =
+      Array.fold_left
+        (fun acc (b : Gpu_sim.Trace.block_trace) ->
+          acc + Array.length b.Gpu_sim.Trace.warps)
+        0 traces
+    in
+    let tl = Timeline.create ~capacity:((4 * events) + warps + 64) () in
     match
-      Engine.run ~homogeneous:false ~spec ~max_resident_blocks:c.max_resident
-        traces
+      Engine.run ~homogeneous:false ~timeline:tl ~spec
+        ~max_resident_blocks:c.max_resident traces
     with
     | exception e ->
       Error
@@ -81,6 +110,36 @@ let check ~(spec : Gpu_hw.Spec.t) (c : Case.t) : (unit, string) result =
         (r.gmem_busy_cycles <= (r.cycles + 1) * r.clusters_simulated)
         "gmem busier (%d cycles) than %d clusters over %d cycles can be"
         r.gmem_busy_cycles r.clusters_simulated r.cycles;
+      (* Observability: the recorded timeline must tile exactly into the
+         busy counters, per pipeline category and again per stage. *)
+      ensure
+        (Timeline.dropped tl = 0)
+        "timeline dropped %d slices despite exact sizing"
+        (Timeline.dropped tl);
+      let tile cat busy =
+        let ticks = Timeline.sum_dur tl ~cat in
+        ensure
+          (cycles_of_ticks ticks = busy)
+          "%s timeline slices sum to %d ticks (%d cycles), busy counter \
+           says %d"
+          cat ticks (cycles_of_ticks ticks) busy
+      in
+      tile "alu" r.alu_busy_cycles;
+      tile "smem" r.smem_busy_cycles;
+      tile "gmem" r.gmem_busy_cycles;
+      let stage_sum f =
+        Array.fold_left (fun acc st -> acc + f st) 0 r.stages_busy
+      in
+      let per_stage name f cat =
+        let s = stage_sum f in
+        let ticks = Timeline.sum_dur tl ~cat in
+        ensure (s = ticks)
+          "per-stage %s attribution sums to %d ticks, timeline says %d"
+          name s ticks
+      in
+      per_stage "alu" (fun st -> st.Engine.alu_ticks) "alu";
+      per_stage "smem" (fun st -> st.Engine.smem_ticks) "smem";
+      per_stage "gmem" (fun st -> st.Engine.gmem_ticks) "gmem";
       match !problems with
       | [] -> Ok ()
       | ps ->

@@ -209,6 +209,9 @@ let analyze_stage inp ~program_txns_per_thread ~stage_index
         [
           (if conflict_penalty > 1.1 then [ Bank_conflicts conflict_penalty ]
            else []);
+          (* the [smem_accesses > 0] conjunct guards the ratio against a
+             0-access stage (MADs but no shared traffic): mads /. 0. is
+             inf/NaN and must not reach the comparison *)
           (if
              s.smem_accesses > 0
              && float_of_int s.mads /. float_of_int s.smem_accesses < 2.0
@@ -297,6 +300,17 @@ let analyze inp =
     invalid_arg "Model.analyze: grid must have at least one block";
   if inp.in_block <= 0 then
     invalid_arg "Model.analyze: blocks must have at least one thread";
+  (* Non-finite inputs would flow through the component divisions into
+     NaN stage times, and NaN compares false against everything — the
+     bottleneck classifier would then silently report the first component
+     (instruction pipeline) no matter what the kernel does.  Reject at
+     the door instead. *)
+  if not (Float.is_finite inp.scale) || inp.scale < 0.0 then
+    invalid_arg
+      (Printf.sprintf
+         "Model.analyze: statistics scale must be finite and non-negative, \
+          got %g"
+         inp.scale);
   let spec = inp.in_spec in
   let resident =
     min inp.in_occupancy.Gpu_hw.Occupancy.blocks
@@ -316,6 +330,24 @@ let analyze inp =
       (fun acc st -> Component.add acc st.times)
       Component.zero_times stages
   in
+  (* Same guard downstream: inconsistent statistics (e.g. transferred
+     bytes with zero accesses, hand-built Stats records) can still
+     produce a non-finite component time; fail loudly rather than let a
+     NaN pick the bottleneck. *)
+  let finite (t : Component.times) =
+    Float.is_finite t.Component.instruction
+    && Float.is_finite t.Component.shared
+    && Float.is_finite t.Component.global
+  in
+  List.iter
+    (fun st ->
+      if not (finite st.times) then
+        invalid_arg
+          (Printf.sprintf
+             "Model.analyze: stage %d has a non-finite component time \
+              (inconsistent statistics)"
+             st.index))
+    stages;
   let predicted_seconds =
     if serialized then
       (* one resident block: barrier-delimited stages run back to back *)

@@ -83,12 +83,14 @@ val load_balance : spec:Gpu_hw.Spec.t -> grid:int -> float
 val txns_per_thread : inputs -> int
 
 (** Raises [Invalid_argument] on degenerate launch geometry (non-positive
-    grid or block), which would otherwise surface as NaN through the
-    load-balance division. *)
+    grid or block), a non-finite or negative [scale], or statistics that
+    produce a non-finite stage component time — any of which would
+    otherwise flow NaN into the bottleneck comparison and silently
+    classify every stage as instruction-pipeline bound. *)
 val analyze : inputs -> t
 
-(** Like {!analyze} but total: degenerate geometry becomes a [Model]
-    diagnostic.  No exception escapes. *)
+(** Like {!analyze} but total: degenerate geometry or non-finite inputs
+    become a [Model] diagnostic.  No exception escapes. *)
 val analyze_result : inputs -> (t, Gpu_diag.Diag.t) result
 val pp_times : Format.formatter -> Component.times -> unit
 val pp_stage : Format.formatter -> stage_analysis -> unit

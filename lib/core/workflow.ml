@@ -3,9 +3,15 @@
    dynamic statistics, extract the model inputs, query the microbenchmark
    tables, and produce the quantitative per-component analysis.  Optionally
    the same traces replay on the cycle timing simulator, which plays the
-   role of the measured GPU time. *)
+   role of the measured GPU time.
+
+   Every stage runs inside a [Gpu_obs.Span] (compile / functional-sim /
+   extract / calibrate / model / timing-replay) — free when span tracing
+   is off — and the timing replay accepts an optional [Gpu_obs.Timeline]
+   that the engine fills with per-pipeline busy intervals. *)
 
 module Spec = Gpu_hw.Spec
+module Span = Gpu_obs.Span
 
 type launch = { grid : int; block : int }
 
@@ -36,7 +42,11 @@ let occupancy_of ~spec ~block (k : Gpu_kernel.Compile.compiled) =
 
 (* Replay traces of the sampled blocks onto the whole grid (cyclically) for
    the timing simulator.  Exact when the sample covers the grid; otherwise
-   it relies on block homogeneity, like the statistics scaling. *)
+   it relies on block homogeneity, like the statistics scaling.  The
+   cyclic assignment keeps the replication maximally even: with grid g
+   from n samples each sample appears floor(g/n) or ceil(g/n) times, so
+   the replicated trace volume never drifts from the g/n statistics
+   scale by as much as one sample. *)
 let replicate_traces ~grid (traces : Gpu_sim.Trace.block_trace list) =
   let sampled = Array.of_list traces in
   let n = Array.length sampled in
@@ -44,41 +54,96 @@ let replicate_traces ~grid (traces : Gpu_sim.Trace.block_trace list) =
   Array.init grid (fun b ->
       { sampled.(b mod n) with Gpu_sim.Trace.block = b })
 
+(* Whether the sampled traces all describe the same per-block work
+   (ignoring the block id).  Only then may the timing replay simulate a
+   single most-loaded cluster: replicated *heterogeneous* samples load
+   clusters differently, and collapsing to one cluster both mis-times the
+   grid and under-counts the busy/conservation totals. *)
+(* Timing-relevant equality of two trace events.  The timing engine never
+   reads global-memory transaction base addresses — only their count and
+   size — so bases are masked out; comparing them raw would make every
+   kernel that touches block-dependent addresses look heterogeneous. *)
+let event_cost_equal (a : Gpu_sim.Trace.event) (b : Gpu_sim.Trace.event) =
+  let mem_equal m m' =
+    match (m, m') with
+    | Gpu_sim.Trace.No_mem, Gpu_sim.Trace.No_mem -> true
+    | Gpu_sim.Trace.Smem n, Gpu_sim.Trace.Smem n' -> n = n'
+    | Gpu_sim.Trace.Gmem_load t, Gpu_sim.Trace.Gmem_load t'
+    | Gpu_sim.Trace.Gmem_store t, Gpu_sim.Trace.Gmem_store t' ->
+      Array.length t = Array.length t'
+      && Array.for_all2 (fun (_, s) (_, s') -> s = s') t t'
+    | _, _ -> false
+  in
+  a.cls = b.cls && a.dst = b.dst && a.srcs = b.srcs && a.bar = b.bar
+  && mem_equal a.mem b.mem
+
+let warp_cost_equal (a : Gpu_sim.Trace.warp_trace) b =
+  Array.length a = Array.length b && Array.for_all2 event_cost_equal a b
+
+let traces_homogeneous (traces : Gpu_sim.Trace.block_trace list) =
+  match traces with
+  | [] | [ _ ] -> true
+  | t :: rest ->
+    List.for_all
+      (fun (u : Gpu_sim.Trace.block_trace) ->
+        Array.length u.warps = Array.length t.warps
+        && Array.for_all2 warp_cost_equal u.warps t.warps)
+      rest
+
+let replay_homogeneous ~grid (r : Gpu_sim.Sim.result) =
+  r.blocks_run < grid && traces_homogeneous r.traces
+
+let span_attrs ~grid ~block (k : Gpu_kernel.Compile.compiled) =
+  [
+    ("kernel", Gpu_isa.Program.name k.program);
+    ("grid", string_of_int grid);
+    ("block", string_of_int block);
+  ]
+
 let analyze_compiled ?(spec = Spec.gtx285) ?sample ?(measure = false)
-    ~grid ~block ~args (k : Gpu_kernel.Compile.compiled) =
-  let occupancy = occupancy_of ~spec ~block k in
+    ?timeline ~grid ~block ~args (k : Gpu_kernel.Compile.compiled) =
+  let attrs = span_attrs ~grid ~block k in
+  let occupancy =
+    Span.with_ ~attrs "extract" (fun () -> occupancy_of ~spec ~block k)
+  in
   let block_ids =
     match sample with
     | Some n when n < grid -> Some (List.init n Fun.id)
     | Some _ | None -> None
   in
   let r =
-    Gpu_sim.Sim.run ~collect_trace:measure ?block_ids ~spec ~grid ~block
-      ~args k
+    Span.with_ ~attrs "functional-sim" (fun () ->
+        Gpu_sim.Sim.run ~collect_trace:measure ?block_ids ~spec ~grid ~block
+          ~args k)
   in
   let scale = Gpu_sim.Sim.scale_factor r in
-  let tables = Gpu_microbench.Tables.for_spec spec in
+  let tables =
+    Span.with_ ~attrs "calibrate" (fun () ->
+        Gpu_microbench.Tables.for_spec spec)
+  in
   let analysis =
-    Model.analyze
-      {
-        Model.in_spec = spec;
-        tables;
-        stats = r.stats;
-        scale;
-        in_grid = grid;
-        in_block = block;
-        in_occupancy = occupancy;
-        blocks_run = r.blocks_run;
-      }
+    Span.with_ ~attrs "model" (fun () ->
+        Model.analyze
+          {
+            Model.in_spec = spec;
+            tables;
+            stats = r.stats;
+            scale;
+            in_grid = grid;
+            in_block = block;
+            in_occupancy = occupancy;
+            blocks_run = r.blocks_run;
+          })
   in
   let measured =
     if measure then
-      let traces = replicate_traces ~grid r.traces in
-      Some
-        (Gpu_timing.Engine.run
-           ~homogeneous:(r.blocks_run < grid)
-           ~spec
-           ~max_resident_blocks:occupancy.Gpu_hw.Occupancy.blocks traces)
+      Span.with_ ~attrs "timing-replay" (fun () ->
+          let traces = replicate_traces ~grid r.traces in
+          Some
+            (Gpu_timing.Engine.run
+               ~homogeneous:(replay_homogeneous ~grid r)
+               ?timeline ~spec
+               ~max_resident_blocks:occupancy.Gpu_hw.Occupancy.blocks traces))
     else None
   in
   {
@@ -91,21 +156,28 @@ let analyze_compiled ?(spec = Spec.gtx285) ?sample ?(measure = false)
     measured;
   }
 
-let analyze ?spec ?sample ?measure ~grid ~block ~args kernel =
-  let k = Gpu_kernel.Compile.compile kernel in
-  analyze_compiled ?spec ?sample ?measure ~grid ~block ~args k
+let analyze ?spec ?sample ?measure ?timeline ~grid ~block ~args kernel =
+  let k =
+    Span.with_
+      ~attrs:[ ("kernel", kernel.Gpu_kernel.Ir.name) ]
+      "compile"
+      (fun () -> Gpu_kernel.Compile.compile kernel)
+  in
+  analyze_compiled ?spec ?sample ?measure ?timeline ~grid ~block ~args k
 
 (* The [Result] face of the workflow: each stage's [_result] wrapper runs
    in sequence, so the first failing stage's diagnostic surfaces and no
    exception escapes.  Out-of-range warnings from the occupancy calculator
    and the model are pooled into one list alongside the report. *)
 let analyze_compiled_result ?(spec = Spec.gtx285) ?sample
-    ?(measure = false) ~grid ~block ~args
+    ?(measure = false) ?timeline ~grid ~block ~args
     (k : Gpu_kernel.Compile.compiled) =
   let module D = Gpu_diag.Diag in
   let ( let* ) = Result.bind in
+  let attrs = span_attrs ~grid ~block k in
   let* occupancy, occ_warnings =
-    Gpu_hw.Occupancy.compute_result ~spec (demand_of ~spec ~block k)
+    Span.with_ ~attrs "extract" (fun () ->
+        Gpu_hw.Occupancy.compute_result ~spec (demand_of ~spec ~block k))
   in
   let block_ids =
     match sample with
@@ -113,38 +185,44 @@ let analyze_compiled_result ?(spec = Spec.gtx285) ?sample
     | Some _ | None -> None
   in
   let* r =
-    match
-      Gpu_sim.Sim.run_result ~collect_trace:measure ?block_ids ~spec ~grid
-        ~block ~args k
-    with
-    | Ok r -> Ok r
-    | Error f -> Error f.Gpu_sim.Sim.diag
+    Span.with_ ~attrs "functional-sim" (fun () ->
+        match
+          Gpu_sim.Sim.run_result ~collect_trace:measure ?block_ids ~spec
+            ~grid ~block ~args k
+        with
+        | Ok r -> Ok r
+        | Error f -> Error f.Gpu_sim.Sim.diag)
   in
   let scale = Gpu_sim.Sim.scale_factor r in
-  let tables = Gpu_microbench.Tables.for_spec spec in
+  let tables =
+    Span.with_ ~attrs "calibrate" (fun () ->
+        Gpu_microbench.Tables.for_spec spec)
+  in
   let* analysis =
-    Model.analyze_result
-      {
-        Model.in_spec = spec;
-        tables;
-        stats = r.stats;
-        scale;
-        in_grid = grid;
-        in_block = block;
-        in_occupancy = occupancy;
-        blocks_run = r.blocks_run;
-      }
+    Span.with_ ~attrs "model" (fun () ->
+        Model.analyze_result
+          {
+            Model.in_spec = spec;
+            tables;
+            stats = r.stats;
+            scale;
+            in_grid = grid;
+            in_block = block;
+            in_occupancy = occupancy;
+            blocks_run = r.blocks_run;
+          })
   in
   let* measured =
     if measure then
-      D.protect ~stage:D.Timing (fun () ->
-          let traces = replicate_traces ~grid r.traces in
-          Some
-            (Gpu_timing.Engine.run
-               ~homogeneous:(r.blocks_run < grid)
-               ~spec
-               ~max_resident_blocks:occupancy.Gpu_hw.Occupancy.blocks
-               traces))
+      Span.with_ ~attrs "timing-replay" (fun () ->
+          D.protect ~stage:D.Timing (fun () ->
+              let traces = replicate_traces ~grid r.traces in
+              Some
+                (Gpu_timing.Engine.run
+                   ~homogeneous:(replay_homogeneous ~grid r)
+                   ?timeline ~spec
+                   ~max_resident_blocks:occupancy.Gpu_hw.Occupancy.blocks
+                   traces)))
     else Ok None
   in
   Ok
@@ -159,10 +237,17 @@ let analyze_compiled_result ?(spec = Spec.gtx285) ?sample
       },
       occ_warnings @ analysis.Model.warnings )
 
-let analyze_result ?spec ?sample ?measure ~grid ~block ~args kernel =
+let analyze_result ?spec ?sample ?measure ?timeline ~grid ~block ~args
+    kernel =
   let ( let* ) = Result.bind in
-  let* k = Gpu_kernel.Compile.compile_result kernel in
-  analyze_compiled_result ?spec ?sample ?measure ~grid ~block ~args k
+  let* k =
+    Span.with_
+      ~attrs:[ ("kernel", kernel.Gpu_kernel.Ir.name) ]
+      "compile"
+      (fun () -> Gpu_kernel.Compile.compile_result kernel)
+  in
+  analyze_compiled_result ?spec ?sample ?measure ?timeline ~grid ~block
+    ~args k
 
 let measured_seconds report =
   Option.map (fun (r : Gpu_timing.Engine.result) -> r.seconds)

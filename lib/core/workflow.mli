@@ -1,7 +1,12 @@
 (** The end-to-end analysis workflow of the paper's Figure 1: compile →
     functional simulation (dynamic statistics) → info extraction →
     microbenchmark tables → quantitative per-component analysis, with an
-    optional timing-simulator run standing in for the measured GPU. *)
+    optional timing-simulator run standing in for the measured GPU.
+
+    Every stage runs inside a {!Gpu_obs.Span} named after the Figure-1
+    box it implements (compile, functional-sim, extract, calibrate,
+    model, timing-replay); enable span recording to get per-stage wall
+    time, metric deltas, and diagnostics in the exported trace. *)
 
 type launch = { grid : int; block : int }
 
@@ -21,14 +26,36 @@ val occupancy_of :
   spec:Gpu_hw.Spec.t -> block:int -> Gpu_kernel.Compile.compiled ->
   Gpu_hw.Occupancy.t
 
+(** Replay traces of [n] sampled blocks onto the whole grid for the
+    timing simulator, assigning sample [b mod n] to block [b].  The
+    cyclic assignment keeps replication maximally even (each sample
+    appears ⌊grid/n⌋ or ⌈grid/n⌉ times), so the replicated trace volume
+    tracks the grid/n statistics scale to within one sample even when
+    [n] does not divide [grid].  Raises [Invalid_argument] on an empty
+    trace list. *)
+val replicate_traces :
+  grid:int -> Gpu_sim.Trace.block_trace list ->
+  Gpu_sim.Trace.block_trace array
+
+(** Whether all sampled traces describe identical per-block work in the
+    timing-relevant sense: same per-warp event sequence up to
+    global-memory transaction base addresses, which the timing engine
+    never reads (only transaction counts and sizes matter).  Block ids
+    are likewise ignored.  Only then may the timing replay use the
+    single-cluster [homogeneous] fast path. *)
+val traces_homogeneous : Gpu_sim.Trace.block_trace list -> bool
+
 (** [analyze ~grid ~block ~args kernel] runs the full workflow.
     [sample] limits functional simulation to the first n blocks (exact for
     block-homogeneous workloads; statistics are scaled, traces replicated).
-    [measure] additionally replays the traces on the timing simulator. *)
+    [measure] additionally replays the traces on the timing simulator;
+    [timeline] is handed to {!Gpu_timing.Engine.run} to record the
+    replay's per-pipeline busy intervals and warp states. *)
 val analyze :
   ?spec:Gpu_hw.Spec.t ->
   ?sample:int ->
   ?measure:bool ->
+  ?timeline:Gpu_obs.Timeline.t ->
   grid:int ->
   block:int ->
   args:(string * int32 array) list ->
@@ -40,6 +67,7 @@ val analyze_compiled :
   ?spec:Gpu_hw.Spec.t ->
   ?sample:int ->
   ?measure:bool ->
+  ?timeline:Gpu_obs.Timeline.t ->
   grid:int ->
   block:int ->
   args:(string * int32 array) list ->
@@ -56,6 +84,7 @@ val analyze_result :
   ?spec:Gpu_hw.Spec.t ->
   ?sample:int ->
   ?measure:bool ->
+  ?timeline:Gpu_obs.Timeline.t ->
   grid:int ->
   block:int ->
   args:(string * int32 array) list ->
@@ -67,6 +96,7 @@ val analyze_compiled_result :
   ?spec:Gpu_hw.Spec.t ->
   ?sample:int ->
   ?measure:bool ->
+  ?timeline:Gpu_obs.Timeline.t ->
   grid:int ->
   block:int ->
   args:(string * int32 array) list ->

@@ -151,13 +151,28 @@ let rejection ~path reason =
            to bypass the cache entirely"
     "rejecting calibration cache %s: %s" path reason
 
+(* Disk-cache outcome counters (DESIGN §11): a stale entry is one that
+   exists but was rejected (version/fingerprint mismatch, corruption). *)
+let m_hits = Gpu_obs.Metrics.counter "calib.cache.hits"
+let m_misses = Gpu_obs.Metrics.counter "calib.cache.misses"
+let m_stale = Gpu_obs.Metrics.counter "calib.cache.stale"
+
 let load ~path ~fingerprint =
-  if not (Sys.file_exists path) then `Miss
+  if not (Sys.file_exists path) then begin
+    Gpu_obs.Metrics.incr m_misses;
+    `Miss
+  end
   else
     match parse ~fingerprint (read_lines path) with
-    | payload -> `Hit payload
-    | exception Reject reason -> `Rejected (rejection ~path reason)
-    | exception Sys_error reason -> `Rejected (rejection ~path reason)
+    | payload ->
+      Gpu_obs.Metrics.incr m_hits;
+      `Hit payload
+    | exception Reject reason ->
+      Gpu_obs.Metrics.incr m_stale;
+      `Rejected (rejection ~path reason)
+    | exception Sys_error reason ->
+      Gpu_obs.Metrics.incr m_stale;
+      `Rejected (rejection ~path reason)
 
 (* --- writing ----------------------------------------------------------- *)
 

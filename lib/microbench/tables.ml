@@ -61,17 +61,22 @@ type counters = {
   calibrations : int;
 }
 
-let instr_smem_measured = Atomic.make 0
-let gmem_measured = Atomic.make 0
-let cache_loads = Atomic.make 0
-let calibrations = Atomic.make 0
+(* The cells live in the process-wide Gpu_obs.Metrics registry (so
+   `--metrics` and the bench JSON see them); [counters ()] keeps the
+   record API the bench and tests already consume. *)
+module M = Gpu_obs.Metrics
+
+let instr_smem_measured = M.counter "calib.measurements.instr_smem"
+let gmem_measured = M.counter "calib.measurements.gmem"
+let cache_loads = M.counter "calib.cache.process_loads"
+let calibrations = M.counter "calib.calibrations"
 
 let counters () =
   {
-    instr_smem_measurements = Atomic.get instr_smem_measured;
-    gmem_measurements = Atomic.get gmem_measured;
-    cache_loads = Atomic.get cache_loads;
-    calibrations = Atomic.get calibrations;
+    instr_smem_measurements = M.value instr_smem_measured;
+    gmem_measurements = M.value gmem_measured;
+    cache_loads = M.value cache_loads;
+    calibrations = M.value calibrations;
   }
 
 (* Cache and calibration progress reporting goes through a caller-provided
@@ -92,7 +97,7 @@ let chain_length = 384
    n-chain isolates steady-state throughput from pipeline fill and launch
    effects. *)
 let measure_instr_throughput ~spec ~cls ~warps =
-  Atomic.incr instr_smem_measured;
+  M.incr instr_smem_measured;
   let run n =
     let program = Codegen.instruction_chain ~cls ~n in
     let k = Runner.wrap ~param_regs:[] ~smem_bytes:0 program in
@@ -108,7 +113,7 @@ let measure_instr_throughput ~spec ~cls ~warps =
 let copy_pairs = 256
 
 let measure_smem_bandwidth ~spec ~warps =
-  Atomic.incr instr_smem_measured;
+  M.incr instr_smem_measured;
   let threads = 32 * warps in
   let run n =
     let program, smem_bytes = Codegen.shared_copy ~threads ~n in
@@ -127,7 +132,7 @@ let measure_smem_bandwidth ~spec ~warps =
    what Figure 3 shows (small configurations cannot cover the memory
    latency and sustain low bandwidth). *)
 let measure_gmem_bandwidth ~spec ~blocks ~threads ~txns_per_thread =
-  Atomic.incr gmem_measured;
+  M.incr gmem_measured;
   let program, words =
     Codegen.global_stream ~blocks ~threads ~txns_per_thread
   in
@@ -233,7 +238,7 @@ let load_from_disk (spec : Gpu_hw.Spec.t) =
                p.Calib_cache.instr
           && Array.length p.Calib_cache.smem = max_warps
         then begin
-          Atomic.incr cache_loads;
+          M.incr cache_loads;
           emit
             (D.info D.Cache
                "loaded calibration for %s from %s (%d global-memory points)"
@@ -337,7 +342,7 @@ let build_or_load ?jobs spec =
          ((num_classes * max_warps) + max_warps)
          spec.Gpu_hw.Spec.name
          (match jobs with Some j -> j | None -> Pool.current_jobs ()));
-    Atomic.incr calibrations;
+    M.incr calibrations;
     let t = build ?jobs spec in
     persist t;
     t

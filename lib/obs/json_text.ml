@@ -1,0 +1,34 @@
+(* Minimal JSON text helpers shared by the metrics and timeline dumpers.
+   Only what the trace-event and metrics formats need: no parser, no
+   generic tree — emitting through a Buffer keeps million-slice traces
+   allocation-light. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let quoted s = "\"" ^ escape s ^ "\""
+
+(* JSON numbers may not be [nan] or [inf]; clamp to null per common
+   tooling practice.  %.17g round-trips every float but is noisy; %.12g
+   is exact for every value the tracer emits (tick counts scaled by a
+   decimal factor, microsecond wall times). *)
+let number f =
+  if Float.is_finite f then
+    let s = Printf.sprintf "%.12g" f in
+    (* "1." is not valid JSON *)
+    if String.length s > 0 && s.[String.length s - 1] = '.' then s ^ "0"
+    else s
+  else "null"

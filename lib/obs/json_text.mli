@@ -1,0 +1,7 @@
+(** Minimal JSON text emission helpers (escaping, quoting, numbers) for
+    the metrics and trace-event dumpers.  No parser; non-finite numbers
+    render as [null]. *)
+
+val escape : string -> string
+val quoted : string -> string
+val number : float -> string

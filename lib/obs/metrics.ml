@@ -1,0 +1,200 @@
+(* One process-wide registry of named metrics, absorbing the ad-hoc
+   counters that were previously scattered over Tables, Calib_cache, the
+   domain pool and the timing engine.
+
+   Domain-safety follows the same discipline as lib/parallel: hot updates
+   are single atomic RMWs on pre-registered cells (no lock on the update
+   path), and the registry itself — a name -> metric table mutated only
+   on first registration — is guarded by one mutex.  Registration is
+   idempotent: the same name always returns the same cell, so library
+   modules simply register at module-init time and update unconditionally.
+
+   Naming convention (see DESIGN §11): dotted lowercase paths,
+   component-first — e.g. [calib.cache.hits], [pool.chunks.stolen],
+   [engine.busy.alu_cycles]. *)
+
+type counter = { c_name : string; c_cell : int Atomic.t }
+type gauge = { g_name : string; g_cell : float Atomic.t }
+
+type histogram = {
+  h_name : string;
+  bounds : float array; (* strictly increasing upper bounds *)
+  buckets : int Atomic.t array; (* length bounds + 1: last is overflow *)
+  h_count : int Atomic.t;
+  h_sum : float Atomic.t;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+let lock = Mutex.create ()
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 32
+
+let register name make select kind =
+  Mutex.lock lock;
+  let m =
+    match Hashtbl.find_opt registry name with
+    | Some m -> m
+    | None ->
+      let m = make () in
+      Hashtbl.add registry name m;
+      m
+  in
+  Mutex.unlock lock;
+  match select m with
+  | Some v -> v
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Metrics: %s is already registered and is not a %s"
+         name kind)
+
+let counter name =
+  register name
+    (fun () -> Counter { c_name = name; c_cell = Atomic.make 0 })
+    (function Counter c -> Some c | _ -> None)
+    "counter"
+
+let incr c = ignore (Atomic.fetch_and_add c.c_cell 1)
+let add c n = ignore (Atomic.fetch_and_add c.c_cell n)
+let value c = Atomic.get c.c_cell
+
+let gauge name =
+  register name
+    (fun () -> Gauge { g_name = name; g_cell = Atomic.make 0.0 })
+    (function Gauge g -> Some g | _ -> None)
+    "gauge"
+
+let set_gauge g v = Atomic.set g.g_cell v
+let gauge_value g = Atomic.get g.g_cell
+
+let default_buckets =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0; 10.0; 100.0 |]
+
+let histogram ?(buckets = default_buckets) name =
+  let make () =
+    let n = Array.length buckets in
+    for i = 1 to n - 1 do
+      if buckets.(i) <= buckets.(i - 1) then
+        invalid_arg "Metrics.histogram: bounds must be strictly increasing"
+    done;
+    Histogram
+      {
+        h_name = name;
+        bounds = Array.copy buckets;
+        buckets = Array.init (n + 1) (fun _ -> Atomic.make 0);
+        h_count = Atomic.make 0;
+        h_sum = Atomic.make 0.0;
+      }
+  in
+  register name make
+    (function Histogram h -> Some h | _ -> None)
+    "histogram"
+
+let rec atomic_add_float cell x =
+  let cur = Atomic.get cell in
+  if not (Atomic.compare_and_set cell cur (cur +. x)) then
+    atomic_add_float cell x
+
+let observe h v =
+  let n = Array.length h.bounds in
+  let rec slot i = if i >= n || v <= h.bounds.(i) then i else slot (i + 1) in
+  ignore (Atomic.fetch_and_add h.buckets.(slot 0) 1);
+  ignore (Atomic.fetch_and_add h.h_count 1);
+  atomic_add_float h.h_sum v
+
+(* --- snapshots and dumps ------------------------------------------------ *)
+
+let all_metrics () =
+  Mutex.lock lock;
+  let l = Hashtbl.fold (fun _ m acc -> m :: acc) registry [] in
+  Mutex.unlock lock;
+  List.sort
+    (fun a b ->
+      let name = function
+        | Counter c -> c.c_name
+        | Gauge g -> g.g_name
+        | Histogram h -> h.h_name
+      in
+      compare (name a) (name b))
+    l
+
+let snapshot_counters () =
+  List.filter_map
+    (function
+      | Counter c -> Some (c.c_name, Atomic.get c.c_cell) | _ -> None)
+    (all_metrics ())
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> Atomic.set c.c_cell 0
+      | Gauge g -> Atomic.set g.g_cell 0.0
+      | Histogram h ->
+        Array.iter (fun b -> Atomic.set b 0) h.buckets;
+        Atomic.set h.h_count 0;
+        Atomic.set h.h_sum 0.0)
+    registry;
+  Mutex.unlock lock
+
+let dump_text () =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun m ->
+      match m with
+      | Counter c ->
+        Buffer.add_string b
+          (Printf.sprintf "%s %d\n" c.c_name (Atomic.get c.c_cell))
+      | Gauge g ->
+        Buffer.add_string b
+          (Printf.sprintf "%s %g\n" g.g_name (Atomic.get g.g_cell))
+      | Histogram h ->
+        Buffer.add_string b
+          (Printf.sprintf "%s count=%d sum=%g" h.h_name
+             (Atomic.get h.h_count) (Atomic.get h.h_sum));
+        Array.iteri
+          (fun i bound ->
+            Buffer.add_string b
+              (Printf.sprintf " le_%g=%d" bound (Atomic.get h.buckets.(i))))
+          h.bounds;
+        Buffer.add_string b
+          (Printf.sprintf " inf=%d\n"
+             (Atomic.get h.buckets.(Array.length h.bounds))))
+    (all_metrics ());
+  Buffer.contents b
+
+(* One flat JSON object: counters and gauges map name -> number,
+   histograms map name -> {count, sum, le:[[bound,count],...], inf}. *)
+let dump_json () =
+  let b = Buffer.create 512 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i m ->
+      if i > 0 then Buffer.add_char b ',';
+      match m with
+      | Counter c ->
+        Buffer.add_string b
+          (Printf.sprintf "%s:%d" (Json_text.quoted c.c_name)
+             (Atomic.get c.c_cell))
+      | Gauge g ->
+        Buffer.add_string b
+          (Printf.sprintf "%s:%s" (Json_text.quoted g.g_name)
+             (Json_text.number (Atomic.get g.g_cell)))
+      | Histogram h ->
+        Buffer.add_string b
+          (Printf.sprintf "%s:{\"count\":%d,\"sum\":%s,\"le\":["
+             (Json_text.quoted h.h_name) (Atomic.get h.h_count)
+             (Json_text.number (Atomic.get h.h_sum)));
+        Array.iteri
+          (fun i bound ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_string b
+              (Printf.sprintf "[%s,%d]" (Json_text.number bound)
+                 (Atomic.get h.buckets.(i))))
+          h.bounds;
+        Buffer.add_string b
+          (Printf.sprintf "],\"inf\":%d}"
+             (Atomic.get h.buckets.(Array.length h.bounds))))
+    (all_metrics ());
+  Buffer.add_char b '}';
+  Buffer.contents b

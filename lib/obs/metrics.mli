@@ -1,0 +1,43 @@
+(** One process-wide registry of named metrics: counters, gauges and
+    histograms, Domain-safe (atomic cells on the update path, one mutex
+    around registration).  Registration is idempotent — the same name
+    always returns the same cell — so modules register at init time and
+    update unconditionally; requesting an existing name as a different
+    metric kind raises [Invalid_argument].
+
+    Names are dotted lowercase paths, component-first (DESIGN §11):
+    [calib.cache.hits], [pool.chunks.stolen], [engine.busy.alu_cycles]. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** [histogram ?buckets name]: [buckets] are strictly increasing upper
+    bounds; an implicit overflow bucket catches the rest.  Defaults to
+    decades from 1e-6 to 100. *)
+val histogram : ?buckets:float array -> string -> histogram
+
+val observe : histogram -> float -> unit
+
+(** Current value of every registered counter, sorted by name — the
+    snapshot {!Span.with_} diffs across a span. *)
+val snapshot_counters : unit -> (string * int) list
+
+(** Zero every registered metric, keeping the registrations (tests). *)
+val reset : unit -> unit
+
+(** One ["name value"] line per metric, sorted by name. *)
+val dump_text : unit -> string
+
+(** One flat JSON object; histograms expand to
+    [{count, sum, le:[[bound,count],...], inf}]. *)
+val dump_json : unit -> string

@@ -1,0 +1,33 @@
+(** Lightweight wall-time span tracer for the workflow stages.
+
+    Disabled (the default), {!with_} is one atomic load and a tail call.
+    Enabled, each span records wall time in microseconds since the
+    first-use epoch, the caller's attributes, annotations added from
+    inside the span, and the delta of every registered {!Metrics}
+    counter across its extent.  Spans nest per domain; completed spans
+    accumulate in completion order. *)
+
+type completed = {
+  name : string;
+  start_us : float;  (** µs since the tracer's epoch *)
+  dur_us : float;
+  attrs : (string * string) list;
+  annots : string list;
+  deltas : (string * int) list;  (** nonzero counter deltas *)
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+(** [with_ ~attrs name f] runs [f ()]; when tracing is enabled the call
+    is recorded (also when [f] raises). *)
+val with_ : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** Attach a note to the innermost open span of this domain (no-op when
+    tracing is off or no span is open). *)
+val annot : string -> unit
+
+(** Completed spans, in completion order. *)
+val completed : unit -> completed list
+
+val clear : unit -> unit

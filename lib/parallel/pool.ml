@@ -14,14 +14,23 @@
    - Calls from inside a worker run serially inline (a Domain.DLS flag),
      so nested parallelism cannot oversubscribe or deadlock. *)
 
+(* The one job-count validator: the CLI's --jobs converter, the
+   GPUPERF_JOBS environment path and the bench driver all parse through
+   here, so "positive integer" is decided in exactly one place. *)
 let parse_jobs s =
   match int_of_string_opt (String.trim s) with
-  | Some n when n >= 1 -> Some n
-  | Some _ | None -> None
+  | Some n when n >= 1 -> Ok n
+  | Some n -> Error (Printf.sprintf "jobs must be a positive integer, got %d" n)
+  | None -> Error (Printf.sprintf "jobs must be a positive integer, got %S" s)
 
 let default_jobs () =
-  match Option.bind (Sys.getenv_opt "GPUPERF_JOBS") parse_jobs with
-  | Some n -> n
+  match Sys.getenv_opt "GPUPERF_JOBS" with
+  | Some s -> (
+    match parse_jobs s with
+    | Ok n -> n
+    (* library fallback stays permissive; the CLI validates the same
+       variable through cmdliner and exits 2 on garbage *)
+    | Error _ -> Domain.recommended_domain_count ())
   | None -> Domain.recommended_domain_count ()
 
 type pool = {
@@ -128,7 +137,16 @@ let record_failure batch i e bt =
   batch.next <- batch.total (* stop claiming further chunks *);
   Mutex.unlock batch.b_lock
 
+(* Batch/chunk volume counters (DESIGN §11): [pool.chunks.stolen] counts
+   chunks claimed by helper domains rather than the calling one — the
+   work-distribution signal a serial-vs-parallel bench wants. *)
+let m_batches = Gpu_obs.Metrics.counter "pool.batches"
+let m_items = Gpu_obs.Metrics.counter "pool.items"
+let m_chunks = Gpu_obs.Metrics.counter "pool.chunks.claimed"
+let m_steals = Gpu_obs.Metrics.counter "pool.chunks.stolen"
+
 let drain batch f =
+  let helper = Domain.DLS.get inside_worker in
   let rec claim () =
     Mutex.lock batch.b_lock;
     if batch.next >= batch.total then Mutex.unlock batch.b_lock
@@ -138,6 +156,8 @@ let drain batch f =
       batch.next <- hi;
       batch.running <- batch.running + 1;
       Mutex.unlock batch.b_lock;
+      Gpu_obs.Metrics.incr m_chunks;
+      if helper then Gpu_obs.Metrics.incr m_steals;
       for i = lo to hi - 1 do
         (* unsynchronized peek at [failed]: worst case a few extra items
            of the already-claimed chunk run after a failure elsewhere *)
@@ -160,6 +180,8 @@ let drain batch f =
 (* Run [f 0 .. f (n-1)] over the pool; barrier until all complete. *)
 let run ?jobs n f =
   if n > 0 then begin
+    Gpu_obs.Metrics.incr m_batches;
+    Gpu_obs.Metrics.add m_items n;
     let inline = Domain.DLS.get inside_worker in
     let pool = if inline then None else Some (get_pool ()) in
     let jobs =

@@ -11,6 +11,12 @@
     execution: nested parallelism never oversubscribes the machine and
     never deadlocks the pool. *)
 
+(** The one job-count validator: [Ok n] for a positive integer (leading /
+    trailing whitespace tolerated), [Error message] otherwise.  The CLI's
+    [--jobs] converter, its [GPUPERF_JOBS] environment handling and the
+    bench driver all parse through here. *)
+val parse_jobs : string -> (int, string) result
+
 (** [GPUPERF_JOBS] when set to a positive integer, else
     [Domain.recommended_domain_count ()]. *)
 val default_jobs : unit -> int

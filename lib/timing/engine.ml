@@ -24,9 +24,20 @@
 
    Clusters are independent, so the grid's execution time is the maximum
    over clusters; for homogeneous workloads only the most-loaded cluster is
-   simulated. *)
+   simulated.
+
+   Observability: [run ?timeline] optionally records every pipeline busy
+   interval and warp hold/park interval into a [Gpu_obs.Timeline], plus a
+   per-barrier-stage busy attribution ([stages_busy]).  The pipe slices
+   tile exactly: per category their durations sum to the engine's busy
+   tick counters, which the lib/check audit asserts.  With no timeline the
+   recording paths are a [None] match per event — no allocation, no
+   measurable cost. *)
 
 module Trace = Gpu_sim.Trace
+module Metrics = Gpu_obs.Metrics
+
+type stage_busy = { alu_ticks : int; smem_ticks : int; gmem_ticks : int }
 
 type result = {
   cycles : int;
@@ -45,6 +56,9 @@ type result = {
   warps_retired : int;
   blocks_retired : int;
   blocks_unlaunched : int; (* left in SM pending queues at exhaustion *)
+  stages_busy : stage_busy array;
+      (* per-barrier-stage busy ticks over the simulated clusters; empty
+         unless a timeline was recording *)
 }
 
 let reg_slots = 140 (* 128 general registers + mapped predicates *)
@@ -56,6 +70,7 @@ let map_reg id =
 type cluster_state = {
   mutable gmem_free : int;
   mutable gmem_busy : int;
+  pid : int; (* timeline process id: original cluster index + 1 *)
 }
 
 type sm_state = {
@@ -71,6 +86,7 @@ type sm_state = {
   mutable warps_launched : int;
   mutable warps_retired : int;
   mutable blocks_retired : int;
+  ord : int; (* device-wide SM index, for timeline track ids *)
   cluster : cluster_state;
 }
 
@@ -78,6 +94,7 @@ type block_state = {
   mutable live : int;
   mutable waiting : int;
   mutable parked : warp_state list;
+  bid : int; (* grid block id, for timeline track ids *)
   sm : sm_state;
 }
 
@@ -86,6 +103,9 @@ and warp_state = {
   mutable idx : int;
   mutable ready : int;
   regs : int array; (* ready time per mapped register *)
+  wid : int; (* warp index within its block *)
+  mutable stage : int; (* barrier-delimited stage the warp is in *)
+  mutable park_t : int; (* when the warp parked at the current barrier *)
   block : block_state;
 }
 
@@ -141,33 +161,117 @@ let make_params (spec : Gpu_hw.Spec.t) =
     gmem_txn_ticks;
   }
 
+(* --- timeline recorder -------------------------------------------------- *)
+
+(* Shared across the clusters of one [run]: the ring buffer plus the
+   per-barrier-stage busy accumulators behind [stages_busy].  Pipe slice
+   durations tile exactly into the busy tick counters; warp slices cover
+   each warp's hold (issue / smem / gmem) and park (barrier) intervals,
+   which never overlap on a warp's track because a warp's next event
+   starts no earlier than its previous hold ended. *)
+type recorder = {
+  tl : Gpu_obs.Timeline.t;
+  mutable st_alu : int array; (* busy ticks per stage index *)
+  mutable st_smem : int array;
+  mutable st_gmem : int array;
+  mutable nstages : int;
+}
+
+let make_recorder tl =
+  { tl; st_alu = [||]; st_smem = [||]; st_gmem = [||]; nstages = 0 }
+
+let ensure_stage r s =
+  if s >= r.nstages then r.nstages <- s + 1;
+  let n = Array.length r.st_alu in
+  if s >= n then begin
+    let n' = max (s + 1) (max 4 (2 * n)) in
+    let grow a =
+      let b = Array.make n' 0 in
+      Array.blit a 0 b 0 n;
+      b
+    in
+    r.st_alu <- grow r.st_alu;
+    r.st_smem <- grow r.st_smem;
+    r.st_gmem <- grow r.st_gmem
+  end
+
+(* Timeline track layout (DESIGN §11): pid 0 is reserved for workflow
+   spans; cluster c uses pid c+1.  Within a cluster, SM s's arithmetic
+   pipe is tid 2s, its shared pipe tid 2s+1, the cluster's global pipe
+   tid [gmem_tid], and block b / warp w parks on tid
+   [warp_tid_base + 64 b + w]. *)
+let gmem_tid = 999
+let warp_tid_base = 10_000
+let warp_tid ~bid ~wid = warp_tid_base + (64 * bid) + wid
+
+let rec_pipe r (sm : sm_state) ~alu ~start ~dur =
+  Gpu_obs.Timeline.add r.tl ~pid:sm.cluster.pid
+    ~tid:((2 * sm.ord) + if alu then 0 else 1)
+    ~cat:(if alu then "alu" else "smem")
+    ~name:(if alu then "alu" else "smem")
+    ~ts:start ~dur
+
+let rec_gmem r (cl : cluster_state) ~start ~dur =
+  Gpu_obs.Timeline.add r.tl ~pid:cl.pid ~tid:gmem_tid ~cat:"gmem"
+    ~name:"gmem" ~ts:start ~dur
+
+let rec_warp r (w : warp_state) ~name ~start ~dur =
+  Gpu_obs.Timeline.add r.tl ~pid:w.block.sm.cluster.pid
+    ~tid:(warp_tid ~bid:w.block.bid ~wid:w.wid)
+    ~cat:"warp" ~name ~ts:start ~dur
+
+let charge_stage r ~stage ~alu ~smem ~gmem =
+  ensure_stage r stage;
+  r.st_alu.(stage) <- r.st_alu.(stage) + alu;
+  r.st_smem.(stage) <- r.st_smem.(stage) + smem;
+  r.st_gmem.(stage) <- r.st_gmem.(stage) + gmem
+
+(* --- event-driven core -------------------------------------------------- *)
+
 (* Launch one block's warps at [now].  Empty-trace warps retire through
    [warp_finished] like any other warp, so their slots return and an
    all-empty block still releases the SM. *)
-let rec launch_block p (pq : warp_state Heap.t) sm (bt : Trace.block_trace)
-    now =
-  let block = { live = Array.length bt.warps; waiting = 0; parked = []; sm } in
+let rec launch_block p rc (pq : warp_state Heap.t) sm
+    (bt : Trace.block_trace) now =
+  let block =
+    {
+      live = Array.length bt.warps;
+      waiting = 0;
+      parked = [];
+      bid = bt.block;
+      sm;
+    }
+  in
   sm.warps_launched <- sm.warps_launched + Array.length bt.warps;
-  Array.iter
-    (fun wt ->
+  Array.iteri
+    (fun wid wt ->
       let w =
         {
           trace = wt;
           idx = 0;
           ready = now;
           regs = Array.make reg_slots now;
+          wid;
+          stage = 0;
+          park_t = now;
           block;
         }
       in
+      (match rc with
+      | None -> ()
+      | Some r ->
+        Gpu_obs.Timeline.set_thread r.tl ~pid:sm.cluster.pid
+          ~tid:(warp_tid ~bid:block.bid ~wid)
+          (Printf.sprintf "b%d.w%d" block.bid wid));
       if Array.length wt > 0 then Heap.add pq ~key:now w
-      else warp_finished p pq w now)
+      else warp_finished p rc pq w now)
     bt.warps
 
 (* Launch as many pending blocks as the SM's resources allow at [now].
    Normally a slot frees only when a whole block retires; under the
    early-release what-if (Section 5.2) per-warp slots free as warps
    retire. *)
-and try_launch p pq sm now =
+and try_launch p rc pq sm now =
   match sm.pending with
   | [] -> ()
   | bt :: rest ->
@@ -180,12 +284,12 @@ and try_launch p pq sm now =
       sm.pending <- rest;
       sm.resident <- sm.resident + 1;
       sm.free_warp_slots <- sm.free_warp_slots - wpb;
-      launch_block p pq sm bt now;
-      try_launch p pq sm now
+      launch_block p rc pq sm bt now;
+      try_launch p rc pq sm now
     end
 
 (* A warp ran out of trace events at time [now]. *)
-and warp_finished p pq w now =
+and warp_finished p rc pq w now =
   let block = w.block in
   let sm = block.sm in
   block.live <- block.live - 1;
@@ -194,29 +298,37 @@ and warp_finished p pq w now =
   let block_done = block.live = 0 in
   sm.free_warp_slots <- sm.free_warp_slots + 1;
   sm.warps_retired <- sm.warps_retired + 1;
+  (match rc with
+  | None -> ()
+  | Some r -> rec_warp r w ~name:"retire" ~start:now ~dur:0);
   (* A finished warp no longer participates in barriers: release waiters if
      it was the last one standing outside. *)
   if block.live > 0 && block.waiting = block.live then
-    release_parked p pq block now;
+    release_parked p rc pq block now;
   if block_done then begin
     sm.resident <- sm.resident - 1;
     sm.blocks_retired <- sm.blocks_retired + 1
   end;
-  try_launch p pq sm now
+  try_launch p rc pq sm now
 
 (* Release every warp parked at a block's barrier at time [t].  The parked
    list and arrival count clear *before* any warp re-queues: a released
    warp whose trace ended at the barrier retires immediately, and that
    retirement must see the barrier already drained, not re-release the
    list it is being released from. *)
-and release_parked p pq block t =
+and release_parked p rc pq block t =
   let parked = block.parked in
   block.parked <- [];
   block.waiting <- 0;
   List.iter
     (fun pw ->
+      (match rc with
+      | None -> ()
+      | Some r ->
+        if t > pw.park_t then
+          rec_warp r pw ~name:"barrier" ~start:pw.park_t ~dur:(t - pw.park_t));
       pw.ready <- t;
-      if pw.idx >= Array.length pw.trace then warp_finished p pq pw t
+      if pw.idx >= Array.length pw.trace then warp_finished p rc pq pw t
       else Heap.add pq ~key:t pw)
     parked
 
@@ -232,7 +344,7 @@ let write_reg w r time =
 
 (* Process one warp's next event.  Returns the completion horizon the event
    contributes to total time. *)
-let process p pq w now =
+let process p rc pq w now =
   (* Engine invariant: scheduled warps always have an event left.  A
      violation is an engine bug (lost retirement accounting), not bad
      input; fail structurally instead of via the array bounds check. *)
@@ -256,14 +368,16 @@ let process p pq w now =
     (* Barrier: advance past it, then park until the block catches up. *)
     w.idx <- w.idx + 1;
     w.ready <- t;
+    w.stage <- w.stage + 1;
     let block = w.block in
     if block.waiting + 1 = block.live then begin
       (* last arrival: release everyone *)
-      release_parked p pq block t;
-      if w.idx >= Array.length w.trace then warp_finished p pq w t
+      release_parked p rc pq block t;
+      if w.idx >= Array.length w.trace then warp_finished p rc pq w t
       else Heap.add pq ~key:t w
     end
     else begin
+      w.park_t <- t;
       block.waiting <- block.waiting + 1;
       block.parked <- w :: block.parked
     end;
@@ -281,6 +395,12 @@ let process p pq w now =
         let complete = start + p.alu_latency in
         if e.dst >= 0 then write_reg w e.dst complete;
         w.ready <- start + max occ p.warp_gap;
+        (match rc with
+        | None -> ()
+        | Some r ->
+          rec_pipe r sm ~alu:true ~start ~dur:occ;
+          rec_warp r w ~name:"issue" ~start ~dur:(w.ready - start);
+          charge_stage r ~stage:w.stage ~alu:occ ~smem:0 ~gmem:0);
         complete
       | Trace.Smem txns ->
         (* A fused arithmetic instruction with a shared operand (class II
@@ -295,8 +415,10 @@ let process p pq w now =
         in
         sm.smem_free <- start + busy;
         sm.smem_busy <- sm.smem_busy + busy;
+        let occ = if fused then p.issue.(Gpu_sim.Stats.class_index e.cls)
+          else 0
+        in
         if fused then begin
-          let occ = p.issue.(Gpu_sim.Stats.class_index e.cls) in
           sm.alu_free <- start + occ;
           sm.alu_busy <- sm.alu_busy + occ
         end;
@@ -306,6 +428,13 @@ let process p pq w now =
            transaction and the scheduler only revisits the warp after the
            replays drain, so the warp is held per transaction. *)
         w.ready <- start + max p.warp_gap (txns * p.smem_replay);
+        (match rc with
+        | None -> ()
+        | Some r ->
+          rec_pipe r sm ~alu:false ~start ~dur:busy;
+          if fused then rec_pipe r sm ~alu:true ~start ~dur:occ;
+          rec_warp r w ~name:"smem" ~start ~dur:(w.ready - start);
+          charge_stage r ~stage:w.stage ~alu:occ ~smem:busy ~gmem:0);
         if e.dst >= 0 then complete else start + busy
       | Trace.Gmem_load txns | Trace.Gmem_store txns ->
         let cl = sm.cluster in
@@ -320,20 +449,29 @@ let process p pq w now =
         let complete = start + busy + p.gmem_latency in
         if e.dst >= 0 then write_reg w e.dst complete;
         w.ready <- start + max p.mem_dispatch p.warp_gap;
+        (match rc with
+        | None -> ()
+        | Some r ->
+          rec_gmem r cl ~start ~dur:busy;
+          rec_warp r w ~name:"gmem" ~start ~dur:(w.ready - start);
+          charge_stage r ~stage:w.stage ~alu:0 ~smem:0 ~gmem:busy);
         (match e.mem with
         | Trace.Gmem_load _ -> complete
         | _ -> start + busy)
     in
     w.idx <- w.idx + 1;
-    if w.idx >= Array.length w.trace then warp_finished p pq w w.ready
+    if w.idx >= Array.length w.trace then warp_finished p rc pq w w.ready
     else Heap.add pq ~key:w.ready w;
     horizon
   end
 
 (* Simulate one cluster: [sm_blocks.(i)] is the ordered block queue of the
-   cluster's i-th SM.  Returns (end_time, alu_busy, smem_busy, gmem_busy). *)
-let run_cluster p ~max_resident sm_blocks =
-  let cluster = { gmem_free = 0; gmem_busy = 0 } in
+   cluster's i-th SM; [cluster_index] is its device-wide index (timeline
+   pid - 1).  Returns (end_time, alu_busy, smem_busy, gmem_busy). *)
+let run_cluster p rc ~cluster_index ~max_resident sm_blocks =
+  let cluster =
+    { gmem_free = 0; gmem_busy = 0; pid = cluster_index + 1 }
+  in
   (* never scheduled: fills the heap's unused payload slots *)
   let dummy_warp =
     let sm =
@@ -341,21 +479,30 @@ let run_cluster p ~max_resident sm_blocks =
         alu_free = 0; smem_free = 0; alu_busy = 0; smem_busy = 0;
         resident = 0; free_warp_slots = 0; max_resident = 0;
         warp_slot_capacity = 0; pending = []; warps_launched = 0;
-        warps_retired = 0; blocks_retired = 0; cluster;
+        warps_retired = 0; blocks_retired = 0; ord = 0; cluster;
       }
     in
-    { trace = [||]; idx = 0; ready = 0; regs = [||];
-      block = { live = 0; waiting = 0; parked = []; sm } }
+    { trace = [||]; idx = 0; ready = 0; regs = [||]; wid = 0; stage = 0;
+      park_t = 0;
+      block = { live = 0; waiting = 0; parked = []; bid = 0; sm } }
   in
   let pq : warp_state Heap.t = Heap.create ~dummy:dummy_warp in
+  (match rc with
+  | None -> ()
+  | Some r ->
+    Gpu_obs.Timeline.set_process r.tl ~pid:cluster.pid
+      (Printf.sprintf "cluster %d (sim cycles)" cluster_index);
+    Gpu_obs.Timeline.set_thread r.tl ~pid:cluster.pid ~tid:gmem_tid
+      "gmem pipe");
   let sms =
-    Array.map
-      (fun blocks ->
+    Array.mapi
+      (fun i blocks ->
         let wpb =
           match blocks with
           | bt :: _ -> max 1 (Array.length bt.Trace.warps)
           | [] -> 1
         in
+        let ord = (cluster_index * p.spec.Gpu_hw.Spec.sms_per_cluster) + i in
         let capacity = max_resident * wpb in
         let sm =
           {
@@ -371,10 +518,19 @@ let run_cluster p ~max_resident sm_blocks =
             warps_launched = 0;
             warps_retired = 0;
             blocks_retired = 0;
+            ord;
             cluster;
           }
         in
-        try_launch p pq sm 0;
+        (match rc with
+        | None -> ()
+        | Some r ->
+          Gpu_obs.Timeline.set_thread r.tl ~pid:cluster.pid ~tid:(2 * ord)
+            (Printf.sprintf "sm%d alu" ord);
+          Gpu_obs.Timeline.set_thread r.tl ~pid:cluster.pid
+            ~tid:((2 * ord) + 1)
+            (Printf.sprintf "sm%d smem" ord));
+        try_launch p rc pq sm 0;
         sm)
       sm_blocks
   in
@@ -386,7 +542,7 @@ let run_cluster p ~max_resident sm_blocks =
     | Some (now, w) ->
       incr guard;
       if !guard > 2_000_000_000 then failwith "Engine: runaway simulation";
-      let horizon = process p pq w now in
+      let horizon = process p rc pq w now in
       if horizon > !end_time then end_time := horizon;
       loop ()
   in
@@ -419,12 +575,26 @@ let distribute (spec : Gpu_hw.Spec.t) (blocks : Trace.block_trace array) =
       Array.init spec.sms_per_cluster (fun i ->
           per_sm.((c * spec.sms_per_cluster) + i)))
 
-let run ?(homogeneous = false) ~(spec : Gpu_hw.Spec.t) ~max_resident_blocks
-    (blocks : Trace.block_trace array) =
+(* Always-on conservation counters in the metrics registry: cheap (a few
+   atomic adds per run), and they let `--metrics` correlate e.g. a what-if
+   sweep's engine volume with its wall time. *)
+let m_runs = Metrics.counter "engine.runs"
+let m_cycles = Metrics.counter "engine.cycles"
+let m_warps_launched = Metrics.counter "engine.warps.launched"
+let m_warps_retired = Metrics.counter "engine.warps.retired"
+let m_blocks_retired = Metrics.counter "engine.blocks.retired"
+let m_blocks_unlaunched = Metrics.counter "engine.blocks.unlaunched"
+let m_alu_busy = Metrics.counter "engine.busy.alu_cycles"
+let m_smem_busy = Metrics.counter "engine.busy.smem_cycles"
+let m_gmem_busy = Metrics.counter "engine.busy.gmem_cycles"
+
+let run ?(homogeneous = false) ?timeline ~(spec : Gpu_hw.Spec.t)
+    ~max_resident_blocks (blocks : Trace.block_trace array) =
   if Array.length blocks = 0 then invalid_arg "Engine.run: no blocks";
   if max_resident_blocks <= 0 then
     invalid_arg "Engine.run: max_resident_blocks must be positive";
   let p = make_params spec in
+  let rc = Option.map make_recorder timeline in
   let clusters = distribute spec blocks in
   let cluster_load cl =
     Array.fold_left (fun acc q -> acc + List.length q) 0 cl
@@ -437,19 +607,22 @@ let run ?(homogeneous = false) ~(spec : Gpu_hw.Spec.t) ~max_resident_blocks
         (fun i cl ->
           if cluster_load cl > cluster_load clusters.(!best) then best := i)
         clusters;
-      [| clusters.(!best) |]
+      [| (!best, clusters.(!best)) |]
     end
-    else Array.of_list (List.filter (fun cl -> cluster_load cl > 0)
-                          (Array.to_list clusters))
+    else
+      Array.of_list
+        (List.filter
+           (fun (_, cl) -> cluster_load cl > 0)
+           (Array.to_list (Array.mapi (fun i cl -> (i, cl)) clusters)))
   in
   let cycles = ref 0 in
   let alu = ref 0 and smem = ref 0 and gmem = ref 0 in
   let launched = ref 0 and retired = ref 0 in
   let blocks_retired = ref 0 and unlaunched = ref 0 in
   Array.iter
-    (fun cl ->
+    (fun (cluster_index, cl) ->
       let t, a, s, g, (wl, wr, br, bu) =
-        run_cluster p ~max_resident:max_resident_blocks cl
+        run_cluster p rc ~cluster_index ~max_resident:max_resident_blocks cl
       in
       if t > !cycles then cycles := t;
       alu := !alu + a;
@@ -462,6 +635,26 @@ let run ?(homogeneous = false) ~(spec : Gpu_hw.Spec.t) ~max_resident_blocks
     selected;
   let cycles = (!cycles + ticks_per_cycle - 1) / ticks_per_cycle in
   let to_cycles busy = (busy + ticks_per_cycle - 1) / ticks_per_cycle in
+  let stages_busy =
+    match rc with
+    | None -> [||]
+    | Some r ->
+      Array.init r.nstages (fun i ->
+          {
+            alu_ticks = r.st_alu.(i);
+            smem_ticks = r.st_smem.(i);
+            gmem_ticks = r.st_gmem.(i);
+          })
+  in
+  Metrics.incr m_runs;
+  Metrics.add m_cycles cycles;
+  Metrics.add m_warps_launched !launched;
+  Metrics.add m_warps_retired !retired;
+  Metrics.add m_blocks_retired !blocks_retired;
+  Metrics.add m_blocks_unlaunched !unlaunched;
+  Metrics.add m_alu_busy (to_cycles !alu);
+  Metrics.add m_smem_busy (to_cycles !smem);
+  Metrics.add m_gmem_busy (to_cycles !gmem);
   {
     cycles;
     seconds = float_of_int cycles /. (spec.core_clock_ghz *. 1e9);
@@ -475,7 +668,33 @@ let run ?(homogeneous = false) ~(spec : Gpu_hw.Spec.t) ~max_resident_blocks
     warps_retired = !retired;
     blocks_retired = !blocks_retired;
     blocks_unlaunched = !unlaunched;
+    stages_busy;
   }
+
+(* --- per-stage attribution table --------------------------------------- *)
+
+(* Mirrors the paper's per-barrier-stage breakdown: which pipeline carried
+   the most busy time in each stage of the (replicated) kernel. *)
+let pp_stage_attribution ppf r =
+  if Array.length r.stages_busy = 0 then
+    Fmt.pf ppf "no per-stage attribution (run without a timeline)"
+  else begin
+    Fmt.pf ppf "@[<v>%5s %12s %12s %12s  %s@," "stage" "alu (cyc)"
+      "smem (cyc)" "gmem (cyc)" "busiest";
+    let to_cycles t = (t + ticks_per_cycle - 1) / ticks_per_cycle in
+    Array.iteri
+      (fun i s ->
+        let busiest =
+          if s.alu_ticks >= s.smem_ticks && s.alu_ticks >= s.gmem_ticks then
+            "alu"
+          else if s.smem_ticks >= s.gmem_ticks then "smem"
+          else "gmem"
+        in
+        Fmt.pf ppf "%5d %12d %12d %12d  %s@," i (to_cycles s.alu_ticks)
+          (to_cycles s.smem_ticks) (to_cycles s.gmem_ticks) busiest)
+      r.stages_busy;
+    Fmt.pf ppf "@]"
+  end
 
 (* --- Analytic busy oracle (for lib/check) ----------------------------- *)
 

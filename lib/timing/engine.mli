@@ -11,6 +11,15 @@
     what-if).  Blocks distribute cluster-major (block b on cluster
     b mod 10), which yields Figure 3's period-10 sawtooth. *)
 
+(** Engine time unit: ticks of a tenth of a core cycle (fractional issue
+    occupancies stay exact).  Busy counters round ticks up to cycles;
+    timeline slices and {!stage_busy} are raw ticks. *)
+val ticks_per_cycle : int
+
+(** Busy ticks one barrier-delimited stage charged each pipeline, summed
+    over the simulated clusters. *)
+type stage_busy = { alu_ticks : int; smem_ticks : int; gmem_ticks : int }
+
 type result = {
   cycles : int;
   seconds : float;
@@ -28,19 +37,39 @@ type result = {
   warps_retired : int;
   blocks_retired : int;
   blocks_unlaunched : int;  (** left in SM pending queues at exhaustion *)
+  stages_busy : stage_busy array;
+      (** per-barrier-stage pipeline attribution; empty unless [run] was
+          given a timeline *)
 }
 
 (** [run ~spec ~max_resident_blocks blocks] replays the whole grid's
     traces ([blocks.(b)] is block b).  With [homogeneous:true] only the
     most-loaded cluster is simulated — exact when all blocks carry the
     same trace, since clusters are independent and the slowest bounds the
-    total. *)
+    total.
+
+    [timeline] turns on interval recording: every pipeline busy interval
+    (categories ["alu"], ["smem"], ["gmem"]; per category the slice
+    durations in ticks tile exactly into the corresponding busy counter)
+    and every warp hold/park interval (category ["warp"]: [issue],
+    [smem], [gmem], [barrier], plus a zero-length [retire] marker) is
+    added, and {!result.stages_busy} is populated.  Cluster [c] records
+    under pid [c+1] (pid 0 is reserved for workflow spans); SM [s] uses
+    tids [2s] (alu) and [2s+1] (smem), the cluster's global pipe tid 999,
+    and block [b] warp [w] tid [10000 + 64 b + w].  Without a timeline
+    the recording paths cost one [None] match per event. *)
 val run :
   ?homogeneous:bool ->
+  ?timeline:Gpu_obs.Timeline.t ->
   spec:Gpu_hw.Spec.t ->
   max_resident_blocks:int ->
   Gpu_sim.Trace.block_trace array ->
   result
+
+(** The per-barrier-stage bottleneck attribution table recorded in
+    {!result.stages_busy} (busy cycles per pipeline and the busiest one),
+    mirroring the paper's per-stage breakdown. *)
+val pp_stage_attribution : Format.formatter -> result -> unit
 
 (** Analytic pipeline-busy totals for a trace set, in the same rounded
     cycles as {!result}'s busy counters. *)

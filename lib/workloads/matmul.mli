@@ -23,11 +23,13 @@ val run_simulated :
   float array
 
 (** Full analysis for the Section 5.1 experiments; a small block sample is
-    exact because every block does identical work. *)
+    exact because every block does identical work.  [timeline] records
+    the timing replay's busy intervals (needs [measure:true]). *)
 val analyze :
   ?spec:Gpu_hw.Spec.t ->
   ?measure:bool ->
   ?sample:int ->
+  ?timeline:Gpu_obs.Timeline.t ->
   n:int ->
   tile:int ->
   unit ->

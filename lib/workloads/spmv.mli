@@ -63,6 +63,7 @@ val analyze :
   ?spec:Gpu_hw.Spec.t ->
   ?measure:bool ->
   ?sample:int ->
+  ?timeline:Gpu_obs.Timeline.t ->
   matrix ->
   format ->
   Gpu_model.Workflow.report

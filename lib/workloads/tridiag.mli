@@ -42,6 +42,7 @@ val analyze :
   ?spec:Gpu_hw.Spec.t ->
   ?measure:bool ->
   ?sample:int ->
+  ?timeline:Gpu_obs.Timeline.t ->
   nsys:int ->
   n:int ->
   padded:bool ->

@@ -185,6 +185,202 @@ let test_measured_comparison () =
     Alcotest.(check bool) "error is finite" true (Float.is_finite e)
   | _ -> Alcotest.fail "expected a measurement"
 
+(* --- Degenerate model inputs (regression) -------------------------------- *)
+
+(* NaN compares false against everything, so before the input validation a
+   non-finite scale flowed through every stage time and silently
+   classified the whole program as instruction-pipeline bound.  Now it is
+   rejected up front. *)
+let test_nonfinite_inputs_rejected () =
+  let k =
+    {
+      Ir.name = "tiny";
+      params = [ "y" ];
+      shared = [];
+      body = [ Ir.St_global ("y", Ir.Tid, Ir.I2f Ir.Tid) ];
+    }
+  in
+  let compiled = Gpu_kernel.Compile.compile k in
+  let occ = Workflow.occupancy_of ~spec ~block:64 compiled in
+  let r =
+    Gpu_sim.Sim.run ~spec ~grid:8 ~block:64
+      ~args:[ ("y", Array.make (8 * 64) 0l) ]
+      compiled
+  in
+  let tables = Gpu_microbench.Tables.for_spec spec in
+  let inputs scale =
+    {
+      Model.in_spec = spec;
+      tables;
+      stats = r.Gpu_sim.Sim.stats;
+      scale;
+      in_grid = 8;
+      in_block = 64;
+      in_occupancy = occ;
+      blocks_run = r.Gpu_sim.Sim.blocks_run;
+    }
+  in
+  (match Model.analyze_result (inputs 1.0) with
+  | Ok _ -> ()
+  | Error d ->
+    Alcotest.failf "finite scale rejected: %s" d.Gpu_diag.Diag.message);
+  List.iter
+    (fun (label, scale) ->
+      match Model.analyze_result (inputs scale) with
+      | Error _ -> ()
+      | Ok t ->
+        Alcotest.failf "%s scale accepted (classified %s-bound)" label
+          (Component.name t.Model.bottleneck))
+    [
+      ("NaN", Float.nan);
+      ("infinite", Float.infinity);
+      ("negative", -1.0);
+    ];
+  match Model.analyze (inputs Float.nan) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "analyze must raise on a NaN scale"
+
+(* --- Trace replication and heterogeneous replay (regression) ------------- *)
+
+module Engine = Gpu_timing.Engine
+module Trace = Gpu_sim.Trace
+
+(* Block 0 runs a long MAD chain, every other block a single add: the
+   sampled traces are heterogeneous. *)
+let hetero_kernel =
+  {
+    Ir.name = "hetero";
+    params = [ "y" ];
+    shared = [];
+    body =
+      [
+        Ir.Local ("a", Ir.Float 1.0);
+        Ir.If
+          ( Ir.(Ctaid < i 1),
+            List.init 64 (fun _ ->
+                Ir.Assign ("a", Ir.(fmad (v "a") (f 0.5) (v "a")))),
+            [ Ir.Assign ("a", Ir.(v "a" +. f 1.0)) ] );
+        Ir.St_global ("y", Ir.(imad Ctaid Ntid Tid), Ir.v "a");
+      ];
+  }
+
+let hetero_args () = [ ("y", Array.make (10 * 64) 0l) ]
+
+let test_replicate_traces_even () =
+  let sim =
+    Gpu_sim.Sim.run ~collect_trace:true ~block_ids:[ 0; 1; 2 ] ~spec
+      ~grid:10 ~block:64 ~args:(hetero_args ())
+      (Gpu_kernel.Compile.compile hetero_kernel)
+  in
+  let sampled = Array.of_list sim.Gpu_sim.Sim.traces in
+  Alcotest.(check int) "three sampled traces" 3 (Array.length sampled);
+  (* grid 10 from 3 samples: block b replays sample b mod 3, so each
+     sample appears 3 or 4 times and ids cover the grid *)
+  let replicated = Workflow.replicate_traces ~grid:10 sim.Gpu_sim.Sim.traces in
+  Alcotest.(check int) "one trace per block" 10 (Array.length replicated);
+  Array.iteri
+    (fun b t ->
+      Alcotest.(check int) "block id rewritten" b t.Trace.block;
+      Alcotest.(check bool) "cyclic assignment" true
+        (t.Trace.warps == sampled.(b mod 3).Trace.warps))
+    replicated;
+  let count i =
+    Array.fold_left
+      (fun acc t ->
+        if t.Trace.warps == sampled.(i).Trace.warps then acc + 1 else acc)
+      0 replicated
+  in
+  Alcotest.(check (list int)) "maximally even replication" [ 4; 3; 3 ]
+    [ count 0; count 1; count 2 ]
+
+let test_traces_homogeneous () =
+  let run k block_ids =
+    (Gpu_sim.Sim.run ~collect_trace:true ~block_ids ~spec ~grid:10 ~block:64
+       ~args:(hetero_args ())
+       (Gpu_kernel.Compile.compile k))
+      .Gpu_sim.Sim.traces
+  in
+  Alcotest.(check bool) "identical blocks are homogeneous" true
+    (Workflow.traces_homogeneous (run hetero_kernel [ 1; 2; 3 ]));
+  Alcotest.(check bool) "block 0 differs" false
+    (Workflow.traces_homogeneous (run hetero_kernel [ 0; 1; 2 ]))
+
+(* Regression: with sampled blocks < grid the replay used the
+   single-cluster homogeneous fast path even for heterogeneous samples,
+   simulating one block's work instead of ten and skewing both the
+   measured time and the conservation counters. *)
+let test_heterogeneous_replay_simulates_grid () =
+  let r =
+    Workflow.analyze ~spec ~measure:true ~sample:3 ~grid:10 ~block:64
+      ~args:(hetero_args ()) hetero_kernel
+  in
+  let m = Option.get r.Workflow.measured in
+  (* 10 blocks of 2 warps each; pre-fix this was one block's 2 warps *)
+  Alcotest.(check int) "all blocks' warps simulated" 20 m.Engine.warps_launched;
+  Alcotest.(check int) "all blocks retired" 10 m.Engine.blocks_retired;
+  (* and the busy totals match the analytic summation over the whole
+     replicated grid *)
+  let sim =
+    Gpu_sim.Sim.run ~collect_trace:true ~block_ids:[ 0; 1; 2 ] ~spec
+      ~grid:10 ~block:64 ~args:(hetero_args ())
+      (Gpu_kernel.Compile.compile hetero_kernel)
+  in
+  let expected =
+    Engine.expected_busy ~spec
+      (Workflow.replicate_traces ~grid:10 sim.Gpu_sim.Sim.traces)
+  in
+  Alcotest.(check int) "alu busy matches summation" expected.Engine.alu_cycles
+    m.Engine.alu_busy_cycles;
+  Alcotest.(check int) "smem busy matches summation"
+    expected.Engine.smem_cycles m.Engine.smem_busy_cycles;
+  Alcotest.(check int) "gmem busy matches summation"
+    expected.Engine.gmem_cycles m.Engine.gmem_busy_cycles
+
+(* --- Workflow observability ---------------------------------------------- *)
+
+let test_workflow_spans_and_timeline () =
+  Gpu_obs.Span.clear ();
+  Gpu_obs.Span.set_enabled true;
+  let tl = Gpu_obs.Timeline.create ~capacity:(1 lsl 16) () in
+  let y = ("y", Array.make (120 * 512) 0l) in
+  let r =
+    Fun.protect
+      ~finally:(fun () -> Gpu_obs.Span.set_enabled false)
+      (fun () ->
+        Workflow.analyze ~spec ~measure:true ~sample:2 ~timeline:tl
+          ~grid:120 ~block:512 ~args:[ y ] barrier_kernel)
+  in
+  let names =
+    List.map (fun s -> s.Gpu_obs.Span.name) (Gpu_obs.Span.completed ())
+  in
+  List.iter
+    (fun stage ->
+      Alcotest.(check bool) (stage ^ " span recorded") true
+        (List.mem stage names))
+    [ "compile"; "extract"; "functional-sim"; "calibrate"; "model";
+      "timing-replay" ];
+  let m = Option.get r.Workflow.measured in
+  Alcotest.(check int) "nothing dropped" 0 (Gpu_obs.Timeline.dropped tl);
+  let tile cat busy =
+    let ticks = Gpu_obs.Timeline.sum_dur tl ~cat in
+    Alcotest.(check int)
+      (cat ^ " slices tile into the busy counter")
+      busy
+      ((ticks + Engine.ticks_per_cycle - 1) / Engine.ticks_per_cycle)
+  in
+  tile "alu" m.Engine.alu_busy_cycles;
+  tile "smem" m.Engine.smem_busy_cycles;
+  tile "gmem" m.Engine.gmem_busy_cycles;
+  Alcotest.(check bool) "per-stage attribution populated" true
+    (Array.length m.Engine.stages_busy > 0);
+  (* without a timeline the same run records no attribution *)
+  let r' =
+    Workflow.analyze ~spec ~measure:true ~sample:2 ~grid:120 ~block:512
+      ~args:[ y ] barrier_kernel
+  in
+  Alcotest.(check int) "no timeline, no attribution" 0
+    (Array.length (Option.get r'.Workflow.measured).Engine.stages_busy)
+
 (* --- What-if engine ------------------------------------------------------ *)
 
 let test_whatif_prime_banks () =
@@ -237,6 +433,25 @@ let () =
           Alcotest.test_case "overlapped total" `Quick test_overlapped_total;
           Alcotest.test_case "measured comparison" `Quick
             test_measured_comparison;
+        ] );
+      ( "degenerate inputs",
+        [
+          Alcotest.test_case "non-finite scale rejected" `Quick
+            test_nonfinite_inputs_rejected;
+        ] );
+      ( "trace replication",
+        [
+          Alcotest.test_case "cyclic and maximally even" `Quick
+            test_replicate_traces_even;
+          Alcotest.test_case "homogeneity predicate" `Quick
+            test_traces_homogeneous;
+          Alcotest.test_case "heterogeneous replay covers the grid" `Quick
+            test_heterogeneous_replay_simulates_grid;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "spans and timeline tiling" `Quick
+            test_workflow_spans_and_timeline;
         ] );
       ( "what-if",
         [ Alcotest.test_case "prime banks" `Quick test_whatif_prime_banks ]

@@ -1,0 +1,209 @@
+(* Unit tests for the observability layer (lib/obs): the metrics
+   registry, the span tracer, the timeline ring buffer, and the
+   trace-event JSON they export.  Everything here is pure — no
+   calibration, no engine — so the suite stays fast and the JSON checks
+   are byte-level. *)
+
+module Metrics = Gpu_obs.Metrics
+module Span = Gpu_obs.Span
+module Timeline = Gpu_obs.Timeline
+module Json = Gpu_obs.Json_text
+
+(* --- metrics ------------------------------------------------------------ *)
+
+let test_counter () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.obs.counter" in
+  Alcotest.(check int) "starts at zero" 0 (Metrics.value c);
+  Metrics.incr c;
+  Metrics.add c 41;
+  Alcotest.(check int) "incr + add" 42 (Metrics.value c);
+  let c' = Metrics.counter "test.obs.counter" in
+  Metrics.incr c';
+  Alcotest.(check int) "same name, same cell" 43 (Metrics.value c)
+
+let test_kind_mismatch () =
+  ignore (Metrics.counter "test.obs.kindclash");
+  Alcotest.check_raises "counter name as gauge"
+    (Invalid_argument
+       "Metrics: test.obs.kindclash is already registered and is not a gauge")
+    (fun () -> ignore (Metrics.gauge "test.obs.kindclash"))
+
+let test_gauge_histogram () =
+  Metrics.reset ();
+  let g = Metrics.gauge "test.obs.gauge" in
+  Metrics.set_gauge g 2.5;
+  Alcotest.(check (float 0.0)) "gauge holds last set" 2.5
+    (Metrics.gauge_value g);
+  let h = Metrics.histogram ~buckets:[| 1.0; 10.0 |] "test.obs.hist" in
+  List.iter (Metrics.observe h) [ 0.5; 5.0; 50.0 ];
+  let json = Metrics.dump_json () in
+  List.iter
+    (fun needle ->
+      let found =
+        let nl = String.length needle and jl = String.length json in
+        let rec go i = i + nl <= jl && (String.sub json i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) (needle ^ " in dump_json") true found)
+    [ "\"test.obs.gauge\":2.5"; "\"count\":3"; "[[1,1],[10,1]]"; "\"inf\":1" ]
+
+let test_snapshot_sorted () =
+  Metrics.reset ();
+  ignore (Metrics.counter "test.obs.b");
+  ignore (Metrics.counter "test.obs.a");
+  let names = List.map fst (Metrics.snapshot_counters ()) in
+  Alcotest.(check bool) "snapshot sorted by name" true
+    (List.sort compare names = names)
+
+(* --- spans -------------------------------------------------------------- *)
+
+let test_span_disabled () =
+  Span.set_enabled false;
+  Span.clear ();
+  Alcotest.(check int) "disabled records nothing" 0
+    (Span.with_ "off" (fun () ->
+         Span.annot "ignored";
+         List.length (Span.completed ())))
+
+let test_span_records () =
+  Metrics.reset ();
+  Span.clear ();
+  Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Span.set_enabled false)
+    (fun () ->
+      let c = Metrics.counter "test.obs.spandelta" in
+      let v =
+        Span.with_ ~attrs:[ ("k", "v") ] "outer" (fun () ->
+            Span.with_ "inner" (fun () -> Metrics.add c 7);
+            Span.annot "note";
+            3)
+      in
+      Alcotest.(check int) "with_ is transparent" 3 v;
+      match Span.completed () with
+      | [ inner; outer ] ->
+        (* completion order: inner closes first *)
+        Alcotest.(check string) "inner first" "inner" inner.Span.name;
+        Alcotest.(check string) "outer name" "outer" outer.Span.name;
+        Alcotest.(check (list (pair string string))) "attrs kept"
+          [ ("k", "v") ] outer.Span.attrs;
+        Alcotest.(check (list string)) "annotation" [ "note" ] outer.Span.annots;
+        Alcotest.(check (list (pair string int))) "counter delta"
+          [ ("test.obs.spandelta", 7) ]
+          (List.filter
+             (fun (n, _) -> n = "test.obs.spandelta")
+             outer.Span.deltas);
+        Alcotest.(check bool) "duration non-negative" true
+          (outer.Span.dur_us >= 0.0 && inner.Span.dur_us <= outer.Span.dur_us)
+      | l -> Alcotest.failf "expected 2 completed spans, got %d" (List.length l))
+
+let test_span_exception () =
+  Span.clear ();
+  Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Span.set_enabled false)
+    (fun () ->
+      (try Span.with_ "boom" (fun () -> failwith "x") with Failure _ -> ());
+      Alcotest.(check int) "raising span still recorded" 1
+        (List.length (Span.completed ())))
+
+(* --- timeline ----------------------------------------------------------- *)
+
+let test_ring () =
+  let tl = Timeline.create ~capacity:3 () in
+  for i = 0 to 4 do
+    Timeline.add tl ~pid:1 ~tid:0 ~cat:"alu" ~name:"s" ~ts:(10 * i) ~dur:2
+  done;
+  Alcotest.(check int) "added counts everything" 5 (Timeline.added tl);
+  Alcotest.(check int) "dropped = added - capacity" 2 (Timeline.dropped tl);
+  let kept = Timeline.slices tl in
+  Alcotest.(check int) "retains capacity slices" 3 (Array.length kept);
+  Alcotest.(check int) "oldest dropped first" 20 kept.(0).Timeline.ts;
+  Alcotest.(check int) "sum_dur over retained" 6 (Timeline.sum_dur tl ~cat:"alu");
+  Alcotest.(check int) "sum_dur other cat" 0 (Timeline.sum_dur tl ~cat:"smem")
+
+let test_json_export () =
+  let tl = Timeline.create ~capacity:16 () in
+  Timeline.set_process tl ~pid:1 "cluster 0";
+  Timeline.set_thread tl ~pid:1 ~tid:0 "sm 0 alu";
+  Timeline.add tl ~pid:1 ~tid:0 ~cat:"alu" ~name:"w0" ~ts:20 ~dur:10;
+  Timeline.add tl ~pid:1 ~tid:0 ~cat:"alu" ~name:"w1" ~ts:0 ~dur:10;
+  let spans =
+    [
+      {
+        Span.name = "model";
+        start_us = 1.0;
+        dur_us = 2.0;
+        attrs = [ ("kernel", "k") ];
+        annots = [];
+        deltas = [ ("engine.runs", 1) ];
+      };
+    ]
+  in
+  let json = Timeline.to_json ~scale:0.1 ~spans tl in
+  (* Well-formed enough for a structural scan: balanced braces, the two
+     slice events sorted by ts, metadata first, and the span on pid 0. *)
+  let depth = ref 0 and min_depth = ref 0 in
+  String.iter
+    (fun c ->
+      (match c with
+      | '{' | '[' -> incr depth
+      | '}' | ']' -> decr depth
+      | _ -> ());
+      if !depth < !min_depth then min_depth := !depth)
+    json;
+  Alcotest.(check int) "brackets balance" 0 !depth;
+  Alcotest.(check int) "never negative depth" 0 !min_depth;
+  let find needle =
+    let nl = String.length needle and jl = String.length json in
+    let rec go i =
+      if i + nl > jl then None
+      else if String.sub json i nl = needle then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let pos needle =
+    match find needle with
+    | Some i -> i
+    | None -> Alcotest.failf "missing %S in JSON" needle
+  in
+  Alcotest.(check bool) "metadata precedes slices" true
+    (pos "process_name" < pos "\"w1\"");
+  Alcotest.(check bool) "slices sorted by ts" true (pos "\"w1\"" < pos "\"w0\"");
+  Alcotest.(check bool) "span present on pid 0" true
+    (match find "\"model\"" with Some _ -> true | None -> false);
+  Alcotest.(check bool) "scale applied (20 ticks -> 2)" true
+    (match find "\"ts\":2," with Some _ -> true | None -> false)
+
+let test_json_number () =
+  Alcotest.(check string) "nan is null" "null" (Json.number Float.nan);
+  Alcotest.(check string) "inf is null" "null" (Json.number Float.infinity);
+  Alcotest.(check string) "integral stays integral" "3" (Json.number 3.0);
+  Alcotest.(check string) "escapes quotes" "\"a\\\"b\"" (Json.quoted "a\"b")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "gauge and histogram" `Quick test_gauge_histogram;
+          Alcotest.test_case "snapshot sorted" `Quick test_snapshot_sorted;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "disabled is silent" `Quick test_span_disabled;
+          Alcotest.test_case "records nesting, attrs, deltas" `Quick
+            test_span_records;
+          Alcotest.test_case "records on exception" `Quick test_span_exception;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "ring buffer drops oldest" `Quick test_ring;
+          Alcotest.test_case "trace-event JSON export" `Quick test_json_export;
+          Alcotest.test_case "json primitives" `Quick test_json_number;
+        ] );
+    ]

@@ -90,6 +90,54 @@ let test_memo_once () =
   Alcotest.(check (list int)) "all callers see the value" [ 1729; 1729; 1729; 1729 ] values;
   Alcotest.(check int) "body ran once" 1 (Atomic.get calls)
 
+(* --- job-count validation (one validator for --jobs and GPUPERF_JOBS) ---- *)
+
+let test_parse_jobs () =
+  List.iter
+    (fun (s, expect) ->
+      match Pool.parse_jobs s with
+      | Ok n -> Alcotest.(check int) ("parse_jobs " ^ s) expect n
+      | Error m -> Alcotest.failf "parse_jobs rejected %S: %s" s m)
+    [ ("1", 1); ("4", 4); ("64", 64) ];
+  List.iter
+    (fun s ->
+      match Pool.parse_jobs s with
+      | Ok n -> Alcotest.failf "parse_jobs accepted %S as %d" s n
+      | Error _ -> ())
+    [ "0"; "-3"; ""; "bogus"; "2.5"; "1e3" ]
+
+(* The CLI must reject an invalid job count identically whether it comes
+   from --jobs or from GPUPERF_JOBS: usage error, exit 2, before any
+   calibration starts.  Regression: --jobs 0 used to exit 1 (a late Cli
+   diagnostic) and an invalid GPUPERF_JOBS was silently ignored. *)
+let gpuperf_exe =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "gpuperf.exe"))
+
+let run_gpuperf ?(env = "") args =
+  Sys.command
+    (Printf.sprintf "%s %s %s >/dev/null 2>&1" env gpuperf_exe args)
+
+let test_cli_jobs_flag () =
+  Alcotest.(check int) "--jobs 0 is a usage error" 2
+    (run_gpuperf "microbench --jobs 0");
+  Alcotest.(check int) "--jobs -3 is a usage error" 2
+    (run_gpuperf "microbench --jobs=-3");
+  Alcotest.(check int) "-j bogus is a usage error" 2
+    (run_gpuperf "check -j bogus")
+
+let test_cli_jobs_env () =
+  Alcotest.(check int) "GPUPERF_JOBS=0 is a usage error" 2
+    (run_gpuperf ~env:"GPUPERF_JOBS=0" "microbench");
+  Alcotest.(check int) "GPUPERF_JOBS=bogus is a usage error" 2
+    (run_gpuperf ~env:"GPUPERF_JOBS=bogus" "microbench");
+  (* A valid env value must be accepted: this run fails later in the
+     toolchain (bad tile -> analysis diagnostic, exit 1, before any
+     calibration), proving the env var passed validation. *)
+  Alcotest.(check int) "GPUPERF_JOBS=2 is accepted" 1
+    (run_gpuperf ~env:"GPUPERF_JOBS=2" "analyze matmul --tile 7")
+
 (* --- calibration determinism --------------------------------------------- *)
 
 let check_tables_identical msg a b =
@@ -266,6 +314,15 @@ let () =
             test_exception_propagates;
           Alcotest.test_case "nested calls" `Quick test_nested_calls;
           Alcotest.test_case "memo single-flight" `Quick test_memo_once;
+        ] );
+      ( "jobs validation",
+        [
+          Alcotest.test_case "parse_jobs accepts/rejects" `Quick
+            test_parse_jobs;
+          Alcotest.test_case "--jobs usage errors exit 2" `Quick
+            test_cli_jobs_flag;
+          Alcotest.test_case "GPUPERF_JOBS validated identically" `Quick
+            test_cli_jobs_env;
         ] );
       ( "calibration",
         [
