@@ -91,14 +91,28 @@ let metrics_arg =
     & info [ "metrics" ]
         ~doc:"Dump the metrics registry (DESIGN §11) to stderr on exit")
 
+let metrics_format_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("text", `Text); ("json", `Json); ("openmetrics", `Openmetrics) ])
+        `Text
+    & info [ "metrics-format" ] ~docv:"FMT"
+        ~doc:"Metrics dump format: text, json or openmetrics")
+
 (* Dump even when the command fails: the counters are most interesting
    exactly when something went wrong. *)
-let with_metrics metrics f =
+let with_metrics metrics fmt f =
   if not metrics then f ()
   else
-    Fun.protect
-      ~finally:(fun () -> prerr_string (Gpu_obs.Metrics.dump_text ()))
-      f
+    let dump =
+      match fmt with
+      | `Text -> Gpu_obs.Metrics.dump_text
+      | `Json -> Gpu_obs.Metrics.dump_json
+      | `Openmetrics -> Gpu_obs.Metrics.dump_openmetrics
+    in
+    Fun.protect ~finally:(fun () -> prerr_string (dump ())) f
 
 (* --- occupancy ----------------------------------------------------------- *)
 
@@ -116,7 +130,8 @@ let occupancy_cmd =
     Arg.(value & flag & info [ "sweep" ]
            ~doc:"Tabulate occupancy across block sizes")
   in
-  let run threads regs smem sweep =
+  let run metrics mfmt threads regs smem sweep =
+    with_metrics metrics mfmt @@ fun () ->
     let demand t =
       {
         Gpu_hw.Occupancy.threads_per_block = t;
@@ -159,7 +174,9 @@ let occupancy_cmd =
   in
   Cmd.v
     (Cmd.info "occupancy" ~doc:"Resident blocks and warps for a kernel shape")
-    Term.(const run $ threads $ regs $ smem $ sweep)
+    Term.(
+      const run $ metrics_arg $ metrics_format_arg $ threads $ regs $ smem
+      $ sweep)
 
 (* --- microbench ---------------------------------------------------------- *)
 
@@ -171,8 +188,8 @@ let microbench_cmd =
       & info [ "gmem" ]
           ~doc:"Global benchmark: blocks,threads,transactions-per-thread")
   in
-  let run metrics jobs no_cache gmem =
-    with_metrics metrics @@ fun () ->
+  let run metrics mfmt jobs no_cache gmem =
+    with_metrics metrics mfmt @@ fun () ->
     guard D.Model @@ fun () ->
     apply_calibration_opts jobs no_cache;
     let t = Gpu_microbench.Tables.for_spec spec in
@@ -203,7 +220,9 @@ let microbench_cmd =
   Cmd.v
     (Cmd.info "microbench"
        ~doc:"Fit and print the microbenchmark throughput tables")
-    Term.(const run $ metrics_arg $ jobs_arg $ no_cache_arg $ gmem)
+    Term.(
+      const run $ metrics_arg $ metrics_format_arg $ jobs_arg $ no_cache_arg
+      $ gmem)
 
 (* --- analyze ------------------------------------------------------------- *)
 
@@ -265,8 +284,8 @@ let workload_arg =
     & info [] ~docv:"WORKLOAD" ~doc:"matmul, tridiag or spmv")
 
 let analyze_cmd =
-  let run workload tile padded fmt measure metrics jobs no_cache =
-    with_metrics metrics @@ fun () ->
+  let run workload tile padded fmt measure metrics mfmt jobs no_cache =
+    with_metrics metrics mfmt @@ fun () ->
     guard D.Cli @@ fun () ->
     apply_calibration_opts jobs no_cache;
     let r = report_of ~measure workload tile padded fmt spec in
@@ -277,7 +296,8 @@ let analyze_cmd =
        ~doc:"Run the full Figure-1 workflow on a case-study workload")
     Term.(
       const run $ workload_arg $ tile_arg $ padded_arg $ fmt_arg
-      $ measure_flag $ metrics_arg $ jobs_arg $ no_cache_arg)
+      $ measure_flag $ metrics_arg $ metrics_format_arg $ jobs_arg
+      $ no_cache_arg)
 
 (* --- whatif -------------------------------------------------------------- *)
 
@@ -291,8 +311,8 @@ let whatif_cmd =
             "Device variant (repeatable): maxblocks16, banks17, segment16, \
              segment4, bigregfile, bigsmem, earlyrelease")
   in
-  let run workload tile padded fmt variants metrics jobs no_cache =
-    with_metrics metrics @@ fun () ->
+  let run workload tile padded fmt variants metrics mfmt jobs no_cache =
+    with_metrics metrics mfmt @@ fun () ->
     guard D.Cli @@ fun () ->
     apply_calibration_opts jobs no_cache;
     (* one variant per pool task: the per-variant table re-fit dominates *)
@@ -326,7 +346,8 @@ let whatif_cmd =
        ~doc:"Re-analyze a workload on architectural variants")
     Term.(
       const run $ workload_arg $ tile_arg $ padded_arg $ fmt_arg
-      $ variant_arg $ metrics_arg $ jobs_arg $ no_cache_arg)
+      $ variant_arg $ metrics_arg $ metrics_format_arg $ jobs_arg
+      $ no_cache_arg)
 
 (* --- disasm / asm --------------------------------------------------------- *)
 
@@ -346,7 +367,8 @@ let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
 
 let disasm_cmd =
-  let run file =
+  let run metrics mfmt file =
+    with_metrics metrics mfmt @@ fun () ->
     match guard D.Cli (fun () -> read_file file) with
     | Error _ as e -> e
     | Ok data ->
@@ -358,7 +380,7 @@ let disasm_cmd =
   in
   Cmd.v
     (Cmd.info "disasm" ~doc:"Disassemble a kernel image (the Decuda analog)")
-    Term.(const run $ file_arg)
+    Term.(const run $ metrics_arg $ metrics_format_arg $ file_arg)
 
 let asm_cmd =
   let out =
@@ -367,7 +389,8 @@ let asm_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Output kernel image")
   in
-  let run file out =
+  let run metrics mfmt file out =
+    with_metrics metrics mfmt @@ fun () ->
     match guard D.Cli (fun () -> read_file file) with
     | Error _ as e -> e
     | Ok src ->
@@ -382,7 +405,7 @@ let asm_cmd =
   in
   Cmd.v
     (Cmd.info "asm" ~doc:"Assemble a listing to a kernel image (cudasm)")
-    Term.(const run $ file_arg $ out)
+    Term.(const run $ metrics_arg $ metrics_format_arg $ file_arg $ out)
 
 (* --- coalesce -------------------------------------------------------------- *)
 
@@ -397,7 +420,8 @@ let coalesce_cmd =
   let segment =
     Arg.(value & opt int 32 & info [ "segment" ] ~doc:"Minimum segment bytes")
   in
-  let run addresses segment =
+  let run metrics mfmt addresses segment =
+    with_metrics metrics mfmt @@ fun () ->
     if List.length addresses > 16 then
       Error
         (D.error D.Cli "expected at most 16 addresses, got %d"
@@ -423,7 +447,7 @@ let coalesce_cmd =
   Cmd.v
     (Cmd.info "coalesce"
        ~doc:"Run the memory-transaction simulator on an address list")
-    Term.(const run $ addresses $ segment)
+    Term.(const run $ metrics_arg $ metrics_format_arg $ addresses $ segment)
 
 (* --- check ----------------------------------------------------------------- *)
 
@@ -464,8 +488,8 @@ let check_cmd =
       & info [ "replay" ] ~docv:"FILE"
           ~doc:"Re-check one dumped reproducer instead of fuzzing")
   in
-  let run seed cases tol out replay metrics jobs no_cache =
-    with_metrics metrics @@ fun () ->
+  let run seed cases tol out replay metrics mfmt jobs no_cache =
+    with_metrics metrics mfmt @@ fun () ->
     guard D.Timing @@ fun () ->
     apply_calibration_opts jobs no_cache;
     if tol < 1.0 then
@@ -511,8 +535,8 @@ let check_cmd =
          "Property-based checking: brute-force memory oracles, engine \
           invariant audit, model-vs-engine differential")
     Term.(
-      const run $ seed $ cases $ tol $ out $ replay $ metrics_arg $ jobs_arg
-      $ no_cache_arg)
+      const run $ seed $ cases $ tol $ out $ replay $ metrics_arg
+      $ metrics_format_arg $ jobs_arg $ no_cache_arg)
 
 (* --- trace ----------------------------------------------------------------- *)
 
@@ -544,8 +568,8 @@ let trace_cmd =
             "Problem size: matmul matrix order (divisible by 64 and the \
              tile) or tridiag system size (power of two); ignored by spmv")
   in
-  let run workload tile padded fmt n out capacity metrics jobs no_cache =
-    with_metrics metrics @@ fun () ->
+  let run workload tile padded fmt n out capacity metrics mfmt jobs no_cache =
+    with_metrics metrics mfmt @@ fun () ->
     guard D.Cli @@ fun () ->
     apply_calibration_opts jobs no_cache;
     if capacity < 1 then
@@ -581,11 +605,7 @@ let trace_cmd =
     Fmt.pr "wrote %s: %d timeline slices (%d dropped), %d workflow spans@."
       out (added - dropped) dropped
       (List.length (Gpu_obs.Span.completed ()));
-    if dropped > 0 then
-      print_diag
-        (D.warning D.Cli
-           ~hint:"raise --trace-capacity to keep the whole timeline"
-           "timeline overflowed: the oldest %d slices were dropped" dropped)
+    Option.iter print_diag (Gpu_obs.Timeline.drop_warning tl)
   in
   Cmd.v
     (Cmd.info "trace"
@@ -594,7 +614,183 @@ let trace_cmd =
           Chrome trace-event JSON")
     Term.(
       const run $ workload_arg $ tile_arg $ padded_arg $ fmt_arg $ n $ out
-      $ capacity $ metrics_arg $ jobs_arg $ no_cache_arg)
+      $ capacity $ metrics_arg $ metrics_format_arg $ jobs_arg
+      $ no_cache_arg)
+
+(* --- report ---------------------------------------------------------------- *)
+
+let report_cmd =
+  let render_fmt =
+    Arg.(
+      value
+      & opt
+          (enum [ ("md", Gpu_report.Render.Md); ("html", Gpu_report.Render.Html) ])
+          Gpu_report.Render.Md
+      & info [ "format" ] ~docv:"FMT" ~doc:"Report format: md or html")
+  in
+  (* [--format] selects the report output here, so the spmv storage layout
+     moves to [--spmv-format] in this one subcommand. *)
+  let spmv_fmt =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("ell", Gpu_workloads.Spmv.Ell);
+               ("bell", Gpu_workloads.Spmv.Bell_im);
+               ("bell+im", Gpu_workloads.Spmv.Bell_im);
+               ("bell+imiv", Gpu_workloads.Spmv.Bell_imiv);
+               ("imiv", Gpu_workloads.Spmv.Bell_imiv);
+             ])
+          Gpu_workloads.Spmv.Ell
+      & info [ "spmv-format" ] ~doc:"SpMV format (ell|bell+im|bell+imiv)")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the report to $(docv) instead of stdout")
+  in
+  let top =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"N" ~doc:"Hotspot rows per table")
+  in
+  let n =
+    Arg.(
+      value
+      & opt int 1024
+      & info [ "n" ] ~docv:"N"
+          ~doc:
+            "Problem size: matmul matrix order (divisible by 64 and the \
+             tile) or tridiag system size (power of two); ignored by spmv")
+  in
+  let ledger_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:
+            "Accuracy-ledger JSONL file (default: \
+             <cache-dir>/ledger/<workload>.jsonl)")
+  in
+  let no_ledger =
+    Arg.(
+      value & flag
+      & info [ "no-ledger" ]
+          ~doc:"Skip reading and appending the accuracy ledger")
+  in
+  let no_whatif =
+    Arg.(
+      value & flag
+      & info [ "no-whatif" ]
+          ~doc:"Skip the architectural-variant what-if section")
+  in
+  let run workload tile padded sfmt n fmt top out ledger_path no_ledger
+      no_whatif metrics mfmt jobs no_cache =
+    with_metrics metrics mfmt @@ fun () ->
+    guard D.Cli @@ fun () ->
+    apply_calibration_opts jobs no_cache;
+    if top < 1 then D.fail (D.error D.Cli "--top must be >= 1, got %d" top);
+    let analyze ?timeline dev measure =
+      match workload with
+      | `Matmul ->
+        Gpu_workloads.Matmul.analyze ~spec:dev ~measure ?timeline ~n ~tile ()
+      | `Tridiag ->
+        Gpu_workloads.Tridiag.analyze ~spec:dev ~measure ?timeline ~nsys:512
+          ~n ~padded ()
+      | `Spmv ->
+        let m = Gpu_workloads.Spmv.qcd_like () in
+        Gpu_workloads.Spmv.analyze ~spec:dev ~measure ?timeline m sfmt
+    in
+    let workload_name =
+      match workload with
+      | `Matmul -> "matmul"
+      | `Tridiag -> "tridiag"
+      | `Spmv -> "spmv"
+    in
+    (* A timeline on the measured run populates the engine's per-stage
+       busy counters for the report's stage summary. *)
+    let tl = Gpu_obs.Timeline.create () in
+    let base = analyze ~timeline:tl spec true in
+    let whatif =
+      if no_whatif then []
+      else
+        let reports =
+          Gpu_parallel.Pool.parallel_map
+            (fun (_, dev) -> analyze dev false)
+            variant_specs
+        in
+        let t0 =
+          base.Gpu_model.Workflow.analysis.Gpu_model.Model.predicted_seconds
+        in
+        List.map2
+          (fun (name, _) r ->
+            let a = r.Gpu_model.Workflow.analysis in
+            let t = a.Gpu_model.Model.predicted_seconds in
+            {
+              Gpu_report.Render.variant = name;
+              w_predicted_s = t;
+              speedup = t0 /. t;
+              w_bottleneck =
+                Gpu_model.Component.name a.Gpu_model.Model.bottleneck;
+            })
+          variant_specs reports
+    in
+    let attribution = Gpu_report.Attribution.of_report base in
+    let ledger_file =
+      if no_ledger then None
+      else
+        match ledger_path with
+        | Some p -> Some p
+        | None -> Gpu_report.Ledger.default_path ~workload:workload_name
+    in
+    (* Append first so the report's accuracy section includes this run. *)
+    let ledger, ledger_warnings =
+      match ledger_file with
+      | None -> ([], [])
+      | Some path ->
+        let existing, warns = Gpu_report.Ledger.load ~path in
+        let record =
+          Gpu_report.Ledger.of_report ~workload:workload_name base
+        in
+        (match Gpu_report.Ledger.append ~path record with
+        | Ok appended -> (existing @ [ appended ], warns)
+        | Error d -> (existing, warns @ [ d ]))
+    in
+    let regression = Gpu_report.Ledger.regression ledger in
+    List.iter print_diag ledger_warnings;
+    Option.iter print_diag regression;
+    let doc =
+      Gpu_report.Render.render fmt
+        {
+          Gpu_report.Render.workload = workload_name;
+          report = base;
+          attribution;
+          whatif;
+          ledger;
+          ledger_warnings;
+          regression;
+          top;
+        }
+    in
+    match out with
+    | None -> print_string doc
+    | Some path ->
+      write_file path doc;
+      Fmt.epr "wrote %s@." path
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render a self-contained Markdown/HTML performance report: \
+          per-stage breakdown, hotspot attribution, what-if deltas and the \
+          accuracy-ledger trend")
+    Term.(
+      const run $ workload_arg $ tile_arg $ padded_arg $ spmv_fmt $ n
+      $ render_fmt $ top $ out $ ledger_path $ no_ledger $ no_whatif
+      $ metrics_arg $ metrics_format_arg $ jobs_arg $ no_cache_arg)
 
 (* --- main ------------------------------------------------------------------ *)
 
@@ -608,6 +804,7 @@ let () =
       [
         occupancy_cmd; microbench_cmd; analyze_cmd; whatif_cmd;
         disasm_cmd; asm_cmd; coalesce_cmd; check_cmd; trace_cmd;
+        report_cmd;
       ]
   in
   exit

@@ -61,6 +61,8 @@ type stage_analysis = {
   smem_bandwidth : float; (* GB/s the stage's parallelism sustains *)
   instr_throughput_ii : float; (* Ginstr/s for class II at that parallelism *)
   gmem_bandwidth : float; (* GB/s of the matched synthetic benchmark *)
+  class_throughput : float array; (* Ginstr/s per Stats class index, at
+                                     this stage's active warps *)
   causes : cause list;
 }
 
@@ -246,6 +248,10 @@ let analyze_stage inp ~program_txns_per_thread ~stage_index
       Tables.instr_throughput inp.tables Gpu_isa.Instr.Class_ii
         ~warps:active_warps;
     gmem_bandwidth = gmem_bw;
+    class_throughput =
+      Array.init Stats.num_classes (fun k ->
+          Tables.instr_throughput inp.tables (Stats.class_of_index k)
+            ~warps:active_warps);
     causes;
   }
 

@@ -30,6 +30,11 @@ type stage_analysis = {
   smem_bandwidth : float;  (** GB/s at that parallelism *)
   instr_throughput_ii : float;  (** class II Ginstr/s at that parallelism *)
   gmem_bandwidth : float;  (** GB/s of the matched synthetic benchmark *)
+  class_throughput : float array;
+      (** Ginstr/s per cost class at this stage's parallelism, indexed by
+          {!Gpu_sim.Stats.class_index} — the divisor the model charged
+          each class with, exposed so per-pc attribution can tile a
+          stage's instruction time exactly. *)
   causes : cause list;
 }
 

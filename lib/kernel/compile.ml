@@ -20,6 +20,7 @@ type compiled = {
   shared_offsets : (string * int) list; (* shared array -> byte offset *)
   smem_bytes : int;
   reg_demand : int;
+  srcmap : string array; (* pc -> IR statement path ("for i > store c[..]") *)
 }
 
 (* Which special registers does a kernel body mention? *)
@@ -98,6 +99,7 @@ let cmp_ty : Ir.cmp_type -> I.cmp_type = function
 
 type state = {
   mutable lines : Gpu_isa.Program.line list; (* reversed *)
+  mutable srcs : string list; (* reversed, one per emitted instruction *)
   mutable env : (string * int) list; (* variable -> register *)
   mutable var_top : int; (* first register free for temporaries *)
   mutable temps : int; (* temporaries currently live *)
@@ -122,7 +124,17 @@ let stmt_tag : Ir.stmt -> string = function
   | Ir.For (x, _, _, _) -> "for " ^ x
   | Ir.Sync -> "sync"
 
-let emit st op = st.lines <- Gpu_isa.Program.Instr (I.mk op) :: st.lines
+(* Labels carry no pc, so the per-instruction source map is tracked here
+   and nowhere else: one entry per [emit], aligned with instruction order
+   (= pc order after label resolution). *)
+let src_of_ctx ctx =
+  match ctx with
+  | [] -> "<entry>"
+  | path -> String.concat " > " (List.rev path)
+
+let emit st op =
+  st.lines <- Gpu_isa.Program.Instr (I.mk op) :: st.lines;
+  st.srcs <- src_of_ctx !(st.ctx) :: st.srcs
 
 let emit_label st l = st.lines <- Gpu_isa.Program.Label l :: st.lines
 
@@ -528,6 +540,7 @@ let compile_with ~ctx ~max_registers (k : Ir.t) : compiled =
   let st =
     {
       lines = [];
+      srcs = [];
       env = [];
       var_top = List.length k.params;
       temps = 0;
@@ -560,6 +573,7 @@ let compile_with ~ctx ~max_registers (k : Ir.t) : compiled =
     shared_offsets;
     smem_bytes;
     reg_demand = st.max_reg + 1;
+    srcmap = Array.of_list (List.rev st.srcs);
   }
 
 let compile ?(max_registers = 128) k =

@@ -16,6 +16,10 @@ type compiled = {
       (** shared array name -> byte offset inside the block's segment *)
   smem_bytes : int;  (** static shared memory per block *)
   reg_demand : int;  (** registers per thread *)
+  srcmap : string array;
+      (** per-pc IR statement path ("for i > store c[..]"); ["<entry>"]
+          for compiler-synthesized prologue/epilogue instructions.  Same
+          length as the program's instruction stream. *)
 }
 
 val compile : ?max_registers:int -> Ir.t -> compiled

@@ -10,6 +10,7 @@ let wrap ~param_regs ~smem_bytes program : Gpu_kernel.Compile.compiled =
     shared_offsets = [];
     smem_bytes;
     reg_demand = Gpu_isa.Program.register_demand program;
+    srcmap = [||];
   }
 
 (* Microbenchmarks control warps-per-SM directly, so they may run blocks of

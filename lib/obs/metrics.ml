@@ -163,6 +163,80 @@ let dump_text () =
     (all_metrics ());
   Buffer.contents b
 
+(* --- OpenMetrics text exposition ---------------------------------------- *)
+
+(* Metric names are dotted paths internally; OpenMetrics names must match
+   [a-zA-Z_:][a-zA-Z0-9_:]*, so dots (and any other stray character)
+   become underscores. *)
+let openmetrics_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+(* Label-value escaping per the OpenMetrics ABNF: backslash, double quote
+   and newline are escaped; everything else passes through. *)
+let escape_label_value v =
+  let b = Buffer.create (String.length v + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+(* A float rendered the way OpenMetrics expects: decimal, with +Inf for
+   the overflow bucket bound. *)
+let om_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.17g" x
+
+(* Deterministic: metrics sorted by name (all_metrics), buckets in bound
+   order, cumulative counts, "# EOF" terminator. *)
+let dump_openmetrics () =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun m ->
+      match m with
+      | Counter c ->
+        let n = openmetrics_name c.c_name in
+        Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" n);
+        Buffer.add_string b
+          (Printf.sprintf "%s_total %d\n" n (Atomic.get c.c_cell))
+      | Gauge g ->
+        let n = openmetrics_name g.g_name in
+        Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" n);
+        Buffer.add_string b
+          (Printf.sprintf "%s %s\n" n (om_float (Atomic.get g.g_cell)))
+      | Histogram h ->
+        let n = openmetrics_name h.h_name in
+        Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+        let cum = ref 0 in
+        Array.iteri
+          (fun i bound ->
+            cum := !cum + Atomic.get h.buckets.(i);
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n
+                 (escape_label_value (om_float bound))
+                 !cum))
+          h.bounds;
+        cum := !cum + Atomic.get h.buckets.(Array.length h.bounds);
+        Buffer.add_string b
+          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n !cum);
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum %s\n" n (om_float (Atomic.get h.h_sum)));
+        Buffer.add_string b
+          (Printf.sprintf "%s_count %d\n" n (Atomic.get h.h_count)))
+    (all_metrics ());
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
 (* One flat JSON object: counters and gauges map name -> number,
    histograms map name -> {count, sum, le:[[bound,count],...], inf}. *)
 let dump_json () =

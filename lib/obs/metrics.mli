@@ -41,3 +41,13 @@ val dump_text : unit -> string
 (** One flat JSON object; histograms expand to
     [{count, sum, le:[[bound,count],...], inf}]. *)
 val dump_json : unit -> string
+
+(** OpenMetrics text exposition: metrics sorted by name, dotted names
+    mapped to underscores, counters suffixed [_total], histograms as
+    cumulative [_bucket{le="..."}] series plus [_sum]/[_count], ending
+    with [# EOF].  Deterministic for a given registry state. *)
+val dump_openmetrics : unit -> string
+
+(** Escape a label value per the OpenMetrics ABNF: backslash, double
+    quote and newline get backslash escapes. *)
+val escape_label_value : string -> string

@@ -47,14 +47,36 @@ let create ?(capacity = 1 lsl 20) () =
     threads = Hashtbl.create 64;
   }
 
+(* Process-wide count of slices any timeline dropped: drop-oldest must
+   not be silent — the CLI warns and --metrics exposes it. *)
+let dropped_metric = Metrics.counter "obs.timeline.dropped"
+
 let add t ~pid ~tid ~cat ~name ~ts ~dur =
   Mutex.lock t.lock;
+  if t.total >= t.capacity then Metrics.incr dropped_metric;
   t.buf.(t.total mod t.capacity) <- { pid; tid; cat; name; ts; dur };
   t.total <- t.total + 1;
   Mutex.unlock t.lock
 
 let added t = t.total
 let dropped t = max 0 (t.total - t.capacity)
+
+let drop_warning t =
+  let d = dropped t in
+  if d = 0 then None
+  else
+    Some
+      (Gpu_diag.Diag.make
+         ~hint:
+           (Printf.sprintf
+              "re-run with a trace capacity of at least %d slices to keep \
+               the whole timeline"
+              t.total)
+         Gpu_diag.Diag.Warning Gpu_diag.Diag.Timing
+         (Printf.sprintf
+            "timeline overflowed: dropped the oldest %d of %d slices \
+             (capacity %d); the exported trace is a suffix window"
+            d t.total t.capacity))
 
 let set_process t ~pid name =
   Mutex.lock t.lock;

@@ -31,6 +31,13 @@ val added : t -> int
 
 val dropped : t -> int
 
+(** [Some warning] when the ring overflowed and drop-oldest truncated the
+    trace to a suffix window: a [Gpu_diag] warning naming the dropped
+    count and the capacity that would have kept everything.  [None] while
+    nothing has been dropped.  Every dropping {!add} also increments the
+    [obs.timeline.dropped] counter metric. *)
+val drop_warning : t -> Gpu_diag.Diag.t option
+
 (** Human-readable names for Perfetto's track labels.  Capped: past 4096
     registrations new names are ignored. *)
 val set_process : t -> pid:int -> string -> unit

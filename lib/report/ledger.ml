@@ -1,0 +1,367 @@
+(* The model-accuracy ledger: append-only JSONL under the calibration
+   cache directory.  Each workflow run that also replayed the timing
+   engine appends one record of predicted vs measured time, so accuracy
+   drift across code changes is observable instead of anecdotal.
+
+   Design constraints:
+   - no wall-clock timestamps: the monotonic run id orders records and
+     keeps rendering byte-deterministic for golden tests;
+   - corrupt lines skip with a warning (a crashed writer truncates at
+     worst one line; the ledger survives);
+   - rotation by rename at a line cap bounds the file, and run ids
+     continue across it (the rotated file is consulted when the live one
+     is empty). *)
+
+module D = Gpu_diag.Diag
+module J = Gpu_obs.Json_text
+
+let schema_version = 1
+
+type component = {
+  comp : string;
+  c_predicted_s : float;
+  c_busy_s : float option;
+  c_error : float option;
+}
+
+type record = {
+  schema : int;
+  run : int;
+  workload : string;
+  fingerprint : string;
+  spec_name : string;
+  git : string;
+  host : string;
+  grid : int;
+  block : int;
+  predicted_s : float;
+  measured_s : float option;
+  error : float option;
+  components : component list;
+}
+
+let default_path ~workload =
+  Option.map
+    (fun dir -> Filename.concat (Filename.concat dir "ledger")
+        (workload ^ ".jsonl"))
+    (Gpu_microbench.Calib_cache.dir ())
+
+(* --- environment stamps ------------------------------------------------- *)
+
+let git_describe () =
+  match
+    Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+  with
+  | exception _ -> "unknown"
+  | ic -> (
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ | (exception _) -> "unknown")
+
+let hostname () = try Unix.gethostname () with _ -> "unknown"
+
+(* --- building a record from a report ------------------------------------ *)
+
+let relative_error ~predicted ~measured =
+  match measured with
+  | Some m when m > 0.0 -> Some ((predicted -. m) /. m)
+  | Some _ | None -> None
+
+let of_report ?git ?host ~workload (r : Gpu_model.Workflow.report) =
+  let a = r.analysis in
+  let spec = a.Gpu_model.Model.spec in
+  let fingerprint =
+    Digest.to_hex
+      (Digest.string
+         (String.concat "\x00"
+            [
+              Gpu_hw.Spec.canonical spec;
+              r.kernel_name;
+              string_of_int r.launch.grid;
+              string_of_int r.launch.block;
+            ]))
+  in
+  (* Per-component "measured" time: the engine's busy cycles averaged
+     over the units it simulated, on the core clock — the engine-side
+     analog of the model's per-component charge. *)
+  let clock_hz = spec.Gpu_hw.Spec.core_clock_ghz *. 1e9 in
+  let busy cycles units =
+    Option.map
+      (fun (m : Gpu_timing.Engine.result) ->
+        float_of_int (cycles m) /. float_of_int (max 1 (units m))
+        /. clock_hz)
+      r.measured
+  in
+  let totals = a.Gpu_model.Model.totals in
+  let comp name predicted busy_s =
+    {
+      comp = name;
+      c_predicted_s = predicted;
+      c_busy_s = busy_s;
+      c_error = relative_error ~predicted ~measured:busy_s;
+    }
+  in
+  let predicted_s = a.Gpu_model.Model.predicted_seconds in
+  let measured_s = Gpu_model.Workflow.measured_seconds r in
+  {
+    schema = schema_version;
+    run = 0;
+    workload;
+    fingerprint;
+    spec_name = spec.Gpu_hw.Spec.name;
+    git = (match git with Some g -> g | None -> git_describe ());
+    host = (match host with Some h -> h | None -> hostname ());
+    grid = r.launch.grid;
+    block = r.launch.block;
+    predicted_s;
+    measured_s;
+    error = relative_error ~predicted:predicted_s ~measured:measured_s;
+    components =
+      [
+        comp "instruction" totals.Gpu_model.Component.instruction
+          (busy
+             (fun m -> m.Gpu_timing.Engine.alu_busy_cycles)
+             (fun m -> m.Gpu_timing.Engine.sms_simulated));
+        comp "shared" totals.Gpu_model.Component.shared
+          (busy
+             (fun m -> m.Gpu_timing.Engine.smem_busy_cycles)
+             (fun m -> m.Gpu_timing.Engine.sms_simulated));
+        comp "global" totals.Gpu_model.Component.global
+          (busy
+             (fun m -> m.Gpu_timing.Engine.gmem_busy_cycles)
+             (fun m -> m.Gpu_timing.Engine.clusters_simulated));
+      ];
+  }
+
+(* --- JSON ---------------------------------------------------------------- *)
+
+let opt_number = function Some v -> J.number v | None -> "null"
+
+let to_json r =
+  let b = Buffer.create 256 in
+  let field ?(first = false) k v =
+    if not first then Buffer.add_char b ',';
+    Buffer.add_string b (J.quoted k);
+    Buffer.add_char b ':';
+    Buffer.add_string b v
+  in
+  Buffer.add_char b '{';
+  field ~first:true "schema" (string_of_int r.schema);
+  field "run" (string_of_int r.run);
+  field "workload" (J.quoted r.workload);
+  field "fingerprint" (J.quoted r.fingerprint);
+  field "spec" (J.quoted r.spec_name);
+  field "git" (J.quoted r.git);
+  field "host" (J.quoted r.host);
+  field "grid" (string_of_int r.grid);
+  field "block" (string_of_int r.block);
+  field "predicted_s" (J.number r.predicted_s);
+  field "measured_s" (opt_number r.measured_s);
+  field "error" (opt_number r.error);
+  field "components"
+    ("["
+    ^ String.concat ","
+        (List.map
+           (fun c ->
+             Printf.sprintf
+               "{%s:%s,%s:%s,%s:%s,%s:%s}" (J.quoted "comp")
+               (J.quoted c.comp)
+               (J.quoted "predicted_s")
+               (J.number c.c_predicted_s)
+               (J.quoted "busy_s") (opt_number c.c_busy_s)
+               (J.quoted "error") (opt_number c.c_error))
+           r.components)
+    ^ "]");
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let of_json_line line =
+  let ( let* ) = Option.bind in
+  let* v = Result.to_option (Jsonx.parse line) in
+  let* schema = Option.bind (Jsonx.member "schema" v) Jsonx.to_int in
+  if schema <> schema_version then None
+  else
+    let* run = Option.bind (Jsonx.member "run" v) Jsonx.to_int in
+    let* workload =
+      Option.bind (Jsonx.member "workload" v) Jsonx.to_string
+    in
+    let* fingerprint =
+      Option.bind (Jsonx.member "fingerprint" v) Jsonx.to_string
+    in
+    let* spec_name = Option.bind (Jsonx.member "spec" v) Jsonx.to_string in
+    let* git = Option.bind (Jsonx.member "git" v) Jsonx.to_string in
+    let* host = Option.bind (Jsonx.member "host" v) Jsonx.to_string in
+    let* grid = Option.bind (Jsonx.member "grid" v) Jsonx.to_int in
+    let* block = Option.bind (Jsonx.member "block" v) Jsonx.to_int in
+    let* predicted_s =
+      Option.bind (Jsonx.member "predicted_s" v) Jsonx.to_float
+    in
+    let opt_f k = Option.bind (Jsonx.member k v) Jsonx.to_float in
+    let components =
+      match Option.bind (Jsonx.member "components" v) Jsonx.to_list with
+      | None -> []
+      | Some l ->
+        List.filter_map
+          (fun c ->
+            let* comp = Option.bind (Jsonx.member "comp" c) Jsonx.to_string in
+            let* c_predicted_s =
+              Option.bind (Jsonx.member "predicted_s" c) Jsonx.to_float
+            in
+            Some
+              {
+                comp;
+                c_predicted_s;
+                c_busy_s = Option.bind (Jsonx.member "busy_s" c) Jsonx.to_float;
+                c_error = Option.bind (Jsonx.member "error" c) Jsonx.to_float;
+              })
+          l
+    in
+    Some
+      {
+        schema;
+        run;
+        workload;
+        fingerprint;
+        spec_name;
+        git;
+        host;
+        grid;
+        block;
+        predicted_s;
+        measured_s = opt_f "measured_s";
+        error = opt_f "error";
+        components;
+      }
+
+(* --- file I/O ------------------------------------------------------------ *)
+
+let read_lines path =
+  if not (Sys.file_exists path) then []
+  else
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+
+let load ~path =
+  let lines = read_lines path in
+  let records = ref [] in
+  let warnings = ref [] in
+  List.iteri
+    (fun i line ->
+      if String.trim line <> "" then
+        match of_json_line line with
+        | Some r -> records := r :: !records
+        | None ->
+          warnings :=
+            D.make
+              ~location:(D.Line (i + 1))
+              D.Warning D.Model
+              (Printf.sprintf
+                 "ledger %s: skipping corrupt or incompatible record" path)
+            :: !warnings)
+    lines;
+  (List.rev !records, List.rev !warnings)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let last_run records =
+  List.fold_left (fun acc r -> max acc r.run) 0 records
+
+let append ?(max_records = 512) ~path record =
+  try
+    mkdir_p (Filename.dirname path);
+    let existing, _ = load ~path in
+    (* Run ids survive rotation: an empty live file falls back on the
+       rotated one for the last id. *)
+    let prior =
+      match existing with
+      | [] ->
+        let rotated, _ = load ~path:(path ^ ".1") in
+        last_run rotated
+      | l -> last_run l
+    in
+    if List.length existing >= max_records then
+      Sys.rename path (path ^ ".1");
+    let record = { record with run = prior + 1 } in
+    let oc =
+      open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+    in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (to_json record);
+        output_char oc '\n');
+    Ok record
+  with
+  | Sys_error m ->
+    Error
+      (D.make D.Warning D.Model
+         ~hint:"set GPUPERF_CACHE_DIR to a writable directory"
+         (Printf.sprintf "ledger %s: cannot append (%s)" path m))
+  | Unix.Unix_error (e, _, arg) ->
+    Error
+      (D.make D.Warning D.Model
+         ~hint:"set GPUPERF_CACHE_DIR to a writable directory"
+         (Printf.sprintf "ledger %s: cannot append (%s: %s)" path
+            (Unix.error_message e) arg))
+
+(* --- summaries ----------------------------------------------------------- *)
+
+type summary = {
+  runs : int;
+  median_abs_error : float option;
+  latest_error : float option;
+}
+
+let median = function
+  | [] -> None
+  | l ->
+    let a = Array.of_list l in
+    Array.sort compare a;
+    let n = Array.length a in
+    Some
+      (if n mod 2 = 1 then a.(n / 2)
+       else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0)
+
+let summarize records =
+  let errors =
+    List.filter_map (fun r -> Option.map Float.abs r.error) records
+  in
+  let latest_error =
+    match List.rev records with
+    | [] -> None
+    | r :: _ -> r.error
+  in
+  { runs = List.length records; median_abs_error = median errors;
+    latest_error }
+
+let regression ?(band = 0.05) records =
+  let measured = List.filter (fun r -> r.error <> None) records in
+  if List.length measured < 3 then None
+  else
+    let s = summarize records in
+    match (s.median_abs_error, s.latest_error) with
+    | Some med, Some latest when Float.abs latest > med +. band ->
+      Some
+        (D.make D.Warning D.Model
+           ~hint:
+             "a model or engine change likely shifted accuracy; compare \
+              the per-component errors of the last two ledger records"
+           (Printf.sprintf
+              "model accuracy regressed: latest error %+.1f%% vs ledger \
+               median |error| %.1f%% (band %.0f points, %d runs)"
+              (100.0 *. latest) (100.0 *. med) (100.0 *. band) s.runs))
+    | _ -> None

@@ -1,0 +1,36 @@
+(** Self-contained Markdown / HTML report generation — the paper-style
+    per-stage breakdown (Figures 4-8) plus hotspot attribution, what-if
+    deltas, timeline stage summary and the accuracy-ledger trend, with no
+    external dependencies (unicode bars in Markdown, inline SVG bars in
+    HTML).
+
+    Rendering is a pure function of {!inputs}: no timestamps, hostnames
+    or randomness enter the body, so identical inputs give byte-identical
+    documents (golden-testable). *)
+
+type format = Md | Html
+
+val format_of_string : string -> format option
+
+(** One architectural what-if outcome, pre-computed by the caller. *)
+type whatif_row = {
+  variant : string;
+  w_predicted_s : float;
+  speedup : float;  (** baseline predicted / variant predicted *)
+  w_bottleneck : string;
+}
+
+type inputs = {
+  workload : string;
+  report : Gpu_model.Workflow.report;
+  attribution : Attribution.t;
+  whatif : whatif_row list;  (** empty section when [] *)
+  ledger : Ledger.record list;
+      (** chronological, the current run last; empty = no accuracy
+          section body *)
+  ledger_warnings : Gpu_diag.Diag.t list;
+  regression : Gpu_diag.Diag.t option;
+  top : int;  (** hotspot rows shown per table *)
+}
+
+val render : format -> inputs -> string

@@ -239,6 +239,9 @@ let step cfg ~program ~gmem ~(stats : Stats.t option) block w =
   if fr.pc < 0 || fr.pc >= Array.length code then
     stuck "block %d warp %d: pc %d outside program" block.bid w.wid fr.pc;
   let instr = code.(fr.pc) in
+  (* Captured before [advance ()] so the memory-access closures below
+     charge their statistics to the issuing pc, not its successor. *)
+  let pc = fr.pc in
   w.issued <- w.issued + 1;
   if w.issued > cfg.max_warp_instructions then
     stuck "block %d warp %d: exceeded %d instructions (runaway kernel?)"
@@ -265,7 +268,7 @@ let step cfg ~program ~gmem ~(stats : Stats.t option) block w =
   in
   (match stats with
   | Some st ->
-    Stats.count_issue st ~stage:block.stage cls;
+    Stats.count_issue st ~stage:block.stage ~pc cls;
     if work_instruction && em <> 0 && block.stage > w.counted_stage then begin
       w.counted_stage <- block.stage;
       Stats.count_active_warp st ~stage:block.stage
@@ -322,7 +325,7 @@ let step cfg ~program ~gmem ~(stats : Stats.t option) block w =
         ~group:spec.Gpu_hw.Spec.coalesce_threads addresses
     in
     (match stats with
-    | Some st -> Stats.count_smem st ~stage:block.stage ~txns ~ideal
+    | Some st -> Stats.count_smem st ~stage:block.stage ~pc ~txns ~ideal
     | None -> ());
     record cfg w ~cls ~dst ~srcs ~mem:(Trace.Smem txns) ~bar:false
   in
@@ -337,7 +340,7 @@ let step cfg ~program ~gmem ~(stats : Stats.t option) block w =
     in
     (match stats with
     | Some st ->
-      Stats.count_gmem st ~stage:block.stage ~txns
+      Stats.count_gmem st ~stage:block.stage ~pc ~txns
         ~requested:(active * width)
     | None -> ());
     let arr =

@@ -37,6 +37,11 @@ type stage = {
   mutable barriers : int;
   mutable active_warp_slots : int; (* warps issuing at least once, summed
                                       over blocks *)
+  (* Per-pc hotspot attribution, indexed by program counter (dense,
+     grow-on-demand; zero-length until a pc-carrying count arrives). *)
+  mutable site_issued : int array; (* warp-instructions issued at pc *)
+  mutable site_smem_txns : int array; (* shared-memory txns charged to pc *)
+  mutable site_gmem_bytes : int array; (* global bytes transferred at pc *)
 }
 
 let empty_stage () =
@@ -52,7 +57,25 @@ let empty_stage () =
     gmem_transferred_bytes = 0;
     barriers = 0;
     active_warp_slots = 0;
+    site_issued = [||];
+    site_smem_txns = [||];
+    site_gmem_bytes = [||];
   }
+
+(* Add [v] at index [pc], growing the dense array geometrically so a long
+   program doesn't reallocate per instruction. *)
+let site_add arr pc v =
+  let arr =
+    if pc < Array.length arr then arr
+    else begin
+      let n = max (pc + 1) (max 16 (2 * Array.length arr)) in
+      let a = Array.make n 0 in
+      Array.blit arr 0 a 0 (Array.length arr);
+      a
+    end
+  in
+  arr.(pc) <- arr.(pc) + v;
+  arr
 
 type t = { mutable stages : stage array }
 
@@ -72,24 +95,39 @@ let stage t i =
   end;
   t.stages.(i)
 
-let count_issue t ~stage:i cls =
+let count_issue t ~stage:i ?pc cls =
   let s = stage t i in
   let k = class_index cls in
-  s.issued.(k) <- s.issued.(k) + 1
+  s.issued.(k) <- s.issued.(k) + 1;
+  match pc with
+  | Some pc -> s.site_issued <- site_add s.site_issued pc 1
+  | None -> ()
 
 let count_mad t ~stage:i =
   let s = stage t i in
   s.mads <- s.mads + 1
 
-let count_smem t ~stage:i ~txns ~ideal =
+let count_smem ?pc t ~stage:i ~txns ~ideal =
   let s = stage t i in
   s.smem_accesses <- s.smem_accesses + 1;
   s.smem_txns <- s.smem_txns + txns;
-  s.smem_ideal_txns <- s.smem_ideal_txns + ideal
+  s.smem_ideal_txns <- s.smem_ideal_txns + ideal;
+  match pc with
+  | Some pc -> s.site_smem_txns <- site_add s.site_smem_txns pc txns
+  | None -> ()
 
-let count_gmem t ~stage:i ~txns ~requested =
+let count_gmem ?pc t ~stage:i ~txns ~requested =
   let s = stage t i in
   s.gmem_accesses <- s.gmem_accesses + 1;
+  (match pc with
+  | Some pc ->
+    let moved =
+      List.fold_left
+        (fun acc (tx : Gpu_mem.Coalesce.txn) -> acc + tx.size)
+        0 txns
+    in
+    s.site_gmem_bytes <- site_add s.site_gmem_bytes pc moved
+  | None -> ());
   List.iter
     (fun (tx : Gpu_mem.Coalesce.txn) ->
       let count =
@@ -120,7 +158,47 @@ let total_issued s = Array.fold_left ( + ) 0 s.issued
 let gmem_txn_count s =
   List.fold_left (fun acc (_, c) -> acc + c) 0 s.gmem_txns
 
-let merge_stage ~into:a b =
+type site = {
+  pc : int;
+  issued : int;
+  smem_txns : int;
+  gmem_transferred_bytes : int;
+}
+
+let sites s =
+  let get a i = if i < Array.length a then a.(i) else 0 in
+  let len =
+    max
+      (Array.length s.site_issued)
+      (max (Array.length s.site_smem_txns) (Array.length s.site_gmem_bytes))
+  in
+  let acc = ref [] in
+  for pc = len - 1 downto 0 do
+    let issued = get s.site_issued pc in
+    let smem_txns = get s.site_smem_txns pc in
+    let gmem = get s.site_gmem_bytes pc in
+    if issued <> 0 || smem_txns <> 0 || gmem <> 0 then
+      acc :=
+        { pc; issued; smem_txns; gmem_transferred_bytes = gmem } :: !acc
+  done;
+  !acc
+
+let merge_sites a b =
+  if Array.length b = 0 then a
+  else begin
+    let a =
+      if Array.length a >= Array.length b then a
+      else begin
+        let n = Array.make (Array.length b) 0 in
+        Array.blit a 0 n 0 (Array.length a);
+        n
+      end
+    in
+    Array.iteri (fun i v -> if v <> 0 then a.(i) <- a.(i) + v) b;
+    a
+  end
+
+let merge_stage ~into:(a : stage) (b : stage) =
   Array.iteri (fun i v -> a.issued.(i) <- a.issued.(i) + v) b.issued;
   a.mads <- a.mads + b.mads;
   a.smem_accesses <- a.smem_accesses + b.smem_accesses;
@@ -138,7 +216,10 @@ let merge_stage ~into:a b =
   a.gmem_transferred_bytes <-
     a.gmem_transferred_bytes + b.gmem_transferred_bytes;
   a.barriers <- a.barriers + b.barriers;
-  a.active_warp_slots <- max a.active_warp_slots b.active_warp_slots
+  a.active_warp_slots <- max a.active_warp_slots b.active_warp_slots;
+  a.site_issued <- merge_sites a.site_issued b.site_issued;
+  a.site_smem_txns <- merge_sites a.site_smem_txns b.site_smem_txns;
+  a.site_gmem_bytes <- merge_sites a.site_gmem_bytes b.site_gmem_bytes
 
 (* All stages folded into one (the multi-block overlapped view of paper
    Section 3). *)
@@ -149,12 +230,12 @@ let total t =
 
 (* Computational density: fraction of issued warp-instructions that are
    MADs doing "actual computation" (paper Sections 5.1-5.3). *)
-let computational_density s =
+let computational_density (s : stage) =
   let n = total_issued s in
   if n = 0 then 0.0 else float_of_int s.mads /. float_of_int n
 
 (* Coalescing efficiency: requested / transferred global bytes. *)
-let coalescing_efficiency s =
+let coalescing_efficiency (s : stage) =
   if s.gmem_transferred_bytes = 0 then 1.0
   else
     float_of_int s.gmem_requested_bytes
@@ -162,11 +243,11 @@ let coalescing_efficiency s =
 
 (* Bank-conflict penalty: effective / ideal shared transactions (1.0 means
    conflict-free). *)
-let bank_conflict_penalty s =
+let bank_conflict_penalty (s : stage) =
   if s.smem_ideal_txns = 0 then 1.0
   else float_of_int s.smem_txns /. float_of_int s.smem_ideal_txns
 
-let pp_stage ppf s =
+let pp_stage ppf (s : stage) =
   let classes =
     List.map
       (fun c -> Printf.sprintf "%s=%d" (I.cost_class_name c)

@@ -20,6 +20,12 @@ type stage = {
   mutable barriers : int;
   mutable active_warp_slots : int;
       (** warps doing enabled work at least once, summed over blocks *)
+  mutable site_issued : int array;
+      (** warp-instructions issued per pc (dense, grow-on-demand) *)
+  mutable site_smem_txns : int array;
+      (** conflict-adjusted shared-memory transactions per pc *)
+  mutable site_gmem_bytes : int array;
+      (** global-memory bytes transferred per pc *)
 }
 
 val empty_stage : unit -> stage
@@ -38,12 +44,21 @@ val stage : t -> int -> stage
 
 (** {2 Collection (used by the simulator)} *)
 
-val count_issue : t -> stage:int -> Gpu_isa.Instr.cost_class -> unit
+(** The [?pc] argument on the counting functions additionally charges the
+    count to that program counter for hotspot attribution; omitting it
+    (synthetic stats, tests) keeps only the per-class aggregates. *)
+
+val count_issue :
+  t -> stage:int -> ?pc:int -> Gpu_isa.Instr.cost_class -> unit
+
 val count_mad : t -> stage:int -> unit
-val count_smem : t -> stage:int -> txns:int -> ideal:int -> unit
+
+val count_smem :
+  ?pc:int -> t -> stage:int -> txns:int -> ideal:int -> unit
 
 val count_gmem :
-  t -> stage:int -> txns:Gpu_mem.Coalesce.txn list -> requested:int -> unit
+  ?pc:int -> t -> stage:int -> txns:Gpu_mem.Coalesce.txn list ->
+  requested:int -> unit
 
 val count_barrier : t -> stage:int -> unit
 val count_active_warp : t -> stage:int -> unit
@@ -53,6 +68,20 @@ val count_active_warp : t -> stage:int -> unit
 val issued_of : stage -> Gpu_isa.Instr.cost_class -> int
 val total_issued : stage -> int
 val gmem_txn_count : stage -> int
+
+(** One program counter's share of a stage's work (hotspot attribution). *)
+type site = {
+  pc : int;
+  issued : int;  (** warp-instructions issued at this pc *)
+  smem_txns : int;  (** conflict-adjusted shared transactions *)
+  gmem_transferred_bytes : int;  (** global bytes moved *)
+}
+
+(** Per-pc attribution rows of a stage, ascending pc, all-zero pcs
+    omitted.  Empty when the stage was collected without [?pc] (synthetic
+    stats). *)
+val sites : stage -> site list
+
 val merge_stage : into:stage -> stage -> unit
 
 (** All stages folded into one (the multi-block overlapped view). *)

@@ -123,6 +123,69 @@ let test_ring () =
   Alcotest.(check int) "sum_dur over retained" 6 (Timeline.sum_dur tl ~cat:"alu");
   Alcotest.(check int) "sum_dur other cat" 0 (Timeline.sum_dur tl ~cat:"smem")
 
+let test_drop_warning () =
+  Metrics.reset ();
+  let tl = Timeline.create ~capacity:2 () in
+  Timeline.add tl ~pid:1 ~tid:0 ~cat:"alu" ~name:"s" ~ts:0 ~dur:1;
+  Alcotest.(check bool) "no warning while nothing dropped" true
+    (Timeline.drop_warning tl = None);
+  Timeline.add tl ~pid:1 ~tid:0 ~cat:"alu" ~name:"s" ~ts:1 ~dur:1;
+  Timeline.add tl ~pid:1 ~tid:0 ~cat:"alu" ~name:"s" ~ts:2 ~dur:1;
+  (match Timeline.drop_warning tl with
+  | None -> Alcotest.fail "expected a drop warning"
+  | Some d ->
+    Alcotest.(check bool) "warning severity" true
+      (d.Gpu_diag.Diag.severity = Gpu_diag.Diag.Warning);
+    let mentions needle =
+      let m = d.Gpu_diag.Diag.message and nl = String.length needle in
+      let rec go i =
+        i + nl <= String.length m
+        && (String.sub m i nl = needle || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool) "names the dropped count" true (mentions "1");
+    Alcotest.(check bool) "names the capacity" true (mentions "2"));
+  Alcotest.(check int) "dropping add bumps the counter" 1
+    (Metrics.value (Metrics.counter "obs.timeline.dropped"))
+
+let test_openmetrics () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.om.counter" in
+  Metrics.add c 7;
+  let g = Metrics.gauge "test.om.gauge" in
+  Metrics.set_gauge g 2.5;
+  let h = Metrics.histogram ~buckets:[| 1.0; 10.0 |] "test.om.hist" in
+  List.iter (Metrics.observe h) [ 0.5; 5.0; 50.0 ];
+  let out = Metrics.dump_openmetrics () in
+  Alcotest.(check string) "deterministic for a fixed registry" out
+    (Metrics.dump_openmetrics ());
+  let has needle =
+    let nl = String.length needle and ol = String.length out in
+    let rec go i = i + nl <= ol && (String.sub out i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (has needle))
+    [
+      "# TYPE test_om_counter counter";
+      "test_om_counter_total 7";
+      "test_om_gauge 2.5";
+      "test_om_hist_bucket{le=\"1.0\"} 1";
+      (* cumulative: the 10-bucket includes the 1-bucket's observation *)
+      "test_om_hist_bucket{le=\"10.0\"} 2";
+      "test_om_hist_bucket{le=\"+Inf\"} 3";
+      "test_om_hist_count 3";
+    ];
+  Alcotest.(check bool) "dotted names are sanitized away" true
+    (not (has "test.om"));
+  Alcotest.(check bool) "ends with EOF marker" true
+    (String.length out >= 6
+    && String.sub out (String.length out - 6) 6 = "# EOF\n");
+  Alcotest.(check string) "label escaping" "a\\\\b\\\"c\\nd"
+    (Metrics.escape_label_value "a\\b\"c\nd")
+
 let test_json_export () =
   let tl = Timeline.create ~capacity:16 () in
   Timeline.set_process tl ~pid:1 "cluster 0";
@@ -203,6 +266,8 @@ let () =
       ( "timeline",
         [
           Alcotest.test_case "ring buffer drops oldest" `Quick test_ring;
+          Alcotest.test_case "drop warning" `Quick test_drop_warning;
+          Alcotest.test_case "openmetrics exposition" `Quick test_openmetrics;
           Alcotest.test_case "trace-event JSON export" `Quick test_json_export;
           Alcotest.test_case "json primitives" `Quick test_json_number;
         ] );

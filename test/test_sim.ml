@@ -289,6 +289,7 @@ let run_raw ?(block = 32) ~out_words lines =
       shared_offsets = [];
       smem_bytes = 256;
       reg_demand = Gpu_isa.Program.register_demand program;
+      srcmap = [||];
     }
   in
   let out = ("out", Array.make out_words 0l) in
@@ -383,6 +384,7 @@ let test_load64_roundtrip () =
       shared_offsets = [];
       smem_bytes = 0;
       reg_demand = Gpu_isa.Program.register_demand p;
+      srcmap = [||];
     }
   in
   let bits = Int64.bits_of_float 3.0 in
