@@ -6,6 +6,7 @@
      gpuperf disasm FILE.cubin / gpuperf asm FILE.asm -o FILE.cubin
      gpuperf coalesce --addresses 0,4,8,... [--segment 32]
      gpuperf whatif (matmul|tridiag|spmv) ...
+     gpuperf serve [--port P | --unix PATH] [--queue N] ...
 
    Exit codes are POSIX-style: 0 on success, 1 when the toolchain reports
    an analysis error (every such error is rendered as one stage-prefixed
@@ -232,16 +233,10 @@ let measure_flag =
 let workload_conv = Arg.enum [ ("matmul", `Matmul); ("tridiag", `Tridiag);
                                ("spmv", `Spmv) ]
 
-let variant_specs =
-  [
-    ("maxblocks16", Gpu_hw.Spec.with_max_blocks 16 spec);
-    ("banks17", Gpu_hw.Spec.with_banks 17 spec);
-    ("segment16", Gpu_hw.Spec.with_min_segment 16 spec);
-    ("segment4", Gpu_hw.Spec.with_min_segment 4 spec);
-    ("bigregfile", Gpu_hw.Spec.with_registers 32768 spec);
-    ("bigsmem", Gpu_hw.Spec.with_smem 32768 spec);
-    ("earlyrelease", Gpu_hw.Spec.with_early_release spec);
-  ]
+(* The architectural variants come from the serve protocol's device
+   fleet (its head is the baseline), so [--variant] names and the
+   daemon's [device] field can never drift apart. *)
+let variant_specs = List.tl Gpu_serve.Protocol.devices
 
 let report_of ~measure workload tile padded fmt dev =
   match workload with
@@ -624,9 +619,14 @@ let report_cmd =
     Arg.(
       value
       & opt
-          (enum [ ("md", Gpu_report.Render.Md); ("html", Gpu_report.Render.Html) ])
+          (enum
+             [
+               ("md", Gpu_report.Render.Md);
+               ("html", Gpu_report.Render.Html);
+               ("json", Gpu_report.Render.Json);
+             ])
           Gpu_report.Render.Md
-      & info [ "format" ] ~docv:"FMT" ~doc:"Report format: md or html")
+      & info [ "format" ] ~docv:"FMT" ~doc:"Report format: md, html or json")
   in
   (* [--format] selects the report output here, so the spmv storage layout
      moves to [--spmv-format] in this one subcommand. *)
@@ -792,6 +792,131 @@ let report_cmd =
       $ render_fmt $ top $ out $ ledger_path $ no_ledger $ no_whatif
       $ metrics_arg $ metrics_format_arg $ jobs_arg $ no_cache_arg)
 
+(* --- serve ----------------------------------------------------------------- *)
+
+let serve_cmd =
+  let host =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"TCP listen address")
+  in
+  let port =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP listen port; 0 picks an ephemeral port (printed on \
+                startup)")
+  in
+  let unix_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "unix" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket instead of TCP")
+  in
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Admission cap: in-flight requests beyond this are refused \
+                with an overloaded response (backpressure)")
+  in
+  let default_deadline =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "default-deadline-ms" ] ~docv:"MS"
+          ~doc:"Deadline applied to requests that carry none")
+  in
+  let max_request_kb =
+    Arg.(
+      value & opt int 1024
+      & info [ "max-request-kb" ] ~docv:"KB"
+          ~doc:"Longest accepted request line")
+  in
+  let max_working_set_mb =
+    Arg.(
+      value & opt int 2048
+      & info [ "max-working-set-mb" ] ~docv:"MB"
+          ~doc:"Reject requests whose estimated simulation footprint \
+                exceeds this memory budget")
+  in
+  let drain_timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "drain-timeout" ] ~docv:"SECONDS"
+          ~doc:"Shutdown bound on in-flight work; exceeding it exits 1")
+  in
+  let access_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:"Append one JSONL record per answered request")
+  in
+  let run host port unix_path queue default_deadline max_request_kb
+      max_working_set_mb drain_timeout access_log metrics mfmt jobs no_cache
+      =
+    with_metrics metrics mfmt @@ fun () ->
+    guard D.Cli @@ fun () ->
+    if queue < 1 then
+      D.fail (D.error D.Cli "--queue must be >= 1, got %d" queue);
+    if max_request_kb < 1 then
+      D.fail
+        (D.error D.Cli "--max-request-kb must be >= 1, got %d" max_request_kb);
+    if drain_timeout <= 0. then
+      D.fail (D.error D.Cli "--drain-timeout must be positive");
+    Option.iter Gpu_parallel.Pool.set_jobs jobs;
+    if no_cache then Gpu_microbench.Tables.set_disk_cache false;
+    (* [Server.create] installs its own calibration-diag sink (the
+       degradation tracker), so skip [apply_calibration_opts]. *)
+    let endpoint =
+      match unix_path with
+      | Some path -> Gpu_serve.Protocol.Unix_socket path
+      | None -> Gpu_serve.Protocol.Tcp (host, port)
+    in
+    let limits =
+      {
+        Gpu_serve.Budget.queue_cap = queue;
+        default_deadline_ms = default_deadline;
+        max_request_bytes = max_request_kb * 1024;
+        max_working_set_bytes = max_working_set_mb * 1024 * 1024;
+        drain_timeout_s = drain_timeout;
+      }
+    in
+    match
+      Gpu_serve.Server.create
+        { Gpu_serve.Server.endpoint; limits; access_log }
+    with
+    | Error d -> D.fail d
+    | Ok t ->
+      (* A peer closing mid-write must surface as EPIPE (handled), not
+         kill the daemon. *)
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      let on_stop = Sys.Signal_handle (fun _ -> Gpu_serve.Server.stop t) in
+      Sys.set_signal Sys.sigterm on_stop;
+      Sys.set_signal Sys.sigint on_stop;
+      Fmt.pr "gpuperf serve: listening on %s@."
+        (Gpu_serve.Protocol.endpoint_name
+           (Gpu_serve.Server.bound_endpoint t));
+      (match Gpu_serve.Server.run t with
+      | Ok () -> ()
+      | Error d -> D.fail d)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the fault-tolerant analysis daemon (line-delimited JSON; \
+          HTTP GET /metrics and /healthz on the same socket).  Exits 0 \
+          on a clean SIGTERM/SIGINT drain, 1 on a fatal fault or drain \
+          timeout.")
+    Term.(
+      const run $ host $ port $ unix_path $ queue $ default_deadline
+      $ max_request_kb $ max_working_set_mb $ drain_timeout $ access_log
+      $ metrics_arg $ metrics_format_arg $ jobs_arg $ no_cache_arg)
+
 (* --- main ------------------------------------------------------------------ *)
 
 (* Every subcommand evaluates to [(unit, Diag.t) result]; the mapping to
@@ -804,7 +929,7 @@ let () =
       [
         occupancy_cmd; microbench_cmd; analyze_cmd; whatif_cmd;
         disasm_cmd; asm_cmd; coalesce_cmd; check_cmd; trace_cmd;
-        report_cmd;
+        report_cmd; serve_cmd;
       ]
   in
   exit

@@ -17,6 +17,8 @@ type stage =
   | Timing
   | Cache
   | Cli
+  | Serve
+  | Budget
 
 type location =
   | Nowhere
@@ -49,6 +51,8 @@ let stage_name = function
   | Timing -> "timing"
   | Cache -> "cache"
   | Cli -> "cli"
+  | Serve -> "serve"
+  | Budget -> "budget"
 
 let severity_rank = function Error -> 2 | Warning -> 1 | Info -> 0
 

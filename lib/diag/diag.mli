@@ -24,6 +24,10 @@ type stage =
   | Timing  (** the cycle-approximate timing simulator *)
   | Cache  (** the persistent calibration cache *)
   | Cli  (** command-line front end *)
+  | Serve  (** the analysis daemon's protocol and socket front end *)
+  | Budget
+      (** request-budget enforcement: deadlines, admission-queue
+          overload, working-set limits (the daemon's watchdog) *)
 
 type location =
   | Nowhere

@@ -58,6 +58,57 @@ let fingerprint ~constants spec =
   Digest.to_hex
     (Digest.string (constants ^ "\n" ^ Gpu_hw.Spec.canonical spec))
 
+(* --- transient-failure retries ----------------------------------------- *)
+
+(* A daemon sharing one cache directory with ad-hoc CLI runs sees two
+   kinds of I/O failure: transient ones (EINTR from a signal, EAGAIN on a
+   saturated filesystem) that a short retry absorbs, and real ones
+   (permissions, disk full) that must surface immediately.  Retries use
+   exponential backoff with a deterministic jitter so two processes that
+   collide do not retry in lockstep. *)
+
+let m_retries = Gpu_obs.Metrics.counter "calib.cache.retries"
+
+let transient = function
+  | Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    true
+  | Sys_error m ->
+    (* stdlib channels fold errno into strerror text *)
+    let has sub =
+      let n = String.length sub and ln = String.length m in
+      let rec go i = i + n <= ln && (String.sub m i n = sub || go (i + 1)) in
+      go 0
+    in
+    has "Interrupted system call" || has "Resource temporarily unavailable"
+  | _ -> false
+
+let backoff_delay ~attempt =
+  (* 2ms, 4ms, 8ms... scaled by a jitter in [0.5, 1.5) keyed off the pid
+     and attempt number: deterministic per process, decorrelated between
+     processes. *)
+  let base = 0.002 *. Float.of_int (1 lsl (attempt - 1)) in
+  let h = Hashtbl.hash (Unix.getpid (), attempt) in
+  base *. (0.5 +. (Float.of_int (h land 0xffff) /. 65536.0))
+
+let retrying ?(attempts = 4) ~on_retry ~what ~path f =
+  let rec go attempt =
+    try f ()
+    with e when transient e && attempt < attempts ->
+      Gpu_obs.Metrics.incr m_retries;
+      on_retry
+        (D.warning D.Cache
+           ~hint:"transient filesystem error; retrying with backoff"
+           "%s %s: %s (attempt %d/%d)" what path
+           (match e with
+           | Unix.Unix_error (err, _, _) -> Unix.error_message err
+           | Sys_error m -> m
+           | e -> Printexc.to_string e)
+           attempt attempts);
+      Unix.sleepf (backoff_delay ~attempt);
+      go (attempt + 1)
+  in
+  go 1
+
 (* --- reading ----------------------------------------------------------- *)
 
 exception Reject of string
@@ -157,13 +208,17 @@ let m_hits = Gpu_obs.Metrics.counter "calib.cache.hits"
 let m_misses = Gpu_obs.Metrics.counter "calib.cache.misses"
 let m_stale = Gpu_obs.Metrics.counter "calib.cache.stale"
 
-let load ~path ~fingerprint =
+let load ?(on_retry = fun _ -> ()) ~path ~fingerprint () =
   if not (Sys.file_exists path) then begin
     Gpu_obs.Metrics.incr m_misses;
     `Miss
   end
   else
-    match parse ~fingerprint (read_lines path) with
+    match
+      parse ~fingerprint
+        (retrying ~on_retry ~what:"reading calibration cache" ~path
+           (fun () -> read_lines path))
+    with
     | payload ->
       Gpu_obs.Metrics.incr m_hits;
       `Hit payload
@@ -210,21 +265,52 @@ let render ~fingerprint ~spec_name p =
   Buffer.add_string b "end\n";
   Buffer.contents b
 
-let save ~path ~fingerprint ~spec_name payload =
+let lock_path path = path ^ ".lock"
+
+(* Advisory write lock: two processes recalibrating the same spec
+   serialize their table writes instead of clobbering each other (the
+   rename is atomic either way, but the lock also lets a waiter skip a
+   doubled recalibration by re-checking the cache once it holds it).
+   [Unix.lockf] is per-process POSIX advisory locking; EINTR on the
+   blocking acquire retries. *)
+let with_write_lock ~on_retry path f =
+  let lp = lock_path path in
+  let fd = Unix.openfile lp [ Unix.O_CREAT; Unix.O_RDWR ] 0o644 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ()))
+    (fun () ->
+      retrying ~on_retry ~what:"locking calibration cache" ~path:lp
+        (fun () -> Unix.lockf fd Unix.F_LOCK 0);
+      f ())
+
+let save ?(on_retry = fun _ -> ()) ~path ~fingerprint ~spec_name payload =
   try
     mkdir_p (Filename.dirname path);
+    with_write_lock ~on_retry path @@ fun () ->
     let tmp =
       Filename.temp_file ~temp_dir:(Filename.dirname path) "calib" ".tmp"
     in
-    let oc = open_out_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc (render ~fingerprint ~spec_name payload));
+    retrying ~on_retry ~what:"writing calibration cache" ~path (fun () ->
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc (render ~fingerprint ~spec_name payload)));
     Sys.rename tmp path;
     Ok ()
-  with Sys_error reason ->
+  with
+  | Sys_error reason ->
     Error
       (D.warning D.Cache
          ~hint:"set GPUPERF_CACHE_DIR to a writable directory or use \
                 --no-cache"
          "cannot write calibration cache %s: %s" path reason)
+  | Unix.Unix_error (err, _, _) ->
+    Error
+      (D.warning D.Cache
+         ~hint:"set GPUPERF_CACHE_DIR to a writable directory or use \
+                --no-cache"
+         "cannot write calibration cache %s: %s" path
+         (Unix.error_message err))

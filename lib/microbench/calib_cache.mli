@@ -30,12 +30,36 @@ val path_for : Gpu_hw.Spec.t -> string option
     code (chain lengths, warp counts, ...). *)
 val fingerprint : constants:string -> Gpu_hw.Spec.t -> string
 
+(** [retrying ~on_retry ~what ~path f] runs [f], absorbing transient
+    filesystem failures (EINTR, EAGAIN/EWOULDBLOCK — as [Unix_error] or
+    the stdlib channels' [Sys_error] rendering) with exponential backoff
+    and a per-process deterministic jitter, up to [attempts] tries
+    (default 4).  Each retry emits a [Warning] diagnostic to [on_retry]
+    and bumps the [calib.cache.retries] counter.  A persistent or
+    non-transient failure re-raises. *)
+val retrying :
+  ?attempts:int ->
+  on_retry:(Gpu_diag.Diag.t -> unit) ->
+  what:string ->
+  path:string ->
+  (unit -> 'a) ->
+  'a
+
+(** [on_retry] observes transient-read retries (default: dropped). *)
 val load :
-  path:string -> fingerprint:string ->
+  ?on_retry:(Gpu_diag.Diag.t -> unit) ->
+  path:string -> fingerprint:string -> unit ->
   [ `Hit of payload | `Miss | `Rejected of Gpu_diag.Diag.t ]
 
-(** Atomically write the payload; a failure (unwritable directory, full
-    disk) degrades to a [Warning] diagnostic, never an exception. *)
+(** The advisory-lock file guarding writes to a cache [path]. *)
+val lock_path : string -> string
+
+(** Atomically write the payload under an advisory [lockf] lock (see
+    {!lock_path}) so two concurrent processes serialize their writes;
+    transient failures retry per {!retrying}.  A persistent failure
+    (unwritable directory, full disk) degrades to a [Warning]
+    diagnostic, never an exception. *)
 val save :
+  ?on_retry:(Gpu_diag.Diag.t -> unit) ->
   path:string -> fingerprint:string -> spec_name:string -> payload ->
   (unit, Gpu_diag.Diag.t) result

@@ -210,7 +210,7 @@ let persist t =
         { Calib_cache.instr = t.instr; smem = t.smem; gmem = gmem_entries }
       in
       (match
-         Calib_cache.save ~path ~fingerprint
+         Calib_cache.save ~on_retry:emit ~path ~fingerprint
            ~spec_name:t.spec.Gpu_hw.Spec.name payload
        with
       | Ok () -> ()
@@ -225,7 +225,7 @@ let load_from_disk (spec : Gpu_hw.Spec.t) =
       let fingerprint =
         Calib_cache.fingerprint ~constants:calibration_constants spec
       in
-      match Calib_cache.load ~path ~fingerprint with
+      match Calib_cache.load ~on_retry:emit ~path ~fingerprint () with
       | `Miss -> None
       | `Rejected d ->
         emit d;

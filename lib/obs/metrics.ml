@@ -123,6 +123,11 @@ let snapshot_counters () =
       | Counter c -> Some (c.c_name, Atomic.get c.c_cell) | _ -> None)
     (all_metrics ())
 
+let snapshot_gauges () =
+  List.filter_map
+    (function Gauge g -> Some (g.g_name, Atomic.get g.g_cell) | _ -> None)
+    (all_metrics ())
+
 let reset () =
   Mutex.lock lock;
   Hashtbl.iter

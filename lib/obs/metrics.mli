@@ -32,6 +32,10 @@ val observe : histogram -> float -> unit
     snapshot {!Span.with_} diffs across a span. *)
 val snapshot_counters : unit -> (string * int) list
 
+(** Current value of every registered gauge, sorted by name (the serve
+    daemon's [/healthz] endpoint reads queue depths through this). *)
+val snapshot_gauges : unit -> (string * float) list
+
 (** Zero every registered metric, keeping the registrations (tests). *)
 val reset : unit -> unit
 

@@ -230,6 +230,119 @@ let run ?jobs n f =
     end
   end
 
+(* --- async tasks ------------------------------------------------------- *)
+
+(* Fire-and-forget submission for the serve daemon: tasks are wrapped so
+   they never raise into the worker loop, and a shared outstanding count
+   lets a shutdown path drain every submitted task before exiting.  When
+   the pool has no helper domains (jobs = 1) each task gets a dedicated
+   short-lived domain instead, so the submitter (the daemon's event loop)
+   is never blocked by its own submission. *)
+
+let async_lock = Mutex.create ()
+let async_done = Condition.create ()
+let async_outstanding = ref 0
+let async_extra : unit Domain.t list ref = ref []
+let m_async = Gpu_obs.Metrics.counter "pool.async.submitted"
+let g_async_pending = Gpu_obs.Metrics.gauge "pool.async.pending"
+
+let async_finished () =
+  Mutex.lock async_lock;
+  decr async_outstanding;
+  Gpu_obs.Metrics.set_gauge g_async_pending (float_of_int !async_outstanding);
+  if !async_outstanding = 0 then Condition.broadcast async_done;
+  Mutex.unlock async_lock
+
+let async f =
+  let task () =
+    (try f () with _ -> () (* [f] is responsible for its own reporting *));
+    async_finished ()
+  in
+  Mutex.lock async_lock;
+  incr async_outstanding;
+  Gpu_obs.Metrics.incr m_async;
+  Gpu_obs.Metrics.set_gauge g_async_pending (float_of_int !async_outstanding);
+  Mutex.unlock async_lock;
+  let p = get_pool () in
+  if p.size = 0 then begin
+    let d =
+      Domain.spawn (fun () ->
+          Domain.DLS.set inside_worker true;
+          task ())
+    in
+    Mutex.lock async_lock;
+    async_extra := d :: !async_extra;
+    Mutex.unlock async_lock
+  end
+  else begin
+    Mutex.lock p.lock;
+    Queue.add task p.queue;
+    Condition.signal p.work;
+    Mutex.unlock p.lock
+  end
+
+let pending_async () =
+  Mutex.lock async_lock;
+  let n = !async_outstanding in
+  Mutex.unlock async_lock;
+  n
+
+let drain_async ?timeout_s () =
+  let deadline =
+    Option.map (fun t -> Unix.gettimeofday () +. t) timeout_s
+  in
+  let rec wait () =
+    Mutex.lock async_lock;
+    if !async_outstanding = 0 then begin
+      let extra = !async_extra in
+      async_extra := [];
+      Mutex.unlock async_lock;
+      List.iter Domain.join extra;
+      true
+    end
+    else
+      match deadline with
+      | None ->
+        Condition.wait async_done async_lock;
+        Mutex.unlock async_lock;
+        wait ()
+      | Some d ->
+        Mutex.unlock async_lock;
+        if Unix.gettimeofday () >= d then false
+        else begin
+          (* Mutex/Condition have no timed wait in the stdlib; a short
+             poll bounds the overshoot past the deadline instead. *)
+          Unix.sleepf 0.005;
+          wait ()
+        end
+  in
+  wait ()
+
+(* --- introspection ------------------------------------------------------ *)
+
+(* Leak checks for the daemon-lifetime requirement: a funneled task
+   exception must leave every worker domain alive and the queue empty. *)
+
+let worker_count () =
+  Mutex.lock global_lock;
+  let n = match !global with Some p -> List.length p.workers | None -> 0 in
+  Mutex.unlock global_lock;
+  n
+
+let queue_length () =
+  Mutex.lock global_lock;
+  let n =
+    match !global with
+    | Some p ->
+      Mutex.lock p.lock;
+      let n = Queue.length p.queue in
+      Mutex.unlock p.lock;
+      n
+    | None -> 0
+  in
+  Mutex.unlock global_lock;
+  n
+
 let parallel_init ?jobs n f =
   if n < 0 then invalid_arg "Pool.parallel_init: negative length";
   let results = Array.make n None in

@@ -41,3 +41,34 @@ val parallel_init : ?jobs:int -> int -> (int -> 'a) -> 'a array
 (** [parallel_map f l] maps [f] over [l] on the pool, preserving list
     order.  Same exception semantics as {!parallel_init}. *)
 val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** {2 Async submission (the serve daemon's compute path)} *)
+
+(** [async f] submits [f] as a fire-and-forget task on the pool and
+    returns immediately.  Any exception [f] raises is swallowed (submit
+    closures that report through their own channel).  With a one-job
+    pool (no helper domains) the task runs on a dedicated short-lived
+    domain so the submitter is never blocked.  Do not call {!set_jobs}
+    while async tasks are outstanding: tearing down the pool drops its
+    queue. *)
+val async : (unit -> unit) -> unit
+
+(** Submitted async tasks not yet finished (queued plus running). *)
+val pending_async : unit -> int
+
+(** Block until every submitted async task has finished; [true] on a
+    complete drain, [false] when [timeout_s] elapsed first (remaining
+    tasks keep running).  On a complete drain any dedicated fallback
+    domains are joined. *)
+val drain_async : ?timeout_s:float -> unit -> bool
+
+(** {2 Introspection (leak checks)} *)
+
+(** Live helper domains of the global pool (0 before first use).  After
+    an exception is funneled out of {!parallel_init} this must be
+    unchanged: failures never cost worker domains. *)
+val worker_count : unit -> int
+
+(** Tasks sitting in the global pool's queue (0 when idle: a drained
+    batch leaves no queue slots behind). *)
+val queue_length : unit -> int

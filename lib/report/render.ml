@@ -9,11 +9,12 @@ module Component = Gpu_model.Component
 module Workflow = Gpu_model.Workflow
 module Engine = Gpu_timing.Engine
 
-type format = Md | Html
+type format = Md | Html | Json
 
 let format_of_string = function
   | "md" | "markdown" -> Some Md
   | "html" -> Some Html
+  | "json" -> Some Json
   | _ -> None
 
 type whatif_row = {
@@ -591,6 +592,193 @@ let to_html ~title blocks =
   Buffer.add_string b "</body>\n</html>\n";
   Buffer.contents b
 
+(* --- JSON serialization --------------------------------------------------- *)
+
+(* The machine-readable rendering the serve daemon returns: the same
+   content selection as the md/html documents, as structured Jsonx values
+   instead of prose.  Numbers pass through Jsonx.encode's deterministic
+   formatter, so identical inputs give byte-identical documents here too. *)
+
+let diag_json (d : Gpu_diag.Diag.t) =
+  Jsonx.Obj
+    ([
+       ("severity", Jsonx.Str (Gpu_diag.Diag.severity_name d.severity));
+       ("stage", Jsonx.Str (Gpu_diag.Diag.stage_name d.stage));
+       ("message", Jsonx.Str d.message);
+     ]
+    @ match d.hint with None -> [] | Some h -> [ ("hint", Jsonx.Str h) ])
+
+let jint i = Jsonx.Num (float_of_int i)
+
+let times_json (t : Component.times) =
+  Jsonx.Obj
+    [
+      ("instruction_s", Jsonx.Num t.Component.instruction);
+      ("shared_s", Jsonx.Num t.Component.shared);
+      ("global_s", Jsonx.Num t.Component.global);
+    ]
+
+let report_json ~workload (r : Workflow.report) =
+  let a = r.Workflow.analysis in
+  let occ = a.Model.occupancy in
+  Jsonx.Obj
+    (List.concat
+       [
+         [
+           ("workload", Jsonx.Str workload);
+           ("kernel", Jsonx.Str r.Workflow.kernel_name);
+           ("device", Jsonx.Str a.Model.spec.Gpu_hw.Spec.name);
+           ("grid", jint a.Model.grid);
+           ("block", jint a.Model.block);
+           ("predicted_s", Jsonx.Num a.Model.predicted_seconds);
+           ("no_overlap_s", Jsonx.Num a.Model.no_overlap_seconds);
+           ("predicted_gflops", Jsonx.Num a.Model.predicted_gflops);
+           ("bottleneck", Jsonx.Str (component_label a.Model.bottleneck));
+           ( "confidence",
+             Jsonx.Str
+               (match a.Model.confidence with
+               | Model.Calibrated -> "calibrated"
+               | Model.Degraded -> "degraded") );
+           ( "occupancy",
+             Jsonx.Obj
+               [
+                 ("blocks", jint occ.Gpu_hw.Occupancy.blocks);
+                 ("active_warps", jint occ.Gpu_hw.Occupancy.active_warps);
+                 ("limiter", Jsonx.Str occ.Gpu_hw.Occupancy.limiter);
+               ] );
+           ("resident_blocks", jint a.Model.resident_blocks);
+           ("serialized", Jsonx.Bool a.Model.serialized);
+           ( "computational_density",
+             Jsonx.Num a.Model.computational_density );
+           ( "coalescing_efficiency",
+             Jsonx.Num a.Model.coalescing_efficiency );
+           ( "bank_conflict_penalty",
+             Jsonx.Num a.Model.bank_conflict_penalty );
+           ( "stages",
+             Jsonx.List
+               (List.map
+                  (fun (st : Model.stage_analysis) ->
+                    Jsonx.Obj
+                      [
+                        ("index", jint st.Model.index);
+                        ( "bottleneck",
+                          Jsonx.Str (component_label st.Model.bottleneck) );
+                        ("active_warps", jint st.Model.active_warps);
+                        ("times", times_json st.Model.times);
+                      ])
+                  a.Model.stages) );
+         ];
+         (match Workflow.measured_seconds r with
+         | Some m -> [ ("measured_s", Jsonx.Num m) ]
+         | None -> []);
+         (match Workflow.prediction_error r with
+         | Some e -> [ ("model_error", Jsonx.Num e) ]
+         | None -> []);
+         [
+           ( "warnings",
+             Jsonx.List (List.map diag_json a.Model.warnings) );
+         ];
+       ])
+
+let attribution_json top (att : Attribution.t) =
+  if not att.Attribution.covered then Jsonx.Null
+  else
+    Jsonx.List
+      (List.concat_map
+         (fun (st : Attribution.stage) ->
+           List.filter_map
+             (fun c ->
+               let rows = Attribution.rows st c in
+               if rows = [] then None
+               else
+                 let shown, folded = Attribution.top top rows in
+                 Some
+                   (Jsonx.Obj
+                      (List.concat
+                         [
+                           [
+                             ("stage", jint st.Attribution.index);
+                             ("component", Jsonx.Str (component_label c));
+                             ( "rows",
+                               Jsonx.List
+                                 (List.map
+                                    (fun (r : Attribution.row) ->
+                                      Jsonx.Obj
+                                        [
+                                          ("pc", jint r.Attribution.pc);
+                                          ("src", Jsonx.Str r.Attribution.src);
+                                          ( "instr",
+                                            Jsonx.Str r.Attribution.instr );
+                                          ( "class",
+                                            Jsonx.Str
+                                              (Gpu_isa.Instr.cost_class_name
+                                                 r.Attribution.cls) );
+                                          ("count", jint r.Attribution.count);
+                                          ( "seconds",
+                                            Jsonx.Num r.Attribution.seconds );
+                                          ("share", Jsonx.Num r.Attribution.share);
+                                        ])
+                                    shown) );
+                           ];
+                           (match folded with
+                           | None -> []
+                           | Some (n, secs) ->
+                             [
+                               ("folded_rows", jint n);
+                               ("folded_seconds", Jsonx.Num secs);
+                             ]);
+                         ])))
+             Component.all)
+         att.Attribution.stages)
+
+let json_of_inputs inp =
+  let base =
+    match report_json ~workload:inp.workload inp.report with
+    | Jsonx.Obj fields -> fields
+    | _ -> assert false
+  in
+  Jsonx.Obj
+    (base
+    @ List.concat
+        [
+          [ ("hotspots", attribution_json inp.top inp.attribution) ];
+          (match inp.whatif with
+          | [] -> []
+          | rows ->
+            [
+              ( "whatif",
+                Jsonx.List
+                  (List.map
+                     (fun w ->
+                       Jsonx.Obj
+                         [
+                           ("variant", Jsonx.Str w.variant);
+                           ("predicted_s", Jsonx.Num w.w_predicted_s);
+                           ("speedup", Jsonx.Num w.speedup);
+                           ("bottleneck", Jsonx.Str w.w_bottleneck);
+                         ])
+                     rows) );
+            ]);
+          (match inp.ledger with
+          | [] -> []
+          | records ->
+            let s = Ledger.summarize records in
+            [
+              ( "accuracy",
+                Jsonx.Obj
+                  (List.concat
+                     [
+                       [ ("runs", jint s.Ledger.runs) ];
+                       (match s.Ledger.median_abs_error with
+                       | Some m -> [ ("median_abs_error", Jsonx.Num m) ]
+                       | None -> []);
+                       (match s.Ledger.latest_error with
+                       | Some e -> [ ("latest_error", Jsonx.Num e) ]
+                       | None -> []);
+                     ]) );
+            ]);
+        ])
+
 let render fmt inp =
   let blocks = document inp in
   match fmt with
@@ -598,3 +786,4 @@ let render fmt inp =
   | Html ->
     to_html ~title:(Printf.sprintf "gpuperf report — %s" inp.workload)
       blocks
+  | Json -> Jsonx.encode (json_of_inputs inp) ^ "\n"

@@ -8,7 +8,7 @@
     or randomness enter the body, so identical inputs give byte-identical
     documents (golden-testable). *)
 
-type format = Md | Html
+type format = Md | Html | Json
 
 val format_of_string : string -> format option
 
@@ -34,3 +34,22 @@ type inputs = {
 }
 
 val render : format -> inputs -> string
+
+(** {2 JSON building blocks}
+
+    The serve daemon's response bodies reuse these directly, so a
+    request answered over the wire and a [gpuperf report --format json]
+    document agree field-for-field. *)
+
+(** [{severity, stage, message, hint?}] *)
+val diag_json : Gpu_diag.Diag.t -> Jsonx.t
+
+(** The analysis core of a report as one JSON object: launch geometry,
+    predicted/measured times, bottleneck, confidence, occupancy,
+    efficiency ratios, per-stage component times and model warnings. *)
+val report_json :
+  workload:string -> Gpu_model.Workflow.report -> Jsonx.t
+
+(** Everything {!render} would show, as JSON ({!report_json} plus
+    hotspots, what-if rows and the accuracy summary). *)
+val json_of_inputs : inputs -> Jsonx.t

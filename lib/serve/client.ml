@@ -1,0 +1,84 @@
+module D = Gpu_diag.Diag
+module P = Protocol
+
+type t = { fd : Unix.file_descr; buf : Buffer.t; mutable closed : bool }
+
+let connect endpoint =
+  D.protect ~stage:D.Serve (fun () ->
+      let fd =
+        match endpoint with
+        | P.Tcp (host, port) ->
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.connect fd
+            (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+          fd
+        | P.Unix_socket path ->
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_UNIX path);
+          fd
+      in
+      { fd; buf = Buffer.create 256; closed = false })
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let send_line t line =
+  D.protect ~stage:D.Serve (fun () ->
+      let data = line ^ "\n" in
+      let len = String.length data in
+      let sent = ref 0 in
+      while !sent < len do
+        sent := !sent + Unix.write_substring t.fd data !sent (len - !sent)
+      done)
+
+(* Pull one '\n'-terminated line, buffering any over-read for the next
+   call (responses may arrive back-to-back when pipelining). *)
+let recv_line ?(timeout_s = 30.0) t =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let chunk = Bytes.create 65536 in
+  let rec take_line () =
+    let data = Buffer.contents t.buf in
+    match String.index_opt data '\n' with
+    | Some nl ->
+      Buffer.clear t.buf;
+      let rest = String.length data - nl - 1 in
+      if rest > 0 then Buffer.add_substring t.buf data (nl + 1) rest;
+      Ok (String.sub data 0 nl)
+    | None ->
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0. then
+        Error
+          (D.error D.Serve "no response within %.1fs" timeout_s
+             ~hint:"is the daemon overloaded or draining?")
+      else begin
+        match Unix.select [ t.fd ] [] [] (min remaining 0.5) with
+        | [], _, _ -> take_line ()
+        | _ -> (
+          match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+          | 0 -> Error (D.error D.Serve "connection closed by the daemon")
+          | n ->
+            Buffer.add_subbytes t.buf chunk 0 n;
+            take_line ()
+          | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _)
+            ->
+            take_line ())
+        | exception Unix.Unix_error (EINTR, _, _) -> take_line ()
+      end
+  in
+  if t.closed then Error (D.error D.Serve "client connection already closed")
+  else
+    match take_line () with
+    | (Ok _ | Error _) as r -> r
+    | exception Unix.Unix_error (err, fn, _) ->
+      Error (D.error D.Serve "%s failed: %s" fn (Unix.error_message err))
+
+let request ?timeout_s t req =
+  match send_line t (P.encode_request req) with
+  | Error d -> Error d
+  | Ok () -> (
+    match recv_line ?timeout_s t with
+    | Error d -> Error d
+    | Ok line -> P.parse_response line)

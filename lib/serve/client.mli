@@ -1,0 +1,20 @@
+(** A minimal blocking client for the daemon's line protocol — what the
+    test suite and smoke scripts speak.  One connection, synchronous
+    request/response; [Serve]-stage diagnostics on connection trouble,
+    never an exception. *)
+
+type t
+
+val connect : Protocol.endpoint -> (t, Gpu_diag.Diag.t) result
+
+(** Send one request and wait for one response line.  [timeout_s]
+    (default 30) bounds the wait; expiry is a [Serve] diagnostic. *)
+val request :
+  ?timeout_s:float -> t -> Protocol.request ->
+  (Protocol.response, Gpu_diag.Diag.t) result
+
+(** Raw line primitives for pipelining and fault-injection tests. *)
+
+val send_line : t -> string -> (unit, Gpu_diag.Diag.t) result
+val recv_line : ?timeout_s:float -> t -> (string, Gpu_diag.Diag.t) result
+val close : t -> unit

@@ -1,0 +1,689 @@
+module D = Gpu_diag.Diag
+module Jsonx = Gpu_report.Jsonx
+module Metrics = Gpu_obs.Metrics
+module P = Protocol
+
+type config = {
+  endpoint : P.endpoint;
+  limits : Budget.limits;
+  access_log : string option;
+}
+
+(* --- metrics -------------------------------------------------------------- *)
+
+let m_requests = Metrics.counter "serve.requests.total"
+let m_http = Metrics.counter "serve.http.requests"
+let m_ops = Metrics.counter "serve.ops.total"
+let m_discarded = Metrics.counter "serve.responses.discarded_late"
+let m_cache_degraded = Metrics.counter "serve.cache.degraded_events"
+let g_depth = Metrics.gauge "serve.queue.depth"
+let g_conns = Metrics.gauge "serve.connections"
+
+let h_latency =
+  Metrics.histogram
+    ~buckets:[| 0.001; 0.005; 0.02; 0.1; 0.5; 2.0; 10.0; 60.0 |]
+    "serve.request.latency_s"
+
+let m_status =
+  List.map
+    (fun s -> (s, Metrics.counter ("serve.responses." ^ P.status_name s)))
+    [
+      P.Completed; P.Failed; P.Timed_out; P.Overloaded; P.Shutting_down;
+      P.Malformed;
+    ]
+
+let count_status s = Metrics.incr (List.assq s m_status)
+
+(* --- connections ---------------------------------------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  c_id : int;
+  inbuf : Buffer.t;
+  mutable out : string;  (** bytes awaiting a writable socket *)
+  mutable closing : bool;  (** close once [out] is flushed *)
+  mutable http : bool;  (** served an HTTP answer; input now ignored *)
+  mutable overflow : bool;  (** discarding an oversized line *)
+  mutable dead : bool;
+}
+
+type inflight = {
+  req : P.request;
+  i_conn : int;
+  admitted : float;
+  deadline : float option;
+  cancelled : bool Atomic.t;
+      (** set by the watchdog; workers check it before starting *)
+  mutable responded : bool;  (** loop-domain only *)
+}
+
+type t = {
+  cfg : config;
+  lsock : Unix.file_descr;
+  bound : P.endpoint;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  stopping : bool Atomic.t;
+  degraded : bool Atomic.t;
+  lock : Mutex.t;
+  mutable completions : (inflight * P.response) list;  (** under [lock] *)
+  conns : (int, conn) Hashtbl.t;
+  mutable next_conn : int;
+  mutable inflight : inflight list;
+  mutable log_chan : out_channel option;
+  started : float;
+}
+
+let queue_depth t = List.length t.inflight
+let cache_degraded t = Atomic.get t.degraded
+let bound_endpoint t = t.bound
+
+let wake t =
+  (* Best-effort: a full pipe already guarantees a wakeup. *)
+  try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR | EBADF), _, _) -> ()
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then wake t
+
+(* --- lifecycle ------------------------------------------------------------ *)
+
+let listen_on endpoint =
+  match endpoint with
+  | P.Tcp (host, port) ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    let addr = Unix.inet_addr_of_string host in
+    Unix.bind fd (Unix.ADDR_INET (addr, port));
+    Unix.listen fd 64;
+    let bound =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (a, p) -> P.Tcp (Unix.string_of_inet_addr a, p)
+      | _ -> endpoint
+    in
+    (fd, bound)
+  | P.Unix_socket path ->
+    (* Replace a stale socket file from a previous run. *)
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    (fd, endpoint)
+
+let create cfg =
+  D.protect ~stage:D.Serve (fun () ->
+      let lsock, bound = listen_on cfg.endpoint in
+      Unix.set_nonblock lsock;
+      let wake_r, wake_w = Unix.pipe () in
+      Unix.set_nonblock wake_r;
+      Unix.set_nonblock wake_w;
+      let log_chan =
+        Option.map
+          (fun path ->
+            open_out_gen [ Open_creat; Open_append; Open_wronly ] 0o644 path)
+          cfg.access_log
+      in
+      let t =
+        {
+          cfg;
+          lsock;
+          bound;
+          wake_r;
+          wake_w;
+          stopping = Atomic.make false;
+          degraded = Atomic.make false;
+          lock = Mutex.create ();
+          completions = [];
+          conns = Hashtbl.create 16;
+          next_conn = 0;
+          inflight = [];
+          log_chan;
+          started = Unix.gettimeofday ();
+        }
+      in
+      (* Calibration-cache trouble (retries, unreadable tables) flips the
+         degradation flag instead of failing requests.  Info-level cache
+         traffic (ordinary misses on a cold cache) is not trouble. *)
+      Gpu_microbench.Tables.set_on_diag (fun d ->
+          if d.D.stage = D.Cache && d.D.severity <> D.Info then begin
+            if not (Atomic.exchange t.degraded true) then
+              Metrics.incr m_cache_degraded
+          end);
+      t)
+
+(* --- health --------------------------------------------------------------- *)
+
+let health_json t =
+  let jint i = Jsonx.Num (float_of_int i) in
+  Jsonx.Obj
+    [
+      ( "status",
+        Jsonx.Str (if Atomic.get t.stopping then "draining" else "ok") );
+      ("queue_depth", jint (queue_depth t));
+      ("queue_cap", jint t.cfg.limits.Budget.queue_cap);
+      ("connections", jint (Hashtbl.length t.conns));
+      ("pool_pending", jint (Gpu_parallel.Pool.pending_async ()));
+      ("cache_degraded", Jsonx.Bool (Atomic.get t.degraded));
+      ("uptime_s", Jsonx.Num (Unix.gettimeofday () -. t.started));
+    ]
+
+(* --- per-connection output ------------------------------------------------ *)
+
+let send_raw conn s = conn.out <- conn.out ^ s
+let send_line conn s = send_raw conn (s ^ "\n")
+
+let http_response conn ~status ~content_type body =
+  Metrics.incr m_http;
+  send_raw conn
+    (Printf.sprintf
+       "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+        Connection: close\r\n\r\n%s"
+       status content_type (String.length body) body);
+  conn.http <- true;
+  conn.closing <- true
+
+let access_log t (infl : inflight) (resp : P.response) =
+  match t.log_chan with
+  | None -> ()
+  | Some ch ->
+    let line =
+      Jsonx.encode
+        (Jsonx.Obj
+           [
+             ("ts", Jsonx.Num infl.admitted);
+             ("id", Jsonx.Str infl.req.P.id);
+             ("workload", Jsonx.Str (P.workload_name infl.req.P.params));
+             ("device", Jsonx.Str infl.req.P.device);
+             ("status", Jsonx.Str (P.status_name resp.P.status));
+             ("elapsed_ms", Jsonx.Num resp.P.elapsed_ms);
+           ])
+    in
+    output_string ch (line ^ "\n")
+
+let respond t conn_id (resp : P.response) =
+  count_status resp.P.status;
+  Metrics.observe h_latency (resp.P.elapsed_ms /. 1000.);
+  match Hashtbl.find_opt t.conns conn_id with
+  | Some conn when not conn.dead -> send_line conn (P.encode_response resp)
+  | _ -> ()
+
+(* Finish an in-flight request: reclaim the queue slot, respond, log. *)
+let finish t infl resp =
+  infl.responded <- true;
+  t.inflight <- List.filter (fun i -> i != infl) t.inflight;
+  Metrics.set_gauge g_depth (float_of_int (queue_depth t));
+  access_log t infl resp;
+  respond t infl.i_conn resp
+
+(* --- the compute path (worker domains) ------------------------------------ *)
+
+let run_analysis (req : P.request) =
+  let spec =
+    match P.device_of_name req.P.device with
+    | Some s -> s
+    | None -> Gpu_hw.Spec.gtx285
+  in
+  let measure = req.P.measure in
+  let sample = req.P.sample in
+  match req.P.params with
+  | P.Matmul { n; tile } ->
+    Gpu_workloads.Matmul.analyze ~spec ~measure ?sample ~n ~tile ()
+  | P.Tridiag { nsys; n; padded } ->
+    Gpu_workloads.Tridiag.analyze ~spec ~measure ?sample ~nsys ~n ~padded ()
+  | P.Spmv { spmv_format } ->
+    Gpu_workloads.Spmv.analyze ~spec ~measure ?sample
+      (Gpu_workloads.Spmv.qcd_like ())
+      spmv_format
+
+let render_success t (req : P.request) (report : Gpu_model.Workflow.report) =
+  let workload = P.workload_name req.P.params in
+  let confidence =
+    match report.Gpu_model.Workflow.analysis.Gpu_model.Model.confidence with
+    | Gpu_model.Model.Calibrated when not (Atomic.get t.degraded) ->
+      "calibrated"
+    | _ -> "degraded"
+  in
+  let body, rendered =
+    match req.P.format with
+    | P.Json -> (Some (Gpu_report.Render.report_json ~workload report), None)
+    | (P.Md | P.Html) as f ->
+      let inputs =
+        {
+          Gpu_report.Render.workload;
+          report;
+          attribution = Gpu_report.Attribution.of_report report;
+          whatif = [];
+          ledger = [];
+          ledger_warnings = [];
+          regression = None;
+          top = 5;
+        }
+      in
+      let rf =
+        match f with
+        | P.Md -> Gpu_report.Render.Md
+        | _ -> Gpu_report.Render.Html
+      in
+      (None, Some (Gpu_report.Render.render rf inputs))
+  in
+  let diags = report.Gpu_model.Workflow.analysis.Gpu_model.Model.warnings in
+  (confidence, body, rendered, diags)
+
+let post_completion t infl resp_of_elapsed =
+  let now = Unix.gettimeofday () in
+  let elapsed_ms = (now -. infl.admitted) *. 1000. in
+  let resp = resp_of_elapsed elapsed_ms in
+  Mutex.lock t.lock;
+  t.completions <- (infl, resp) :: t.completions;
+  Mutex.unlock t.lock;
+  wake t
+
+let compute t infl =
+  if Atomic.get infl.cancelled then ()
+  else
+    (* Crash isolation: any exception out of the workload (kernel
+       construction, launch validation, simulator faults) becomes an
+       [error] response; the worker and the daemon are untouched. *)
+    match D.protect ~stage:D.Exec (fun () -> run_analysis infl.req) with
+    | Ok report ->
+      let confidence, body, rendered, diags =
+        render_success t infl.req report
+      in
+      post_completion t infl (fun elapsed_ms ->
+          P.response ~confidence ?body ?rendered ~diags ~id:infl.req.P.id
+            ~elapsed_ms P.Completed)
+    | Error d ->
+      post_completion t infl (fun elapsed_ms ->
+          P.response ~diags:[ d ] ~id:infl.req.P.id ~elapsed_ms P.Failed)
+
+(* --- admission ------------------------------------------------------------ *)
+
+let admit t conn (req : P.request) =
+  Metrics.incr m_requests;
+  let now = Unix.gettimeofday () in
+  let limits = t.cfg.limits in
+  let depth = queue_depth t in
+  if Atomic.get t.stopping then
+    respond t conn.c_id
+      (P.response
+         ~diags:[ D.error D.Serve "daemon is draining; resubmit elsewhere" ]
+         ~id:req.P.id ~elapsed_ms:0. P.Shutting_down)
+  else if depth >= limits.Budget.queue_cap then
+    respond t conn.c_id
+      (P.response
+         ~diags:[ Budget.overload_diag ~limits ~queue_depth:depth ]
+         ~retry_after_ms:(Budget.retry_after_ms ~limits ~queue_depth:depth)
+         ~queue_depth:depth ~id:req.P.id ~elapsed_ms:0. P.Overloaded)
+  else
+    let estimate = Budget.working_set_bytes req.P.params in
+    if estimate > limits.Budget.max_working_set_bytes then
+      respond t conn.c_id
+        (P.response
+           ~diags:
+             [
+               Budget.working_set_diag
+                 ~limit:limits.Budget.max_working_set_bytes ~estimate;
+             ]
+           ~id:req.P.id ~elapsed_ms:0. P.Failed)
+    else
+      let deadline = Budget.deadline_at ~now ~limits req in
+      let infl =
+        {
+          req;
+          i_conn = conn.c_id;
+          admitted = now;
+          deadline;
+          cancelled = Atomic.make false;
+          responded = false;
+        }
+      in
+      if Budget.expired ~now deadline then begin
+        (* Deterministic expiry: a 0ms budget is answered without ever
+           touching the pool. *)
+        let deadline_ms = Option.value ~default:0 req.P.deadline_ms in
+        count_status P.Timed_out;
+        access_log t infl
+          (P.response ~id:req.P.id ~elapsed_ms:0. P.Timed_out);
+        respond t conn.c_id
+          (P.response
+             ~diags:[ Budget.timeout_diag ~deadline_ms ~elapsed_ms:0. ]
+             ~id:req.P.id ~elapsed_ms:0. P.Timed_out)
+      end
+      else begin
+        t.inflight <- infl :: t.inflight;
+        Metrics.set_gauge g_depth (float_of_int (queue_depth t));
+        Gpu_parallel.Pool.async (fun () -> compute t infl)
+      end
+
+(* --- input handling ------------------------------------------------------- *)
+
+let handle_op t conn op =
+  Metrics.incr m_ops;
+  match op with
+  | "ping" -> send_line conn (Jsonx.encode (Jsonx.Obj [ ("op", Str "pong") ]))
+  | "health" -> send_line conn (Jsonx.encode (health_json t))
+  | "metrics" ->
+    send_line conn
+      (Jsonx.encode
+         (Jsonx.Obj [ ("metrics", Str (Metrics.dump_openmetrics ())) ]))
+  | other ->
+    send_line conn
+      (P.encode_response
+         (P.response
+            ~diags:
+              [ D.error D.Serve "unknown op %S (ping, health, metrics)" other ]
+            ~id:"" ~elapsed_ms:0. P.Malformed))
+
+let handle_http t conn line =
+  match String.split_on_char ' ' line with
+  | "GET" :: target :: _ -> (
+    match target with
+    | "/healthz" ->
+      http_response conn ~status:"200 OK" ~content_type:"application/json"
+        (Jsonx.encode (health_json t) ^ "\n")
+    | "/metrics" ->
+      http_response conn ~status:"200 OK"
+        ~content_type:"application/openmetrics-text; version=1.0.0"
+        (Metrics.dump_openmetrics ())
+    | _ ->
+      http_response conn ~status:"404 Not Found" ~content_type:"text/plain"
+        "unknown endpoint (try /metrics or /healthz)\n")
+  | _ ->
+    http_response conn ~status:"405 Method Not Allowed"
+      ~content_type:"text/plain" "only GET is supported\n"
+
+let handle_line t conn line =
+  let line = String.trim line in
+  if line = "" then ()
+  else if
+    String.length line >= 4
+    && (String.sub line 0 4 = "GET " || String.sub line 0 4 = "HEAD")
+  then handle_http t conn line
+  else
+    let op =
+      match Jsonx.parse line with
+      | Ok json -> (
+        match Jsonx.member "op" json with
+        | Some (Jsonx.Str op) -> Some op
+        | _ -> None)
+      | Error _ -> None
+    in
+    match op with
+    | Some op -> handle_op t conn op
+    | None -> (
+      match P.parse_request line with
+      | Error d ->
+        Metrics.incr m_requests;
+        respond t conn.c_id
+          (P.response ~diags:[ d ] ~id:"" ~elapsed_ms:0. P.Malformed)
+      | Ok req -> admit t conn req)
+
+let reject_oversized t conn ~got =
+  Metrics.incr m_requests;
+  respond t conn.c_id
+    (P.response
+       ~diags:
+         [
+           Budget.oversized_diag ~limit:t.cfg.limits.Budget.max_request_bytes
+             ~got;
+         ]
+       ~id:"" ~elapsed_ms:0. P.Malformed)
+
+(* Extract complete lines out of [conn.inbuf], enforcing the line-length
+   budget; leftovers stay buffered for the next read. *)
+let drain_inbuf t conn =
+  let data = Buffer.contents conn.inbuf in
+  Buffer.clear conn.inbuf;
+  let len = String.length data in
+  let pos = ref 0 in
+  (try
+     while !pos < len do
+       match String.index_from data !pos '\n' with
+       | nl ->
+         let line = String.sub data !pos (nl - !pos) in
+         pos := nl + 1;
+         if conn.overflow then conn.overflow <- false
+           (* tail of the oversized line: swallow it *)
+         else if not conn.http then
+           if String.length line > t.cfg.limits.Budget.max_request_bytes
+           then reject_oversized t conn ~got:(String.length line)
+           else handle_line t conn line
+       | exception Not_found ->
+         let rest = len - !pos in
+         if rest > t.cfg.limits.Budget.max_request_bytes then begin
+           if not (conn.overflow || conn.http) then
+             reject_oversized t conn ~got:rest;
+           conn.overflow <- true
+         end
+         else if not (conn.overflow || conn.http) then
+           Buffer.add_substring conn.inbuf data !pos rest;
+         pos := len
+     done
+   with exn ->
+     (* No request line may take the loop down. *)
+     ignore (D.of_exn ~stage:D.Serve exn));
+  ()
+
+(* --- event loop ----------------------------------------------------------- *)
+
+let close_conn t conn =
+  if not conn.dead then begin
+    conn.dead <- true;
+    Hashtbl.remove t.conns conn.c_id;
+    Metrics.set_gauge g_conns (float_of_int (Hashtbl.length t.conns));
+    (* Orphaned in-flight work: stop it from computing further, and
+       release the queue slots (there is nobody to answer). *)
+    List.iter
+      (fun i -> if i.i_conn = conn.c_id then Atomic.set i.cancelled true)
+      t.inflight;
+    t.inflight <- List.filter (fun i -> i.i_conn <> conn.c_id) t.inflight;
+    Metrics.set_gauge g_depth (float_of_int (queue_depth t));
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
+
+let accept_pending t =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept t.lsock with
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      let c_id = t.next_conn in
+      t.next_conn <- c_id + 1;
+      Hashtbl.replace t.conns c_id
+        {
+          fd;
+          c_id;
+          inbuf = Buffer.create 256;
+          out = "";
+          closing = false;
+          http = false;
+          overflow = false;
+          dead = false;
+        };
+      Metrics.set_gauge g_conns (float_of_int (Hashtbl.length t.conns))
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+      continue := false
+    | exception Unix.Unix_error _ -> continue := false
+  done
+
+let read_conn t conn =
+  let buf = Bytes.create 65536 in
+  let continue = ref true in
+  while !continue && not conn.dead do
+    match Unix.read conn.fd buf 0 (Bytes.length buf) with
+    | 0 ->
+      continue := false;
+      close_conn t conn
+    | n ->
+      Buffer.add_subbytes conn.inbuf buf 0 n;
+      if n < Bytes.length buf then continue := false
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+      continue := false
+    | exception Unix.Unix_error _ ->
+      continue := false;
+      close_conn t conn
+  done;
+  if not conn.dead then drain_inbuf t conn
+
+let write_conn t conn =
+  if conn.out <> "" then begin
+    match
+      Unix.write_substring conn.fd conn.out 0 (String.length conn.out)
+    with
+    | n -> conn.out <- String.sub conn.out n (String.length conn.out - n)
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> close_conn t conn
+  end;
+  if (not conn.dead) && conn.closing && conn.out = "" then close_conn t conn
+
+let drain_wake_pipe t =
+  let buf = Bytes.create 256 in
+  let continue = ref true in
+  while !continue do
+    match Unix.read t.wake_r buf 0 (Bytes.length buf) with
+    | 0 -> continue := false
+    | n -> if n < Bytes.length buf then continue := false
+    | exception Unix.Unix_error _ -> continue := false
+  done
+
+let take_completions t =
+  Mutex.lock t.lock;
+  let cs = List.rev t.completions in
+  t.completions <- [];
+  Mutex.unlock t.lock;
+  List.iter
+    (fun (infl, resp) ->
+      if infl.responded || Atomic.get infl.cancelled then
+        (* The watchdog already answered (or the client vanished);
+           this is the late compute result — drop it. *)
+        Metrics.incr m_discarded
+      else finish t infl resp)
+    cs
+
+let run_watchdog t =
+  let now = Unix.gettimeofday () in
+  List.iter
+    (fun infl ->
+      if (not infl.responded) && Budget.expired ~now infl.deadline then begin
+        Atomic.set infl.cancelled true;
+        let elapsed_ms = (now -. infl.admitted) *. 1000. in
+        let deadline_ms =
+          match infl.req.P.deadline_ms with
+          | Some ms -> ms
+          | None ->
+            Option.value ~default:0
+              t.cfg.limits.Budget.default_deadline_ms
+        in
+        finish t infl
+          (P.response
+             ~diags:[ Budget.timeout_diag ~deadline_ms ~elapsed_ms ]
+             ~id:infl.req.P.id ~elapsed_ms P.Timed_out)
+      end)
+    t.inflight
+
+let next_timeout t =
+  let now = Unix.gettimeofday () in
+  let horizon =
+    List.fold_left
+      (fun acc infl ->
+        match infl.deadline with
+        | Some d when not infl.responded -> min acc (d -. now)
+        | _ -> acc)
+      0.5 t.inflight
+  in
+  if Atomic.get t.stopping then min horizon 0.02 else max 0.001 horizon
+
+let cleanup t ~listener_closed =
+  if not listener_closed then (
+    try Unix.close t.lsock with Unix.Unix_error _ -> ());
+  (match t.bound with
+  | P.Unix_socket path -> (
+    try Unix.unlink path with Unix.Unix_error _ -> ())
+  | P.Tcp _ -> ());
+  Hashtbl.iter
+    (fun _ conn ->
+      (* Last-gasp flush of any queued responses, then close. *)
+      (try
+         if conn.out <> "" then
+           ignore
+             (Unix.write_substring conn.fd conn.out 0 (String.length conn.out))
+       with Unix.Unix_error _ -> ());
+      try Unix.close conn.fd with Unix.Unix_error _ -> ())
+    t.conns;
+  Hashtbl.reset t.conns;
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+  (match t.log_chan with
+  | Some ch ->
+    t.log_chan <- None;
+    flush ch;
+    close_out_noerr ch
+  | None -> ())
+
+let run t =
+  let listener_closed = ref false in
+  let drain_started = ref None in
+  let result =
+    D.protect ~stage:D.Serve (fun () ->
+        let finished = ref None in
+        while !finished = None do
+          let stopping = Atomic.get t.stopping in
+          if stopping && not !listener_closed then begin
+            listener_closed := true;
+            drain_started := Some (Unix.gettimeofday ());
+            (try Unix.close t.lsock with Unix.Unix_error _ -> ())
+          end;
+          let conn_fds =
+            Hashtbl.fold (fun _ c acc -> c.fd :: acc) t.conns []
+          in
+          let reads =
+            (if !listener_closed then [] else [ t.lsock ])
+            @ (t.wake_r :: conn_fds)
+          in
+          let writes =
+            Hashtbl.fold
+              (fun _ c acc -> if c.out <> "" then c.fd :: acc else acc)
+              t.conns []
+          in
+          let readable, writable, _ =
+            try Unix.select reads writes [] (next_timeout t)
+            with Unix.Unix_error (EINTR, _, _) -> ([], [], [])
+          in
+          if List.mem t.wake_r readable then drain_wake_pipe t;
+          take_completions t;
+          run_watchdog t;
+          if (not !listener_closed) && List.mem t.lsock readable then
+            accept_pending t;
+          Hashtbl.fold (fun _ c acc -> c :: acc) t.conns []
+          |> List.iter (fun conn ->
+                 if List.mem conn.fd readable then read_conn t conn);
+          take_completions t;
+          run_watchdog t;
+          Hashtbl.fold (fun _ c acc -> c :: acc) t.conns []
+          |> List.iter (fun conn ->
+                 if List.mem conn.fd writable || conn.out <> "" then
+                   write_conn t conn);
+          (* Drain phase: done when nothing is in flight and every
+             response byte is out (or the drain budget is exhausted). *)
+          match !drain_started with
+          | None -> ()
+          | Some t0 ->
+            let now = Unix.gettimeofday () in
+            let flushed =
+              Hashtbl.fold (fun _ c acc -> acc && c.out = "") t.conns true
+            in
+            if t.inflight = [] && flushed then finished := Some (Ok ())
+            else if now -. t0 > t.cfg.limits.Budget.drain_timeout_s then
+              finished :=
+                Some
+                  (Error
+                     (Budget.drain_timeout_diag ~limits:t.cfg.limits
+                        ~in_flight:(queue_depth t)))
+        done;
+        (* Give cancelled/late pool tasks a moment to park. *)
+        ignore (Gpu_parallel.Pool.drain_async ~timeout_s:1.0 ());
+        match !finished with Some r -> r | None -> Ok ())
+  in
+  let result = match result with Ok r -> r | Error d -> Error d in
+  cleanup t ~listener_closed:!listener_closed;
+  result

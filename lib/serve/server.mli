@@ -1,0 +1,65 @@
+(** The fault-tolerant analysis daemon.
+
+    One event-loop domain owns every socket (non-blocking, multiplexed
+    with [Unix.select]); analysis requests run on the {!Gpu_parallel.Pool}
+    via its async path and post completions back through a self-pipe.
+    The loop doubles as the watchdog: a request past its deadline is
+    answered with a [timeout] response immediately and its (cooperative)
+    compute task is flagged cancelled — a late result is discarded, and
+    a stuck request can never take the daemon down with it.
+
+    Robustness properties, each exercised by the test suite and the CI
+    fault drill:
+    - a raising request becomes an [error] response; the worker slot is
+      reclaimed and the daemon keeps serving (crash isolation);
+    - admission beyond [queue_cap] is refused with [overloaded] plus a
+      [retry_after_ms] hint (backpressure) — never queued unboundedly;
+    - malformed or oversized lines get a [malformed] response on the
+      same connection; the connection survives;
+    - degraded calibration-cache state (retries exhausted, unreadable
+      tables) downgrades response [confidence] and shows in [/healthz],
+      but answers keep flowing (graceful degradation);
+    - {!stop} (wired to SIGTERM/SIGINT by the CLI) drains: the listener
+      closes, new lines get [shutting_down], in-flight requests finish
+      within [drain_timeout_s], then {!run} returns.
+
+    The same socket answers HTTP [GET /metrics] (OpenMetrics text) and
+    [GET /healthz] (JSON), and the in-band control ops
+    [{"op":"ping"|"health"|"metrics"}]. *)
+
+type config = {
+  endpoint : Protocol.endpoint;
+  limits : Budget.limits;
+  access_log : string option;
+      (** JSONL file appending one record per answered request *)
+}
+
+type t
+
+(** Bind and listen (for [Tcp (_, 0)] an ephemeral port is chosen —
+    see {!bound_endpoint}).  A stale Unix-socket file is replaced. *)
+val create : config -> (t, Gpu_diag.Diag.t) result
+
+(** The actual listening endpoint, with the ephemeral port resolved. *)
+val bound_endpoint : t -> Protocol.endpoint
+
+(** Serve until {!stop}.  [Ok ()] is a clean drain; [Error d] a fatal
+    loop fault or a drain that timed out with requests still in flight
+    ([Budget]-stage diagnostic).  Sockets, the access log and the
+    Unix-socket file are released on both paths. *)
+val run : t -> (unit, Gpu_diag.Diag.t) result
+
+(** Request shutdown; safe to call from a signal handler or another
+    domain (sets a flag and writes the self-pipe).  Idempotent. *)
+val stop : t -> unit
+
+(** Admitted-but-unanswered requests (the watchdog's queue depth). *)
+val queue_depth : t -> int
+
+(** True once a calibration-cache diagnostic has been observed; mirrored
+    in [/healthz] as ["cache_degraded"].  {!create} installs the
+    {!Gpu_microbench.Tables.set_on_diag} sink that feeds it. *)
+val cache_degraded : t -> bool
+
+(** The health document served at [/healthz] and [{"op":"health"}]. *)
+val health_json : t -> Protocol.Jsonx.t

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Measure `gpuperf serve` request latency, cold vs warm (stdlib-only).
+
+Cold: a fresh daemon with an empty calibration-cache directory — the
+first request pays microbenchmark calibration.  Warm: subsequent
+requests against the same daemon, answered from the per-process tables.
+Writes the percentile summary as JSON (BENCH_6.json when run from CI or
+by hand at the repo root).
+
+Usage: serve_bench.py /path/to/gpuperf.exe [OUT.json]
+"""
+
+import json
+import os
+import re
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+REQUEST = {"id": "bench", "workload": "matmul", "params": {"n": 64, "tile": 8}}
+COLD_RUNS = 3
+WARM_RUNS = 50
+
+
+def start_daemon(exe, cache_dir):
+    env = dict(os.environ, GPUPERF_CACHE_DIR=cache_dir, GPUPERF_JOBS="2")
+    proc = subprocess.Popen(
+        [exe, "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+    m = re.search(r"listening on .*:(\d+)", proc.stdout.readline())
+    if not m:
+        proc.kill()
+        sys.exit("no listening banner")
+    return proc, int(m.group(1))
+
+
+def stop_daemon(proc):
+    proc.send_signal(signal.SIGTERM)
+    try:
+        proc.wait(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+
+
+def timed_request(f):
+    t0 = time.monotonic()
+    f.write(json.dumps(REQUEST) + "\n")
+    f.flush()
+    resp = json.loads(f.readline())
+    wall_ms = (time.monotonic() - t0) * 1e3
+    assert resp["status"] == "ok", resp
+    return wall_ms, resp["elapsed_ms"]
+
+
+def percentiles(xs):
+    xs = sorted(xs)
+
+    def pct(p):
+        i = min(len(xs) - 1, round(p / 100 * (len(xs) - 1)))
+        return round(xs[i], 3)
+
+    return {
+        "samples": len(xs),
+        "p50_ms": pct(50),
+        "p90_ms": pct(90),
+        "p99_ms": pct(99),
+        "max_ms": round(xs[-1], 3),
+    }
+
+
+def main():
+    exe = sys.argv[1]
+    out = sys.argv[2] if len(sys.argv) > 2 else "BENCH_6.json"
+
+    cold_wall, cold_server = [], []
+    warm_wall, warm_server = [], []
+
+    for run in range(COLD_RUNS):
+        cache = tempfile.mkdtemp(prefix="gpuperf-bench-cache-")
+        proc, port = start_daemon(exe, cache)
+        try:
+            s = socket.create_connection(("127.0.0.1", port), timeout=300)
+            f = s.makefile("rw")
+            wall, server = timed_request(f)
+            cold_wall.append(wall)
+            cold_server.append(server)
+            # Warm samples ride on the last cold daemon.
+            if run == COLD_RUNS - 1:
+                for _ in range(WARM_RUNS):
+                    wall, server = timed_request(f)
+                    warm_wall.append(wall)
+                    warm_server.append(server)
+            s.close()
+        finally:
+            stop_daemon(proc)
+            shutil.rmtree(cache, ignore_errors=True)
+        print(f"cold run {run}: {cold_wall[-1]:.1f} ms", file=sys.stderr)
+
+    doc = {
+        "schema": 1,
+        "benchmark": "gpuperf serve request latency",
+        "request": REQUEST,
+        "jobs": 2,
+        "cold": {
+            "wall": percentiles(cold_wall),
+            "server_elapsed": percentiles(cold_server),
+            "note": "fresh daemon, empty calibration cache; includes "
+            "microbenchmark calibration",
+        },
+        "warm": {
+            "wall": percentiles(warm_wall),
+            "server_elapsed": percentiles(warm_server),
+            "note": "same daemon, per-process tables warm",
+        },
+    }
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out}")
+    print(
+        f"cold p50 {doc['cold']['wall']['p50_ms']} ms, "
+        f"warm p50 {doc['warm']['wall']['p50_ms']} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Fault drill for `gpuperf serve` (stdlib-only).
+
+Starts the daemon, throws a burst of traffic at it — good requests,
+past-deadline requests, malformed and oversized lines, an HTTP scrape —
+asserts every structured error payload, validates the OpenMetrics dump,
+then SIGTERMs and asserts a clean drain with exit code 0.
+
+Usage: serve_smoke.py /path/to/gpuperf.exe
+"""
+
+import json
+import re
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+OK = 0
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(cond, msg):
+    if not cond:
+        fail(msg)
+    print(f"ok: {msg}")
+
+
+def start_daemon(exe):
+    proc = subprocess.Popen(
+        [exe, "serve", "--port", "0", "--queue", "4"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    line = proc.stdout.readline()
+    m = re.search(r"listening on .*:(\d+)", line)
+    if not m:
+        proc.kill()
+        fail(f"no listening banner, got: {line!r}")
+    return proc, int(m.group(1))
+
+
+def connect(port):
+    s = socket.create_connection(("127.0.0.1", port), timeout=120)
+    return s, s.makefile("rw")
+
+
+def roundtrip(f, obj):
+    f.write(json.dumps(obj) + "\n")
+    f.flush()
+    return json.loads(f.readline())
+
+
+def main():
+    exe = sys.argv[1]
+    proc, port = start_daemon(exe)
+    try:
+        drill(proc, port)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
+def drill(proc, port):
+    s, f = connect(port)
+
+    # Liveness.
+    check(roundtrip(f, {"op": "ping"}) == {"op": "pong"}, "ping/pong")
+    health = roundtrip(f, {"op": "health"})
+    check(health["status"] == "ok", "health reports ok")
+    check(health["queue_cap"] == 4, "health reflects --queue")
+
+    # A good request.
+    r = roundtrip(
+        f,
+        {
+            "id": "good",
+            "workload": "matmul",
+            "params": {"n": 64, "tile": 8},
+        },
+    )
+    check(r["id"] == "good" and r["status"] == "ok", "analysis request ok")
+    check(r["confidence"] in ("calibrated", "degraded"), "confidence present")
+    check(
+        "predicted_s" in r["result"] and "bottleneck" in r["result"],
+        "result carries the analysis",
+    )
+
+    # Past-deadline request: answered as timeout, never run.
+    r = roundtrip(
+        f,
+        {
+            "id": "late",
+            "workload": "matmul",
+            "params": {"n": 64, "tile": 8},
+            "deadline_ms": 0,
+        },
+    )
+    check(r["status"] == "timeout", "0ms deadline -> timeout")
+    check(
+        any(d["stage"] == "budget" for d in r["diagnostics"]),
+        "timeout carries a budget diagnostic",
+    )
+
+    # Malformed line: structured rejection, connection survives.
+    f.write("{definitely not json\n")
+    f.flush()
+    r = json.loads(f.readline())
+    check(r["status"] == "malformed", "malformed line rejected")
+
+    # Unknown field: rejected, not silently ignored.
+    r = roundtrip(f, {"workload": "matmul", "dedline_ms": 5})
+    check(r["status"] == "malformed", "misspelled field rejected")
+
+    # Crashing request (bad matmul shape): error response, daemon fine.
+    r = roundtrip(
+        f, {"id": "boom", "workload": "matmul", "params": {"n": 100}}
+    )
+    check(r["status"] == "error", "shape violation -> error response")
+    check(roundtrip(f, {"op": "ping"}) == {"op": "pong"}, "daemon survives")
+
+    # Burst past the queue cap: every line gets an answer, some refused.
+    burst = [
+        json.dumps(
+            {
+                "id": f"b{i}",
+                "workload": "matmul",
+                "params": {"n": 64, "tile": 8},
+            }
+        )
+        for i in range(8)
+    ]
+    f.write("\n".join(burst) + "\n")
+    f.flush()
+    statuses = [json.loads(f.readline())["status"] for _ in burst]
+    check(len(statuses) == 8, "every burst line answered")
+    check(
+        all(st in ("ok", "overloaded") for st in statuses),
+        "burst answers are ok/overloaded only",
+    )
+    check("overloaded" in statuses, "backpressure engaged past the cap")
+    s.close()
+
+    # HTTP endpoints on the same port.
+    hs = socket.create_connection(("127.0.0.1", port), timeout=30)
+    hs.sendall(b"GET /metrics HTTP/1.0\r\n\r\n")
+    raw = b""
+    while chunk := hs.recv(65536):
+        raw += chunk
+    hs.close()
+    head, _, body = raw.decode().partition("\r\n\r\n")
+    check(head.startswith("HTTP/1.0 200"), "/metrics is 200")
+    check("openmetrics-text" in head, "/metrics declares OpenMetrics")
+    validate_openmetrics(body)
+
+    hs = socket.create_connection(("127.0.0.1", port), timeout=30)
+    hs.sendall(b"GET /healthz HTTP/1.0\r\n\r\n")
+    raw = b""
+    while chunk := hs.recv(65536):
+        raw += chunk
+    hs.close()
+    body = raw.decode().partition("\r\n\r\n")[2]
+    health = json.loads(body)
+    check(health["status"] == "ok", "/healthz is healthy")
+    check("cache_degraded" in health, "/healthz reports cache state")
+
+    # Graceful shutdown: SIGTERM -> clean drain -> exit 0.
+    proc.send_signal(signal.SIGTERM)
+    try:
+        code = proc.wait(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        fail("daemon did not drain within 60s of SIGTERM")
+    check(code == 0, f"clean drain exits 0 (got {code})")
+    print("serve smoke: all checks passed")
+
+
+def validate_openmetrics(body):
+    """Minimal OpenMetrics shape check: TYPE lines precede their samples,
+    sample values parse as floats, counters end in _total."""
+    types = {}
+    samples = 0
+    for line in body.splitlines():
+        if line.startswith("# TYPE"):
+            _, _, name, kind = line.split()
+            types[name] = kind
+            continue
+        if not line or line.startswith("#"):
+            continue  # HELP / UNIT / EOF
+        m = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$", line)
+        if not m:
+            fail(f"unparsable metrics line: {line!r}")
+        name, _, value = m.groups()
+        float(value)  # raises on garbage
+        base = re.sub(r"_(total|count|sum|bucket)$", "", name)
+        if base not in types and name not in types:
+            fail(f"sample {name} has no TYPE declaration")
+        samples += 1
+    check(samples > 10, f"metrics dump is substantive ({samples} samples)")
+    serve_metrics = [n for n in types if n.startswith("serve_")]
+    check(
+        len(serve_metrics) >= 5,
+        f"serve metrics exported ({len(serve_metrics)} families)",
+    )
+
+
+if __name__ == "__main__":
+    main()

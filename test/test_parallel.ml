@@ -77,6 +77,55 @@ let test_nested_calls () =
     ]
     grids
 
+(* A funneled exception must not leak worker domains or queue slots: the
+   pool after a failed batch is indistinguishable from a fresh one. *)
+let test_no_leaks_after_exception () =
+  (* Materialize the pool and record its steady state. *)
+  ignore (Pool.parallel_init ~jobs:4 32 (fun i -> i));
+  let workers = Pool.worker_count () in
+  (try
+     ignore
+       (Pool.parallel_init ~jobs:4 64 (fun i ->
+            if i mod 5 = 0 then raise (Boom i) else i))
+   with Boom _ -> ());
+  Alcotest.(check int)
+    "no worker domains lost or spawned" workers (Pool.worker_count ());
+  Alcotest.(check int) "no queue slots left behind" 0 (Pool.queue_length ());
+  Alcotest.(check (array int))
+    "pool still computes correctly"
+    (Array.init 48 (fun i -> i * 3))
+    (Pool.parallel_init ~jobs:4 48 (fun i -> i * 3))
+
+let test_async_drain () =
+  let hits = Atomic.make 0 in
+  for _ = 1 to 20 do
+    Pool.async (fun () -> Atomic.incr hits)
+  done;
+  Alcotest.(check bool) "drain completes" true (Pool.drain_async ());
+  Alcotest.(check int) "every task ran" 20 (Atomic.get hits);
+  Alcotest.(check int) "nothing pending" 0 (Pool.pending_async ());
+  Alcotest.(check int) "queue empty" 0 (Pool.queue_length ())
+
+let test_async_swallows_exceptions () =
+  let after = Atomic.make 0 in
+  Pool.async (fun () -> failwith "async task crash");
+  Pool.async (fun () -> Atomic.incr after);
+  Alcotest.(check bool) "drain completes" true (Pool.drain_async ());
+  Alcotest.(check int) "later task still ran" 1 (Atomic.get after);
+  (* and the pool remains usable for synchronous batches *)
+  Alcotest.(check (list int))
+    "pool alive" [ 2; 4; 6 ]
+    (Pool.parallel_map ~jobs:2 (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_drain_timeout () =
+  let release = Atomic.make false in
+  Pool.async (fun () -> while not (Atomic.get release) do Unix.sleepf 0.002 done);
+  Alcotest.(check bool)
+    "timed-out drain reports false" false
+    (Pool.drain_async ~timeout_s:0.05 ());
+  Atomic.set release true;
+  Alcotest.(check bool) "then drains fully" true (Pool.drain_async ())
+
 let test_memo_once () =
   let calls = Atomic.make 0 in
   let m =
@@ -198,6 +247,75 @@ let fp = Calib_cache.fingerprint ~constants:"test-constants v1" spec
 
 let roundtrip_path = Filename.concat cache_dir "roundtrip.txt"
 
+(* --- transient-failure retries ------------------------------------------- *)
+
+let test_retrying_transient () =
+  let failures = ref 2 and calls = ref 0 and warnings = ref [] in
+  let v =
+    Calib_cache.retrying
+      ~on_retry:(fun d -> warnings := d :: !warnings)
+      ~what:"read" ~path:"/tmp/x"
+      (fun () ->
+        incr calls;
+        if !failures > 0 then begin
+          decr failures;
+          raise (Unix.Unix_error (Unix.EINTR, "read", "/tmp/x"))
+        end;
+        1729)
+  in
+  Alcotest.(check int) "eventually succeeds" 1729 v;
+  Alcotest.(check int) "two failures + one success" 3 !calls;
+  Alcotest.(check int) "one warning per retry" 2 (List.length !warnings);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        "retry diag is a Cache warning" true
+        (d.Diag.severity = Diag.Warning && d.Diag.stage = Diag.Cache))
+    !warnings
+
+let test_retrying_exhausted () =
+  let calls = ref 0 in
+  Alcotest.check_raises "persistent EAGAIN re-raises"
+    (Unix.Unix_error (Unix.EAGAIN, "write", "p"))
+    (fun () ->
+      Calib_cache.retrying ~attempts:3
+        ~on_retry:(fun _ -> ())
+        ~what:"write" ~path:"p"
+        (fun () ->
+          incr calls;
+          raise (Unix.Unix_error (Unix.EAGAIN, "write", "p"))));
+  Alcotest.(check int) "tried exactly [attempts] times" 3 !calls
+
+let test_retrying_non_transient () =
+  let calls = ref 0 in
+  Alcotest.check_raises "ENOSPC is not retried"
+    (Unix.Unix_error (Unix.ENOSPC, "write", "p"))
+    (fun () ->
+      Calib_cache.retrying
+        ~on_retry:(fun _ -> ())
+        ~what:"write" ~path:"p"
+        (fun () ->
+          incr calls;
+          raise (Unix.Unix_error (Unix.ENOSPC, "write", "p"))));
+  Alcotest.(check int) "no retries" 1 !calls
+
+let test_save_takes_write_lock () =
+  let path = Filename.concat cache_dir "locked.txt" in
+  (match
+     Calib_cache.save ~path ~fingerprint:fp ~spec_name:spec.Spec.name payload
+   with
+  | Ok () -> ()
+  | Error d -> Alcotest.failf "save failed: %s" (Diag.to_string d));
+  Alcotest.(check bool)
+    "lock file exists next to the table" true
+    (Sys.file_exists (Calib_cache.lock_path path));
+  (* lock released: a second save must not deadlock *)
+  match
+    Calib_cache.save ~path ~fingerprint:fp ~spec_name:spec.Spec.name payload
+  with
+  | Ok () -> ()
+  | Error d -> Alcotest.failf "re-save failed: %s" (Diag.to_string d)
+
 let test_cache_roundtrip () =
   (match
      Calib_cache.save ~path:roundtrip_path ~fingerprint:fp
@@ -205,7 +323,7 @@ let test_cache_roundtrip () =
    with
   | Ok () -> ()
   | Error d -> Alcotest.failf "save failed: %s" (Diag.to_string d));
-  match Calib_cache.load ~path:roundtrip_path ~fingerprint:fp with
+  match Calib_cache.load ~path:roundtrip_path ~fingerprint:fp () with
   | `Hit p ->
     Alcotest.(check (array (array (float 0.0))))
       "instr bit-exact" payload.Calib_cache.instr p.Calib_cache.instr;
@@ -226,14 +344,14 @@ let test_cache_miss_and_rejection () =
   (match
      Calib_cache.load
        ~path:(Filename.concat cache_dir "never-written.txt")
-       ~fingerprint:fp
+       ~fingerprint:fp ()
    with
   | `Miss -> ()
   | `Hit _ | `Rejected _ -> Alcotest.fail "missing file must be a miss");
   (* stale fingerprint: the spec or the calibration constants changed *)
   (match
      Calib_cache.load ~path:roundtrip_path
-       ~fingerprint:(Calib_cache.fingerprint ~constants:"other" spec)
+       ~fingerprint:(Calib_cache.fingerprint ~constants:"other" spec) ()
    with
   | `Rejected d ->
     Alcotest.(check string) "stage" "cache" (Diag.stage_name d.Diag.stage)
@@ -251,7 +369,7 @@ let test_cache_miss_and_rejection () =
   let oc = open_out_bin truncated in
   output_string oc (String.sub contents 0 (String.length contents / 2));
   close_out oc;
-  (match Calib_cache.load ~path:truncated ~fingerprint:fp with
+  (match Calib_cache.load ~path:truncated ~fingerprint:fp () with
   | `Rejected _ -> ()
   | `Hit _ -> Alcotest.fail "truncated file must be rejected"
   | `Miss -> Alcotest.fail "truncated file is not a miss");
@@ -260,7 +378,7 @@ let test_cache_miss_and_rejection () =
   let oc = open_out_bin garbage in
   output_string oc "gpuperf-calibration 999\nnot a cache file\n";
   close_out oc;
-  match Calib_cache.load ~path:garbage ~fingerprint:fp with
+  match Calib_cache.load ~path:garbage ~fingerprint:fp () with
   | `Rejected _ -> ()
   | `Hit _ -> Alcotest.fail "wrong version must be rejected"
   | `Miss -> Alcotest.fail "wrong version is not a miss"
@@ -313,6 +431,14 @@ let () =
           Alcotest.test_case "exception propagation" `Quick
             test_exception_propagates;
           Alcotest.test_case "nested calls" `Quick test_nested_calls;
+          Alcotest.test_case "no leaks after exception" `Quick
+            test_no_leaks_after_exception;
+          Alcotest.test_case "async submit and drain" `Quick
+            test_async_drain;
+          Alcotest.test_case "async swallows exceptions" `Quick
+            test_async_swallows_exceptions;
+          Alcotest.test_case "drain_async timeout" `Quick
+            test_drain_timeout;
           Alcotest.test_case "memo single-flight" `Quick test_memo_once;
         ] );
       ( "jobs validation",
@@ -330,6 +456,17 @@ let () =
             test_serial_parallel_identical;
           Alcotest.test_case "gmem single-flight" `Quick
             test_gmem_single_flight;
+        ] );
+      ( "retries",
+        [
+          Alcotest.test_case "transient failures retried" `Quick
+            test_retrying_transient;
+          Alcotest.test_case "attempts exhausted re-raises" `Quick
+            test_retrying_exhausted;
+          Alcotest.test_case "non-transient re-raises at once" `Quick
+            test_retrying_non_transient;
+          Alcotest.test_case "save takes the write lock" `Quick
+            test_save_takes_write_lock;
         ] );
       ( "disk cache",
         [

@@ -359,7 +359,60 @@ let test_format_of_string () =
     (Render.format_of_string "md" = Some Render.Md);
   Alcotest.(check bool) "html" true
     (Render.format_of_string "html" = Some Render.Html);
+  Alcotest.(check bool) "json" true
+    (Render.format_of_string "json" = Some Render.Json);
   Alcotest.(check bool) "unknown" true (Render.format_of_string "pdf" = None)
+
+let test_json_render () =
+  let doc = Render.render Render.Json (render_inputs ()) in
+  Alcotest.(check string)
+    "byte-stable" doc
+    (Render.render Render.Json (render_inputs ()));
+  let json =
+    match Jsonx.parse (String.trim doc) with
+    | Ok j -> j
+    | Error m -> Alcotest.failf "render json unparsable: %s" m
+  in
+  (* encode ∘ parse stable *)
+  Alcotest.(check string)
+    "encode/parse stable" (String.trim doc) (Jsonx.encode json);
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (key ^ " present") true
+        (Jsonx.member key json <> None))
+    [
+      "workload"; "predicted_s"; "bottleneck"; "confidence"; "occupancy";
+      "stages"; "hotspots"; "whatif"; "accuracy";
+    ];
+  (* the whatif row from the inputs survives *)
+  match Jsonx.member "whatif" json with
+  | Some (Jsonx.List [ row ]) ->
+    Alcotest.(check bool) "variant name" true
+      (Jsonx.member "variant" row = Some (Jsonx.Str "banks17"))
+  | _ -> Alcotest.fail "expected exactly one whatif row"
+
+let test_report_json_agrees_with_render () =
+  (* The serve daemon's response body is [report_json]; every field it
+     emits must appear identically in the full [render Json] document. *)
+  let r = Lazy.force report in
+  let body = Render.report_json ~workload:"matmul" r in
+  let full =
+    match Jsonx.parse (String.trim (Render.render Render.Json (render_inputs ()))) with
+    | Ok j -> j
+    | Error m -> Alcotest.failf "unparsable: %s" m
+  in
+  match body with
+  | Jsonx.Obj fields ->
+    List.iter
+      (fun (k, v) ->
+        match Jsonx.member k full with
+        | Some v' ->
+          Alcotest.(check string)
+            ("field " ^ k ^ " agrees")
+            (Jsonx.encode v) (Jsonx.encode v')
+        | None -> Alcotest.failf "field %s missing from the document" k)
+      fields
+  | _ -> Alcotest.fail "report_json is not an object"
 
 let () =
   Alcotest.run "report"
@@ -402,5 +455,8 @@ let () =
           Alcotest.test_case "required sections" `Quick
             test_md_has_required_sections;
           Alcotest.test_case "format_of_string" `Quick test_format_of_string;
+          Alcotest.test_case "json document" `Quick test_json_render;
+          Alcotest.test_case "report_json agrees with render" `Quick
+            test_report_json_agrees_with_render;
         ] );
     ]

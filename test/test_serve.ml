@@ -1,0 +1,562 @@
+(* Tests for the analysis daemon: protocol round-trips, request budgets,
+   and the robustness properties end-to-end against an in-process server
+   — deadline expiry, full-queue backpressure, crash isolation,
+   oversized/malformed input, HTTP endpoints and graceful drain. *)
+
+module D = Gpu_diag.Diag
+module P = Gpu_serve.Protocol
+module Budget = Gpu_serve.Budget
+module Server = Gpu_serve.Server
+module Client = Gpu_serve.Client
+module Jsonx = Gpu_report.Jsonx
+
+(* Keep the pool small and the cache private; a worker writing to a
+   closed test socket must not kill the binary. *)
+let () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Unix.putenv "GPUPERF_CACHE_DIR"
+    (Filename.concat
+       (Filename.get_temp_dir_name ())
+       (Printf.sprintf "gpuperf-serve-test-cache-%d" (Unix.getpid ())));
+  Gpu_parallel.Pool.set_jobs 2
+
+let ok_or_fail what = function
+  | Ok v -> v
+  | Error d -> Alcotest.failf "%s: %s" what (D.to_string d)
+
+(* --- protocol ------------------------------------------------------------- *)
+
+let sample_requests =
+  [
+    {
+      P.id = "a";
+      params = P.Matmul { n = 64; tile = 8 };
+      device = "baseline";
+      format = P.Json;
+      deadline_ms = None;
+      measure = false;
+      sample = None;
+    };
+    {
+      P.id = "b-42";
+      params = P.Tridiag { nsys = 16; n = 32; padded = true };
+      device = "banks17";
+      format = P.Md;
+      deadline_ms = Some 250;
+      measure = true;
+      sample = Some 2;
+    };
+    {
+      P.id = "";
+      params = P.Spmv { spmv_format = Gpu_workloads.Spmv.Bell_imiv };
+      device = "earlyrelease";
+      format = P.Html;
+      deadline_ms = Some 0;
+      measure = false;
+      sample = None;
+    };
+  ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun req ->
+      let line = P.encode_request req in
+      match P.parse_request line with
+      | Error d -> Alcotest.failf "round-trip parse failed: %s" (D.to_string d)
+      | Ok req' ->
+        Alcotest.(check bool)
+          ("request survives encode∘parse: " ^ line)
+          true (req = req');
+        (* and encoding is stable across a second trip *)
+        Alcotest.(check string)
+          "encode is stable" line (P.encode_request req'))
+    sample_requests
+
+let test_request_defaults () =
+  let req =
+    ok_or_fail "minimal request"
+      (P.parse_request {|{"workload":"matmul"}|})
+  in
+  Alcotest.(check bool)
+    "defaults applied" true
+    (req.P.params = P.Matmul { n = 1024; tile = 16 }
+    && req.P.device = "baseline" && req.P.format = P.Json
+    && req.P.deadline_ms = None && (not req.P.measure) && req.P.sample = None)
+
+let test_request_rejections () =
+  let cases =
+    [
+      ("not json at all", "{nope");
+      ("not an object", "[1,2]");
+      ("missing workload", {|{"id":"x"}|});
+      ("unknown workload", {|{"workload":"fft"}|});
+      ("unknown key", {|{"workload":"matmul","dedline_ms":5}|});
+      ("unknown param key", {|{"workload":"matmul","params":{"m":4}}|});
+      ("unknown device", {|{"workload":"matmul","device":"gtx9999"}|});
+      ("unknown format", {|{"workload":"matmul","format":"pdf"}|});
+      ("negative deadline", {|{"workload":"matmul","deadline_ms":-1}|});
+      ("non-integer n", {|{"workload":"matmul","params":{"n":1.5}}|});
+      ("zero n", {|{"workload":"matmul","params":{"n":0}}|});
+      ("bad spmv format", {|{"workload":"spmv","params":{"format":"coo"}}|});
+    ]
+  in
+  List.iter
+    (fun (what, line) ->
+      match P.parse_request line with
+      | Ok _ -> Alcotest.failf "%s: expected a parse error" what
+      | Error d ->
+        Alcotest.(check bool)
+          (what ^ " is a Serve-stage error")
+          true
+          (d.D.stage = D.Serve && d.D.severity = D.Error))
+    cases
+
+let test_response_roundtrip () =
+  let resp =
+    P.response ~confidence:"calibrated"
+      ~body:(Jsonx.Obj [ ("x", Jsonx.Num 1.0) ])
+      ~diags:
+        [
+          D.error D.Budget ~hint:"wait" "queue full";
+          D.warning D.Model "out of range";
+        ]
+      ~retry_after_ms:500 ~queue_depth:3 ~id:"r9" ~elapsed_ms:12.5
+      P.Overloaded
+  in
+  let line = P.encode_response resp in
+  let resp' = ok_or_fail "parse_response" (P.parse_response line) in
+  Alcotest.(check string) "id" "r9" resp'.P.r_id;
+  Alcotest.(check bool) "status" true (resp'.P.status = P.Overloaded);
+  Alcotest.(check (float 1e-9)) "elapsed" 12.5 resp'.P.elapsed_ms;
+  Alcotest.(check (option int)) "retry_after" (Some 500)
+    resp'.P.retry_after_ms;
+  Alcotest.(check (option int)) "queue_depth" (Some 3) resp'.P.queue_depth;
+  Alcotest.(check int) "both diags survive" 2 (List.length resp'.P.diags);
+  let d = List.hd resp'.P.diags in
+  Alcotest.(check bool)
+    "diag fields survive" true
+    (d.D.stage = D.Budget && d.D.message = "queue full"
+    && d.D.hint = Some "wait")
+
+let test_status_names () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        ("status name round-trip: " ^ P.status_name s)
+        true
+        (P.status_of_name (P.status_name s) = Some s))
+    [
+      P.Completed; P.Failed; P.Timed_out; P.Overloaded; P.Shutting_down;
+      P.Malformed;
+    ]
+
+let test_devices () =
+  Alcotest.(check bool)
+    "baseline heads the fleet" true
+    (List.hd P.devices = ("baseline", Gpu_hw.Spec.gtx285));
+  Alcotest.(check int) "eight devices" 8 (List.length P.devices);
+  Alcotest.(check bool)
+    "lookup works" true
+    (P.device_of_name "banks17" <> None && P.device_of_name "nope" = None)
+
+(* --- budget arithmetic ---------------------------------------------------- *)
+
+let limits = Budget.default_limits
+
+let req_with_deadline d =
+  { (List.hd sample_requests) with P.deadline_ms = d }
+
+let test_deadlines () =
+  let now = 1000.0 in
+  Alcotest.(check bool)
+    "no deadline, no default" true
+    (Budget.deadline_at ~now ~limits (req_with_deadline None) = None);
+  Alcotest.(check bool)
+    "explicit deadline" true
+    (Budget.deadline_at ~now ~limits (req_with_deadline (Some 250))
+    = Some 1000.25);
+  let with_default =
+    { limits with Budget.default_deadline_ms = Some 100 }
+  in
+  Alcotest.(check bool)
+    "server default applies" true
+    (Budget.deadline_at ~now ~limits:with_default (req_with_deadline None)
+    = Some 1000.1);
+  Alcotest.(check bool)
+    "explicit beats default" true
+    (Budget.deadline_at ~now ~limits:with_default
+       (req_with_deadline (Some 250))
+    = Some 1000.25);
+  Alcotest.(check bool)
+    "0ms expires at admission" true
+    (Budget.expired ~now
+       (Budget.deadline_at ~now ~limits (req_with_deadline (Some 0))));
+  Alcotest.(check bool)
+    "unbounded never expires" true
+    (not (Budget.expired ~now:1e12 None))
+
+let test_working_set () =
+  let ws p = Budget.working_set_bytes p in
+  Alcotest.(check bool)
+    "matmul grows quadratically" true
+    (ws (P.Matmul { n = 2048; tile = 16 })
+    = 4 * ws (P.Matmul { n = 1024; tile = 16 }));
+  Alcotest.(check bool)
+    "tridiag scales with both axes" true
+    (ws (P.Tridiag { nsys = 512; n = 512; padded = false })
+    > ws (P.Tridiag { nsys = 16; n = 32; padded = false }));
+  Alcotest.(check bool)
+    "default limits admit the paper's workloads" true
+    (ws (P.Matmul { n = 1024; tile = 16 })
+     < limits.Budget.max_working_set_bytes
+    && ws (P.Spmv { spmv_format = Gpu_workloads.Spmv.Ell })
+       < limits.Budget.max_working_set_bytes)
+
+let test_retry_after () =
+  Alcotest.(check bool)
+    "hint has a floor" true
+    (Budget.retry_after_ms ~limits ~queue_depth:0 >= 100);
+  Alcotest.(check bool)
+    "hint grows with overload" true
+    (Budget.retry_after_ms ~limits ~queue_depth:(limits.Budget.queue_cap + 10)
+    > Budget.retry_after_ms ~limits ~queue_depth:limits.Budget.queue_cap)
+
+(* --- in-process server ---------------------------------------------------- *)
+
+let with_server ?(limits = Budget.default_limits) f =
+  let cfg =
+    {
+      Server.endpoint = P.Tcp ("127.0.0.1", 0);
+      limits;
+      access_log = None;
+    }
+  in
+  let t = ok_or_fail "Server.create" (Server.create cfg) in
+  let runner = Domain.spawn (fun () -> Server.run t) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      ignore (Domain.join runner))
+    (fun () -> f t (Server.bound_endpoint t))
+
+let with_client endpoint f =
+  let c = ok_or_fail "connect" (Client.connect endpoint) in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let small_matmul ?deadline_ms ?(id = "t") () =
+  {
+    P.id;
+    params = P.Matmul { n = 64; tile = 8 };
+    device = "baseline";
+    format = P.Json;
+    deadline_ms;
+    measure = false;
+    sample = None;
+  }
+
+(* Warm the per-process calibration tables once so server tests measure
+   serving behavior, not first-touch calibration. *)
+let warm =
+  lazy (ignore (Gpu_microbench.Tables.for_spec Gpu_hw.Spec.gtx285))
+
+let test_serve_ok () =
+  Lazy.force warm;
+  with_server @@ fun _t ep ->
+  with_client ep @@ fun c ->
+  let resp =
+    ok_or_fail "request" (Client.request c (small_matmul ~id:"ok-1" ()))
+  in
+  Alcotest.(check string) "id echoed" "ok-1" resp.P.r_id;
+  Alcotest.(check bool) "completed" true (resp.P.status = P.Completed);
+  Alcotest.(check bool)
+    "has confidence" true
+    (resp.P.confidence = Some "calibrated"
+    || resp.P.confidence = Some "degraded");
+  let body = Option.get resp.P.body in
+  Alcotest.(check bool)
+    "body has the analysis" true
+    (Jsonx.member "predicted_s" body <> None
+    && Jsonx.member "bottleneck" body <> None
+    && Jsonx.member "occupancy" body <> None);
+  Alcotest.(check bool) "elapsed measured" true (resp.P.elapsed_ms >= 0.)
+
+let test_serve_markdown () =
+  Lazy.force warm;
+  with_server @@ fun _t ep ->
+  with_client ep @@ fun c ->
+  let req = { (small_matmul ~id:"md" ()) with P.format = P.Md } in
+  let resp = ok_or_fail "request" (Client.request c req) in
+  Alcotest.(check bool) "completed" true (resp.P.status = P.Completed);
+  Alcotest.(check bool) "no json body" true (resp.P.body = None);
+  let doc = Option.get resp.P.rendered in
+  Alcotest.(check bool)
+    "rendered markdown report" true
+    (String.length doc > 200
+    && String.sub doc 0 1 = "#" (* title heading *))
+
+let test_serve_deadline_zero () =
+  with_server @@ fun _t ep ->
+  with_client ep @@ fun c ->
+  let resp =
+    ok_or_fail "request"
+      (Client.request c (small_matmul ~deadline_ms:0 ~id:"dl0" ()))
+  in
+  Alcotest.(check bool) "timed out" true (resp.P.status = P.Timed_out);
+  Alcotest.(check bool)
+    "carries a Budget diagnostic" true
+    (List.exists (fun d -> d.D.stage = D.Budget) resp.P.diags)
+
+let test_serve_watchdog_timeout () =
+  Lazy.force warm;
+  with_server @@ fun _t ep ->
+  with_client ep @@ fun c ->
+  (* Real compute, unreachable deadline: the watchdog must answer while
+     the worker is still simulating, and the daemon must survive the
+     discarded late result. *)
+  let req =
+    {
+      (small_matmul ~deadline_ms:1 ~id:"wd" ()) with
+      P.params = P.Matmul { n = 1024; tile = 16 };
+    }
+  in
+  let resp = ok_or_fail "request" (Client.request c req) in
+  Alcotest.(check bool) "timed out" true (resp.P.status = P.Timed_out);
+  (* follow-up on the same connection still works *)
+  let resp2 =
+    ok_or_fail "request" (Client.request c (small_matmul ~id:"after" ()))
+  in
+  Alcotest.(check bool) "daemon alive" true (resp2.P.status = P.Completed)
+
+let test_serve_backpressure () =
+  Lazy.force warm;
+  let limits = { Budget.default_limits with Budget.queue_cap = 1 } in
+  with_server ~limits @@ fun _t ep ->
+  with_client ep @@ fun c ->
+  (* One write carrying three requests: they are admitted in one batch,
+     before any completion can free the queue slot. *)
+  let reqs =
+    List.map
+      (fun id -> P.encode_request (small_matmul ~id ()))
+      [ "q1"; "q2"; "q3" ]
+  in
+  ok_or_fail "burst" (Client.send_line c (String.concat "\n" reqs));
+  let resps =
+    List.map
+      (fun _ ->
+        ok_or_fail "parse"
+          (P.parse_response (ok_or_fail "recv" (Client.recv_line c))))
+      reqs
+  in
+  let by_status s =
+    List.filter (fun r -> r.P.status = s) resps |> List.length
+  in
+  (* Completions are written in finish order: the two rejections come
+     back immediately, the admitted request later. *)
+  Alcotest.(check int) "one admitted and completed" 1 (by_status P.Completed);
+  Alcotest.(check int) "two refused" 2 (by_status P.Overloaded);
+  List.iter
+    (fun r ->
+      if r.P.status = P.Overloaded then begin
+        Alcotest.(check bool)
+          "retry hint present" true
+          (Option.value ~default:0 r.P.retry_after_ms >= 100);
+        Alcotest.(check (option int)) "depth reported" (Some 1)
+          r.P.queue_depth
+      end)
+    resps
+
+let test_serve_crash_isolation () =
+  Lazy.force warm;
+  with_server @@ fun _t ep ->
+  with_client ep @@ fun c ->
+  (* n=100 passes protocol validation (positive) but violates the
+     kernel's shape constraint — the failure must be contained. *)
+  let req =
+    { (small_matmul ~id:"boom" ()) with P.params = P.Matmul { n = 100; tile = 16 } }
+  in
+  let resp = ok_or_fail "request" (Client.request c req) in
+  Alcotest.(check bool) "failed, not crashed" true (resp.P.status = P.Failed);
+  Alcotest.(check bool)
+    "error diagnostic explains" true
+    (List.exists
+       (fun d -> d.D.severity = D.Error && d.D.message <> "")
+       resp.P.diags);
+  let resp2 =
+    ok_or_fail "request" (Client.request c (small_matmul ~id:"alive" ()))
+  in
+  Alcotest.(check bool)
+    "worker slot reclaimed; daemon serves on" true
+    (resp2.P.status = P.Completed)
+
+let test_serve_malformed_and_oversized () =
+  let limits = { Budget.default_limits with Budget.max_request_bytes = 512 } in
+  with_server ~limits @@ fun _t ep ->
+  with_client ep @@ fun c ->
+  (* malformed JSON *)
+  ok_or_fail "send" (Client.send_line c "{this is not json");
+  let r1 =
+    ok_or_fail "parse" (P.parse_response (ok_or_fail "recv" (Client.recv_line c)))
+  in
+  Alcotest.(check bool) "malformed rejected" true (r1.P.status = P.Malformed);
+  (* oversized line (newline-terminated) *)
+  ok_or_fail "send" (Client.send_line c (String.make 2000 'x'));
+  let r2 =
+    ok_or_fail "parse" (P.parse_response (ok_or_fail "recv" (Client.recv_line c)))
+  in
+  Alcotest.(check bool) "oversized rejected" true (r2.P.status = P.Malformed);
+  Alcotest.(check bool)
+    "oversized diag names the limit" true
+    (List.exists
+       (fun d -> d.D.stage = D.Serve || d.D.stage = D.Budget)
+       r2.P.diags);
+  (* the connection survives both *)
+  ok_or_fail "send" (Client.send_line c {|{"op":"ping"}|});
+  Alcotest.(check string)
+    "connection still usable" {|{"op":"pong"}|}
+    (ok_or_fail "recv" (Client.recv_line c))
+
+let test_serve_ops_and_http () =
+  with_server @@ fun t ep ->
+  with_client ep
+    (fun c ->
+      ok_or_fail "send" (Client.send_line c {|{"op":"health"}|});
+      let health =
+        match Jsonx.parse (ok_or_fail "recv" (Client.recv_line c)) with
+        | Ok j -> j
+        | Error m -> Alcotest.failf "health is not json: %s" m
+      in
+      Alcotest.(check bool)
+        "health reports ok" true
+        (Jsonx.member "status" health = Some (Jsonx.Str "ok"));
+      Alcotest.(check bool)
+        "health mirrors the server" true
+        (Jsonx.member "cache_degraded" health
+        = Some (Jsonx.Bool (Server.cache_degraded t))));
+  (* raw HTTP on the same port *)
+  let http target =
+    with_client ep (fun c ->
+        ok_or_fail "send"
+          (Client.send_line c (Printf.sprintf "GET %s HTTP/1.0\r" target));
+        let buf = Buffer.create 256 in
+        let rec slurp () =
+          match Client.recv_line ~timeout_s:5.0 c with
+          | Ok line ->
+            Buffer.add_string buf (line ^ "\n");
+            slurp ()
+          | Error _ -> Buffer.contents buf
+        in
+        slurp ())
+  in
+  let health = http "/healthz" in
+  Alcotest.(check bool)
+    "/healthz is HTTP 200 JSON" true
+    (String.length health > 0
+    && String.sub health 0 12 = "HTTP/1.0 200");
+  let metrics = http "/metrics" in
+  Alcotest.(check bool)
+    "/metrics is OpenMetrics with serve counters" true
+    (String.sub metrics 0 12 = "HTTP/1.0 200");
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool)
+    "serve counters exported" true
+    (contains metrics "serve_requests");
+  let missing = http "/nope" in
+  Alcotest.(check bool)
+    "unknown endpoint is 404" true
+    (String.sub missing 0 12 = "HTTP/1.0 404")
+
+let test_serve_graceful_drain () =
+  Lazy.force warm;
+  let cfg =
+    {
+      Server.endpoint = P.Tcp ("127.0.0.1", 0);
+      limits = Budget.default_limits;
+      access_log = None;
+    }
+  in
+  let t = ok_or_fail "Server.create" (Server.create cfg) in
+  let runner = Domain.spawn (fun () -> Server.run t) in
+  let ep = Server.bound_endpoint t in
+  with_client ep (fun c ->
+      (* submit real work, wait for admission, then request shutdown:
+         the in-flight request must still be answered before [run]
+         returns *)
+      let req =
+        {
+          (small_matmul ~id:"drain" ()) with
+          P.params = P.Matmul { n = 512; tile = 16 };
+        }
+      in
+      ok_or_fail "send" (Client.send_line c (P.encode_request req));
+      let admitted = Unix.gettimeofday () +. 10.0 in
+      while
+        Server.queue_depth t = 0 && Unix.gettimeofday () < admitted
+      do
+        Unix.sleepf 0.002
+      done;
+      Server.stop t;
+      let resp =
+        ok_or_fail "parse"
+          (P.parse_response (ok_or_fail "recv" (Client.recv_line c)))
+      in
+      Alcotest.(check bool)
+        "in-flight request drained" true
+        (resp.P.status = P.Completed);
+      (* a request submitted during the drain is refused, not dropped *)
+      match Client.request ~timeout_s:5.0 c (small_matmul ~id:"late" ()) with
+      | Ok r ->
+        Alcotest.(check bool)
+          "late request refused" true
+          (r.P.status = P.Shutting_down)
+      | Error _ -> () (* daemon already gone: also acceptable *));
+  match Domain.join runner with
+  | Ok () -> ()
+  | Error d -> Alcotest.failf "drain was not clean: %s" (D.to_string d)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request encode∘parse round-trip" `Quick
+            test_request_roundtrip;
+          Alcotest.test_case "request defaults" `Quick test_request_defaults;
+          Alcotest.test_case "malformed requests rejected" `Quick
+            test_request_rejections;
+          Alcotest.test_case "response round-trip" `Quick
+            test_response_roundtrip;
+          Alcotest.test_case "status wire names" `Quick test_status_names;
+          Alcotest.test_case "device fleet" `Quick test_devices;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "deadline arithmetic" `Quick test_deadlines;
+          Alcotest.test_case "working-set estimates" `Quick test_working_set;
+          Alcotest.test_case "retry-after hint" `Quick test_retry_after;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "answers an analysis request" `Quick
+            test_serve_ok;
+          Alcotest.test_case "renders markdown bodies" `Quick
+            test_serve_markdown;
+          Alcotest.test_case "0ms deadline expires at admission" `Quick
+            test_serve_deadline_zero;
+          Alcotest.test_case "watchdog answers past-deadline compute" `Quick
+            test_serve_watchdog_timeout;
+          Alcotest.test_case "full queue pushes back" `Quick
+            test_serve_backpressure;
+          Alcotest.test_case "a crashing request is isolated" `Quick
+            test_serve_crash_isolation;
+          Alcotest.test_case "malformed and oversized lines" `Quick
+            test_serve_malformed_and_oversized;
+          Alcotest.test_case "control ops and HTTP endpoints" `Quick
+            test_serve_ops_and_http;
+          Alcotest.test_case "graceful drain" `Quick
+            test_serve_graceful_drain;
+        ] );
+    ]
