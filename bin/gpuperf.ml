@@ -238,15 +238,17 @@ let workload_conv = Arg.enum [ ("matmul", `Matmul); ("tridiag", `Tridiag);
    daemon's [device] field can never drift apart. *)
 let variant_specs = List.tl Gpu_serve.Protocol.devices
 
-let report_of ~measure workload tile padded fmt dev =
+let report_of ?replay_sample ~measure workload tile padded fmt dev =
   match workload with
-  | `Matmul -> Gpu_workloads.Matmul.analyze ~spec:dev ~measure ~n:1024 ~tile ()
+  | `Matmul ->
+    Gpu_workloads.Matmul.analyze ?replay_sample ~spec:dev ~measure ~n:1024
+      ~tile ()
   | `Tridiag ->
-    Gpu_workloads.Tridiag.analyze ~spec:dev ~measure ~nsys:512 ~n:512 ~padded
-      ()
+    Gpu_workloads.Tridiag.analyze ?replay_sample ~spec:dev ~measure ~nsys:512
+      ~n:512 ~padded ()
   | `Spmv ->
     let m = Gpu_workloads.Spmv.qcd_like () in
-    Gpu_workloads.Spmv.analyze ~spec:dev ~measure m fmt
+    Gpu_workloads.Spmv.analyze ?replay_sample ~spec:dev ~measure m fmt
 
 let tile_arg =
   Arg.(value & opt int 16 & info [ "tile" ] ~doc:"Matmul tile (8|16|32)")
@@ -278,21 +280,49 @@ let workload_arg =
     & pos 0 (some workload_conv) None
     & info [] ~docv:"WORKLOAD" ~doc:"matmul, tridiag or spmv")
 
+(* Timing-replay cluster sampling: a CLI fraction becomes a seeded
+   [Engine.sample] so repeated invocations pick the same cluster subset. *)
+let replay_sample_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "replay-sample" ] ~docv:"FRAC"
+        ~doc:
+          "With $(b,--measure): replay timing on this fraction (0,1] of \
+           the grid's clusters instead of all of them.  The measurement \
+           becomes a seeded, reproducible extrapolation bracketed by \
+           confidence bounds and reported with degraded confidence.")
+
+let replay_sample_of = function
+  | None -> None
+  | Some f ->
+    if not (f > 0.0 && f <= 1.0) then
+      D.fail (D.error D.Cli "--replay-sample %g is outside (0, 1]" f);
+    Some { Gpu_timing.Engine.target = Gpu_timing.Engine.Fraction f; seed = 0 }
+
 let analyze_cmd =
-  let run workload tile padded fmt measure metrics mfmt jobs no_cache =
+  let run workload tile padded fmt measure rsample metrics mfmt jobs no_cache
+      =
     with_metrics metrics mfmt @@ fun () ->
     guard D.Cli @@ fun () ->
     apply_calibration_opts jobs no_cache;
-    let r = report_of ~measure workload tile padded fmt spec in
-    Fmt.pr "%a@." Gpu_model.Workflow.pp r
+    let replay_sample = replay_sample_of rsample in
+    let r = report_of ?replay_sample ~measure workload tile padded fmt spec in
+    Fmt.pr "%a@." Gpu_model.Workflow.pp r;
+    match r.Gpu_model.Workflow.measured with
+    | Some m ->
+      List.iter
+        (Fmt.pr "%a@." Gpu_diag.Diag.pp)
+        (Gpu_model.Workflow.replay_sample_warning m)
+    | None -> ()
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run the full Figure-1 workflow on a case-study workload")
     Term.(
       const run $ workload_arg $ tile_arg $ padded_arg $ fmt_arg
-      $ measure_flag $ metrics_arg $ metrics_format_arg $ jobs_arg
-      $ no_cache_arg)
+      $ measure_flag $ replay_sample_arg $ metrics_arg $ metrics_format_arg
+      $ jobs_arg $ no_cache_arg)
 
 (* --- whatif -------------------------------------------------------------- *)
 

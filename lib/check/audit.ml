@@ -12,7 +12,10 @@
        than fully busy);
      - internal structural checks (scoreboard monotonicity, no warp
        scheduled past its trace) are asserted by the engine itself and
-       arrive as exceptions.
+       arrive as exceptions;
+     - strategy determinism: the same case rerun without a timeline —
+       which lets the engine fan clusters out over the domain pool —
+       must reproduce every counter of the serial run bit-identically.
 
    The only slack is on the arithmetic pipeline's upper bound: the last
    issue may hold the pipe past the completion horizon by up to its own
@@ -140,6 +143,33 @@ let check ~(spec : Gpu_hw.Spec.t) (c : Case.t) : (unit, string) result =
       per_stage "alu" (fun st -> st.Engine.alu_ticks) "alu";
       per_stage "smem" (fun st -> st.Engine.smem_ticks) "smem";
       per_stage "gmem" (fun st -> st.Engine.gmem_ticks) "gmem";
+      (* Determinism across execution strategies: the timeline run above
+         forces the serial path; rerunning without a recorder takes the
+         parallel per-cluster path whenever the pool has domains.  The
+         engine promises bit-identical results either way, and every
+         counter the serial run satisfied above must survive the swap. *)
+      (match
+         Engine.run ~homogeneous:false ~spec
+           ~max_resident_blocks:c.max_resident traces
+       with
+      | exception e ->
+        ensure false "parallel path raised %s" (Printexc.to_string e)
+      | p ->
+        let same name v v' =
+          ensure (v = v') "parallel path %s = %d, serial says %d" name v' v
+        in
+        same "cycles" r.cycles p.Engine.cycles;
+        same "alu busy" r.alu_busy_cycles p.Engine.alu_busy_cycles;
+        same "smem busy" r.smem_busy_cycles p.Engine.smem_busy_cycles;
+        same "gmem busy" r.gmem_busy_cycles p.Engine.gmem_busy_cycles;
+        same "warps launched" r.warps_launched p.Engine.warps_launched;
+        same "warps retired" r.warps_retired p.Engine.warps_retired;
+        same "blocks retired" r.blocks_retired p.Engine.blocks_retired;
+        same "blocks unlaunched" r.blocks_unlaunched
+          p.Engine.blocks_unlaunched;
+        ensure
+          (p.Engine.sampled = None)
+          "unsampled replay reported a sampled estimate");
       match !problems with
       | [] -> Ok ()
       | ps ->

@@ -100,8 +100,26 @@ let span_attrs ~grid ~block (k : Gpu_kernel.Compile.compiled) =
     ("block", string_of_int block);
   ]
 
-let analyze_compiled ?(spec = Spec.gtx285) ?sample ?(measure = false)
-    ?timeline ~grid ~block ~args (k : Gpu_kernel.Compile.compiled) =
+(* The diagnostic surfaced alongside a sampled timing replay: the result
+   stands with degraded confidence, bracketed by the engine's bounds. *)
+let replay_sample_warning (m : Gpu_timing.Engine.result) =
+  match m.Gpu_timing.Engine.sampled with
+  | None -> []
+  | Some s ->
+    [
+      Gpu_diag.Diag.warning Gpu_diag.Diag.Timing
+        ~hint:"rerun without replay sampling for an exact measurement"
+        "timing replay sampled %d of %d clusters (%d blocks): measured \
+         time is an extrapolation in [%d, %d] cycles"
+        s.Gpu_timing.Engine.clusters_sampled
+        s.Gpu_timing.Engine.clusters_total
+        s.Gpu_timing.Engine.blocks_sampled s.Gpu_timing.Engine.cycles_low
+        s.Gpu_timing.Engine.cycles_high;
+    ]
+
+let analyze_compiled ?(spec = Spec.gtx285) ?sample ?replay_sample
+    ?(measure = false) ?timeline ~grid ~block ~args
+    (k : Gpu_kernel.Compile.compiled) =
   let attrs = span_attrs ~grid ~block k in
   let occupancy =
     Span.with_ ~attrs "extract" (fun () -> occupancy_of ~spec ~block k)
@@ -142,7 +160,7 @@ let analyze_compiled ?(spec = Spec.gtx285) ?sample ?(measure = false)
           Some
             (Gpu_timing.Engine.run
                ~homogeneous:(replay_homogeneous ~grid r)
-               ?timeline ~spec
+               ?timeline ?sample:replay_sample ~spec
                ~max_resident_blocks:occupancy.Gpu_hw.Occupancy.blocks traces))
     else None
   in
@@ -156,20 +174,22 @@ let analyze_compiled ?(spec = Spec.gtx285) ?sample ?(measure = false)
     measured;
   }
 
-let analyze ?spec ?sample ?measure ?timeline ~grid ~block ~args kernel =
+let analyze ?spec ?sample ?replay_sample ?measure ?timeline ~grid ~block
+    ~args kernel =
   let k =
     Span.with_
       ~attrs:[ ("kernel", kernel.Gpu_kernel.Ir.name) ]
       "compile"
       (fun () -> Gpu_kernel.Compile.compile kernel)
   in
-  analyze_compiled ?spec ?sample ?measure ?timeline ~grid ~block ~args k
+  analyze_compiled ?spec ?sample ?replay_sample ?measure ?timeline ~grid
+    ~block ~args k
 
 (* The [Result] face of the workflow: each stage's [_result] wrapper runs
    in sequence, so the first failing stage's diagnostic surfaces and no
    exception escapes.  Out-of-range warnings from the occupancy calculator
    and the model are pooled into one list alongside the report. *)
-let analyze_compiled_result ?(spec = Spec.gtx285) ?sample
+let analyze_compiled_result ?(spec = Spec.gtx285) ?sample ?replay_sample
     ?(measure = false) ?timeline ~grid ~block ~args
     (k : Gpu_kernel.Compile.compiled) =
   let module D = Gpu_diag.Diag in
@@ -220,10 +240,15 @@ let analyze_compiled_result ?(spec = Spec.gtx285) ?sample
               Some
                 (Gpu_timing.Engine.run
                    ~homogeneous:(replay_homogeneous ~grid r)
-                   ?timeline ~spec
+                   ?timeline ?sample:replay_sample ~spec
                    ~max_resident_blocks:occupancy.Gpu_hw.Occupancy.blocks
                    traces)))
     else Ok None
+  in
+  let replay_warnings =
+    match measured with
+    | Some m -> replay_sample_warning m
+    | None -> []
   in
   Ok
     ( {
@@ -235,10 +260,10 @@ let analyze_compiled_result ?(spec = Spec.gtx285) ?sample
         analysis;
         measured;
       },
-      occ_warnings @ analysis.Model.warnings )
+      occ_warnings @ analysis.Model.warnings @ replay_warnings )
 
-let analyze_result ?spec ?sample ?measure ?timeline ~grid ~block ~args
-    kernel =
+let analyze_result ?spec ?sample ?replay_sample ?measure ?timeline ~grid
+    ~block ~args kernel =
   let ( let* ) = Result.bind in
   let* k =
     Span.with_
@@ -246,8 +271,8 @@ let analyze_result ?spec ?sample ?measure ?timeline ~grid ~block ~args
       "compile"
       (fun () -> Gpu_kernel.Compile.compile_result kernel)
   in
-  analyze_compiled_result ?spec ?sample ?measure ?timeline ~grid ~block
-    ~args k
+  analyze_compiled_result ?spec ?sample ?replay_sample ?measure ?timeline
+    ~grid ~block ~args k
 
 let measured_seconds report =
   Option.map (fun (r : Gpu_timing.Engine.result) -> r.seconds)

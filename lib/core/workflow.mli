@@ -49,11 +49,16 @@ val traces_homogeneous : Gpu_sim.Trace.block_trace list -> bool
     [sample] limits functional simulation to the first n blocks (exact for
     block-homogeneous workloads; statistics are scaled, traces replicated).
     [measure] additionally replays the traces on the timing simulator;
+    [replay_sample] makes that replay simulate a seeded subset of
+    clusters ({!Gpu_timing.Engine.sample}) — the measurement is then an
+    extrapolation carried in [report.measured.sampled], and the
+    [_result] variants append a degraded-confidence warning;
     [timeline] is handed to {!Gpu_timing.Engine.run} to record the
     replay's per-pipeline busy intervals and warp states. *)
 val analyze :
   ?spec:Gpu_hw.Spec.t ->
   ?sample:int ->
+  ?replay_sample:Gpu_timing.Engine.sample ->
   ?measure:bool ->
   ?timeline:Gpu_obs.Timeline.t ->
   grid:int ->
@@ -66,6 +71,7 @@ val analyze :
 val analyze_compiled :
   ?spec:Gpu_hw.Spec.t ->
   ?sample:int ->
+  ?replay_sample:Gpu_timing.Engine.sample ->
   ?measure:bool ->
   ?timeline:Gpu_obs.Timeline.t ->
   grid:int ->
@@ -83,6 +89,7 @@ val analyze_compiled :
 val analyze_result :
   ?spec:Gpu_hw.Spec.t ->
   ?sample:int ->
+  ?replay_sample:Gpu_timing.Engine.sample ->
   ?measure:bool ->
   ?timeline:Gpu_obs.Timeline.t ->
   grid:int ->
@@ -95,6 +102,7 @@ val analyze_result :
 val analyze_compiled_result :
   ?spec:Gpu_hw.Spec.t ->
   ?sample:int ->
+  ?replay_sample:Gpu_timing.Engine.sample ->
   ?measure:bool ->
   ?timeline:Gpu_obs.Timeline.t ->
   grid:int ->
@@ -102,6 +110,12 @@ val analyze_compiled_result :
   args:(string * int32 array) list ->
   Gpu_kernel.Compile.compiled ->
   (report * Gpu_diag.Diag.t list, Gpu_diag.Diag.t) result
+
+(** The degraded-confidence warning a sampled timing replay carries
+    (empty when the replay was exact).  The [_result] analyzers append
+    it automatically; the serve daemon reuses it for replays it sampled
+    under deadline pressure. *)
+val replay_sample_warning : Gpu_timing.Engine.result -> Gpu_diag.Diag.t list
 
 val measured_seconds : report -> float option
 

@@ -43,6 +43,21 @@ let deadline_at ~now ~limits (req : Protocol.request) =
 
 let expired ~now = function Some t -> now >= t | None -> false
 
+(* Deadline-pressure replay sampling: when a measured request's remaining
+   budget at dispatch is tight, the timing replay runs on a sampled
+   cluster subset (degraded confidence, bracketed estimate) instead of
+   racing the watchdog to a timeout.  Pure in the remaining budget so the
+   thresholds are unit-testable; the sampling itself only bites on
+   heterogeneous replays — the homogeneous fast path already simulates a
+   single cluster. *)
+let replay_sample_fraction ~measure ~remaining_ms =
+  if not measure then None
+  else
+    match remaining_ms with
+    | Some ms when ms < 2_000.0 -> Some 0.1
+    | Some ms when ms < 10_000.0 -> Some 0.3
+    | Some _ | None -> None
+
 let retry_after_ms ~limits ~queue_depth =
   let over = max 0 (queue_depth - limits.queue_cap) in
   (* Base half-second per queued request ahead of you, floor 100ms. *)

@@ -36,6 +36,17 @@ val expired : now:float -> float option -> bool
     retrying, scaled by how far over capacity the queue is. *)
 val retry_after_ms : limits:limits -> queue_depth:int -> int
 
+(** Deadline-pressure policy for the timing replay of a measured
+    request: the cluster fraction to sample given the remaining budget
+    (milliseconds until the deadline, [None] = unbounded) at compute
+    dispatch.  [None] means replay exactly; under 10 s of budget sample
+    30% of clusters, under 2 s sample 10%.  Sampling only changes
+    heterogeneous replays — the homogeneous fast path already simulates
+    one representative cluster — and surfaces as degraded confidence
+    with bracketing bounds instead of a watchdog timeout. *)
+val replay_sample_fraction :
+  measure:bool -> remaining_ms:float option -> float option
+
 (** {2 Diagnostics} *)
 
 val timeout_diag : deadline_ms:int -> elapsed_ms:float -> Gpu_diag.Diag.t

@@ -217,7 +217,7 @@ let finish t infl resp =
 
 (* --- the compute path (worker domains) ------------------------------------ *)
 
-let run_analysis (req : P.request) =
+let run_analysis ?replay_sample (req : P.request) =
   let spec =
     match P.device_of_name req.P.device with
     | Some s -> s
@@ -227,19 +227,42 @@ let run_analysis (req : P.request) =
   let sample = req.P.sample in
   match req.P.params with
   | P.Matmul { n; tile } ->
-    Gpu_workloads.Matmul.analyze ~spec ~measure ?sample ~n ~tile ()
+    Gpu_workloads.Matmul.analyze ~spec ~measure ?sample ?replay_sample ~n
+      ~tile ()
   | P.Tridiag { nsys; n; padded } ->
-    Gpu_workloads.Tridiag.analyze ~spec ~measure ?sample ~nsys ~n ~padded ()
+    Gpu_workloads.Tridiag.analyze ~spec ~measure ?sample ?replay_sample
+      ~nsys ~n ~padded ()
   | P.Spmv { spmv_format } ->
-    Gpu_workloads.Spmv.analyze ~spec ~measure ?sample
+    Gpu_workloads.Spmv.analyze ~spec ~measure ?sample ?replay_sample
       (Gpu_workloads.Spmv.qcd_like ())
       spmv_format
 
+(* Deadline pressure → sampled replay: a measured request whose remaining
+   budget is tight replays a seeded cluster subset (the seed derives from
+   the request id, so retries sample the same subset) and answers with
+   degraded confidence instead of letting the watchdog time it out. *)
+let replay_sample_under_pressure (infl : inflight) ~now =
+  let remaining_ms =
+    Option.map (fun d -> (d -. now) *. 1000.) infl.deadline
+  in
+  Budget.replay_sample_fraction ~measure:infl.req.P.measure ~remaining_ms
+  |> Option.map (fun f ->
+         {
+           Gpu_timing.Engine.target = Gpu_timing.Engine.Fraction f;
+           seed = Hashtbl.hash infl.req.P.id;
+         })
+
 let render_success t (req : P.request) (report : Gpu_model.Workflow.report) =
   let workload = P.workload_name req.P.params in
+  let replay_sampled =
+    match report.Gpu_model.Workflow.measured with
+    | Some m -> Option.is_some m.Gpu_timing.Engine.sampled
+    | None -> false
+  in
   let confidence =
     match report.Gpu_model.Workflow.analysis.Gpu_model.Model.confidence with
-    | Gpu_model.Model.Calibrated when not (Atomic.get t.degraded) ->
+    | Gpu_model.Model.Calibrated
+      when (not (Atomic.get t.degraded)) && not replay_sampled ->
       "calibrated"
     | _ -> "degraded"
   in
@@ -266,7 +289,13 @@ let render_success t (req : P.request) (report : Gpu_model.Workflow.report) =
       in
       (None, Some (Gpu_report.Render.render rf inputs))
   in
-  let diags = report.Gpu_model.Workflow.analysis.Gpu_model.Model.warnings in
+  let diags =
+    report.Gpu_model.Workflow.analysis.Gpu_model.Model.warnings
+    @
+    match report.Gpu_model.Workflow.measured with
+    | Some m -> Gpu_model.Workflow.replay_sample_warning m
+    | None -> []
+  in
   (confidence, body, rendered, diags)
 
 let post_completion t infl resp_of_elapsed =
@@ -284,7 +313,13 @@ let compute t infl =
     (* Crash isolation: any exception out of the workload (kernel
        construction, launch validation, simulator faults) becomes an
        [error] response; the worker and the daemon are untouched. *)
-    match D.protect ~stage:D.Exec (fun () -> run_analysis infl.req) with
+    let replay_sample =
+      replay_sample_under_pressure infl ~now:(Unix.gettimeofday ())
+    in
+    match
+      D.protect ~stage:D.Exec (fun () ->
+          run_analysis ?replay_sample infl.req)
+    with
     | Ok report ->
       let confidence, body, rendered, diags =
         render_success t infl.req report

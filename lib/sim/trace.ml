@@ -2,7 +2,17 @@
    warp-instruction, carrying just what timing needs — the cost class, the
    register dependence information for the per-warp scoreboard, and the
    memory transactions the access generated.  Predicate registers share the
-   register id space at [pred_reg_base + n]. *)
+   register id space at [pred_reg_base + n].
+
+   Two representations live here.  The [event] record is the construction
+   and interchange form: the interpreter builds it, the checking harness
+   lowers generated cases to it, and the workflow compares it for
+   homogeneity.  [Flat] is the packed structure-of-arrays form the timing
+   engine replays: each warp trace decodes once into parallel int arrays
+   (one slot per event, flattened side arrays for the variable-length
+   parts), after which the replay hot loop is pure index arithmetic with
+   no per-event pointer chasing.  A [Flat.t] is immutable after [of_warp]
+   and safe to share read-only across blocks and domains. *)
 
 module I = Gpu_isa.Instr
 
@@ -28,16 +38,24 @@ type warp_trace = event array
 
 type block_trace = { block : int; warps : warp_trace array }
 
-(* Builder used by the interpreter. *)
-type builder = { mutable events : event list; mutable count : int }
+(* Builder used by the interpreter: an amortized-doubling buffer, so a
+   trace of n events costs O(log n) allocations instead of an n-long
+   reversed list plus the [Array.of_list] copy. *)
+type builder = { mutable buf : event array; mutable count : int }
 
-let builder () = { events = []; count = 0 }
+let builder () = { buf = [||]; count = 0 }
 
 let add b e =
-  b.events <- e :: b.events;
+  let cap = Array.length b.buf in
+  if b.count = cap then begin
+    let buf = Array.make (max 16 (2 * cap)) e in
+    Array.blit b.buf 0 buf 0 b.count;
+    b.buf <- buf
+  end;
+  b.buf.(b.count) <- e;
   b.count <- b.count + 1
 
-let finish b = Array.of_list (List.rev b.events)
+let finish b = Array.sub b.buf 0 b.count
 
 let event_count (t : block_trace) =
   Array.fold_left (fun acc w -> acc + Array.length w) 0 t.warps
@@ -47,3 +65,117 @@ let mem_bytes = function
   | No_mem | Smem _ -> 0
   | Gmem_load txns | Gmem_store txns ->
     Array.fold_left (fun acc (_, size) -> acc + size) 0 txns
+
+(* --- packed structure-of-arrays form ------------------------------------ *)
+
+module Flat = struct
+  (* Per-event kind codes.  The fused/plain shared-memory split is decided
+     here (an arithmetic class with a shared operand vs a plain LSU
+     load/store) so the replay loop dispatches on one integer. *)
+  let k_alu = 0
+  let k_smem = 1
+  let k_smem_fused = 2
+  let k_gmem_load = 3
+  let k_gmem_store = 4
+  let k_bar = 5
+
+  type t = {
+    n : int; (* event count *)
+    kind : int array; (* n: one of the [k_*] codes *)
+    cls : int array; (* n: cost-class index (Stats.class_index) *)
+    dst : int array; (* n: destination register id, or [no_reg] *)
+    soff : int array; (* n+1: prefix offsets into [srcs] *)
+    srcs : int array; (* flattened source register ids *)
+    smem_txns : int array; (* n: half-warp transactions; 0 unless smem *)
+    goff : int array; (* n+1: prefix offsets into [gbase]/[gsize] *)
+    gbase : int array; (* flattened gmem transaction bases *)
+    gsize : int array; (* flattened gmem transaction sizes *)
+  }
+
+  let length t = t.n
+
+  let of_warp (w : warp_trace) =
+    let n = Array.length w in
+    let nsrcs = ref 0 and ngmem = ref 0 in
+    Array.iter
+      (fun (e : event) ->
+        nsrcs := !nsrcs + Array.length e.srcs;
+        match e.mem with
+        | Gmem_load txns | Gmem_store txns ->
+          ngmem := !ngmem + Array.length txns
+        | No_mem | Smem _ -> ())
+      w;
+    let t =
+      {
+        n;
+        kind = Array.make n 0;
+        cls = Array.make n 0;
+        dst = Array.make n no_reg;
+        soff = Array.make (n + 1) 0;
+        srcs = Array.make !nsrcs 0;
+        smem_txns = Array.make n 0;
+        goff = Array.make (n + 1) 0;
+        gbase = Array.make !ngmem 0;
+        gsize = Array.make !ngmem 0;
+      }
+    in
+    let si = ref 0 and gi = ref 0 in
+    Array.iteri
+      (fun i (e : event) ->
+        t.cls.(i) <- Stats.class_index e.cls;
+        t.dst.(i) <- e.dst;
+        t.soff.(i) <- !si;
+        Array.iter
+          (fun s ->
+            t.srcs.(!si) <- s;
+            incr si)
+          e.srcs;
+        t.goff.(i) <- !gi;
+        (if e.bar then t.kind.(i) <- k_bar
+         else
+           match e.mem with
+           | No_mem -> t.kind.(i) <- k_alu
+           | Smem txns ->
+             t.kind.(i) <-
+               (if e.cls <> I.Class_mem then k_smem_fused else k_smem);
+             t.smem_txns.(i) <- txns
+           | Gmem_load txns | Gmem_store txns ->
+             t.kind.(i) <-
+               (match e.mem with
+               | Gmem_load _ -> k_gmem_load
+               | _ -> k_gmem_store);
+             Array.iter
+               (fun (base, size) ->
+                 t.gbase.(!gi) <- base;
+                 t.gsize.(!gi) <- size;
+                 incr gi)
+               txns))
+      w;
+    t.soff.(n) <- !si;
+    t.goff.(n) <- !gi;
+    t
+
+  (* Exact inverse of [of_warp] — the round-trip unit test pins the packed
+     encoding to the event form. *)
+  let to_events t =
+    Array.init t.n (fun i ->
+        let srcs = Array.sub t.srcs t.soff.(i) (t.soff.(i + 1) - t.soff.(i)) in
+        let txns () =
+          Array.init
+            (t.goff.(i + 1) - t.goff.(i))
+            (fun j ->
+              (t.gbase.(t.goff.(i) + j), t.gsize.(t.goff.(i) + j)))
+        in
+        let k = t.kind.(i) in
+        {
+          cls = Stats.class_of_index t.cls.(i);
+          dst = t.dst.(i);
+          srcs;
+          mem =
+            (if k = k_smem || k = k_smem_fused then Smem t.smem_txns.(i)
+             else if k = k_gmem_load then Gmem_load (txns ())
+             else if k = k_gmem_store then Gmem_store (txns ())
+             else No_mem);
+          bar = k = k_bar;
+        })
+end

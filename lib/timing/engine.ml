@@ -26,18 +26,45 @@
    over clusters; for homogeneous workloads only the most-loaded cluster is
    simulated.
 
+   Throughput (DESIGN §14): before replay every distinct warp trace —
+   distinct by physical identity, which the workflow's cyclic trace
+   replication preserves — is decoded once into a [cooked] form: the
+   packed [Trace.Flat] arrays plus per-event pipeline costs precomputed
+   from the device parameters.  The replay loop is then index arithmetic
+   over shared read-only arrays.  On top of that, consecutive events of a
+   warp that would re-enter the event queue strictly before every queued
+   event are coalesced into one heap transaction (provably the same
+   schedule as push-then-pop), and on the heterogeneous path independent
+   clusters fan out over the domain pool with a deterministic
+   cluster-order reduction — bit-identical to the serial fold.  [?sample]
+   replays a seeded subset of clusters and extrapolates (see
+   {!sampled_estimate}).
+
    Observability: [run ?timeline] optionally records every pipeline busy
    interval and warp hold/park interval into a [Gpu_obs.Timeline], plus a
    per-barrier-stage busy attribution ([stages_busy]).  The pipe slices
    tile exactly: per category their durations sum to the engine's busy
    tick counters, which the lib/check audit asserts.  With no timeline the
    recording paths are a [None] match per event — no allocation, no
-   measurable cost. *)
+   measurable cost.  Because the recorder's stage accumulators are shared
+   mutable state, a timeline forces the serial cluster path. *)
 
 module Trace = Gpu_sim.Trace
+module Flat = Gpu_sim.Trace.Flat
 module Metrics = Gpu_obs.Metrics
+module Pool = Gpu_parallel.Pool
 
 type stage_busy = { alu_ticks : int; smem_ticks : int; gmem_ticks : int }
+
+type sampled_estimate = {
+  clusters_sampled : int;
+  clusters_total : int; (* non-empty clusters the full replay would run *)
+  blocks_sampled : int;
+  cycles_low : int;
+      (* the sampled maximum: a guaranteed lower bound on the full-replay
+         cycles, since the sampled clusters are a subset of all *)
+  cycles_high : int; (* heuristic upper estimate (see [estimate_high]) *)
+}
 
 type result = {
   cycles : int;
@@ -59,55 +86,19 @@ type result = {
   stages_busy : stage_busy array;
       (* per-barrier-stage busy ticks over the simulated clusters; empty
          unless a timeline was recording *)
+  sampled : sampled_estimate option;
+      (* present iff the replay ran on a sampled cluster subset *)
 }
+
+type sample_target = Fraction of float | Max_blocks of int
+
+type sample = { target : sample_target; seed : int }
 
 let reg_slots = 140 (* 128 general registers + mapped predicates *)
 
 let map_reg id =
   if id >= Trace.pred_reg_base then 128 + (id - Trace.pred_reg_base)
   else id
-
-type cluster_state = {
-  mutable gmem_free : int;
-  mutable gmem_busy : int;
-  pid : int; (* timeline process id: original cluster index + 1 *)
-}
-
-type sm_state = {
-  mutable alu_free : int;
-  mutable smem_free : int;
-  mutable alu_busy : int;
-  mutable smem_busy : int;
-  mutable resident : int;
-  mutable free_warp_slots : int;
-  max_resident : int;
-  warp_slot_capacity : int;
-  mutable pending : Trace.block_trace list;
-  mutable warps_launched : int;
-  mutable warps_retired : int;
-  mutable blocks_retired : int;
-  ord : int; (* device-wide SM index, for timeline track ids *)
-  cluster : cluster_state;
-}
-
-type block_state = {
-  mutable live : int;
-  mutable waiting : int;
-  mutable parked : warp_state list;
-  bid : int; (* grid block id, for timeline track ids *)
-  sm : sm_state;
-}
-
-and warp_state = {
-  trace : Trace.warp_trace;
-  mutable idx : int;
-  mutable ready : int;
-  regs : int array; (* ready time per mapped register *)
-  wid : int; (* warp index within its block *)
-  mutable stage : int; (* barrier-delimited stage the warp is in *)
-  mutable park_t : int; (* when the warp parked at the current barrier *)
-  block : block_state;
-}
 
 (* All engine times are in TICKS of a tenth of a core cycle, so that
    fractional issue occupancies are exact: a class I warp instruction holds
@@ -161,6 +152,178 @@ let make_params (spec : Gpu_hw.Spec.t) =
     gmem_txn_ticks;
   }
 
+(* --- pre-decoded traces -------------------------------------------------- *)
+
+(* One warp trace, decoded once per [run]: the packed [Flat] arrays plus
+   the per-event pipeline costs under the run's device parameters, so the
+   replay loop never touches an event record, never recomputes an issue
+   occupancy and never folds over a transaction list.  Immutable, shared
+   read-only across every block replicating this warp and across worker
+   domains. *)
+type cooked = {
+  n : int; (* event count *)
+  kind : int array; (* [Flat.k_*] code per event (shares the decode array) *)
+  soff : int array; (* source offsets into [msrcs], length n+1 *)
+  occ : int array; (* issue-pipe ticks (alu, or the fused smem charge) *)
+  busy : int array; (* smem/gmem pipe busy ticks *)
+  hold : int array; (* warp hold ticks counted from the event's start *)
+  mdst : int array; (* [map_reg]-mapped destination slot, or -1 *)
+  msrcs : int array; (* mapped sources, laid out like [Flat.srcs] *)
+}
+
+let cook p (wt : Trace.warp_trace) =
+  let fl = Flat.of_warp wt in
+  let n = fl.Flat.n in
+  let occ = Array.make n 0 in
+  let busy = Array.make n 0 in
+  let hold = Array.make n 0 in
+  let mdst =
+    Array.map (fun d -> if d >= 0 then map_reg d else -1) fl.Flat.dst
+  in
+  let msrcs = Array.map map_reg fl.Flat.srcs in
+  for i = 0 to n - 1 do
+    let k = fl.Flat.kind.(i) in
+    if k = Flat.k_alu then begin
+      let o = p.issue.(fl.Flat.cls.(i)) in
+      occ.(i) <- o;
+      hold.(i) <- max o p.warp_gap
+    end
+    else if k = Flat.k_smem || k = Flat.k_smem_fused then begin
+      let txns = fl.Flat.smem_txns.(i) in
+      busy.(i) <- txns * p.smem_access;
+      if k = Flat.k_smem_fused then occ.(i) <- p.issue.(fl.Flat.cls.(i));
+      hold.(i) <- max p.warp_gap (txns * p.smem_replay)
+    end
+    else if k = Flat.k_gmem_load || k = Flat.k_gmem_store then begin
+      let b = ref 0 in
+      for j = fl.Flat.goff.(i) to fl.Flat.goff.(i + 1) - 1 do
+        b := !b + p.gmem_txn_ticks fl.Flat.gsize.(j)
+      done;
+      busy.(i) <- !b;
+      hold.(i) <- max p.mem_dispatch p.warp_gap
+    end
+  done;
+  (* Only the arrays the replay loop reads survive: the rest of the [Flat]
+     decode (classes, raw registers, transaction lists) dies young instead
+     of being promoted out of the minor heap on every run. *)
+  { n; kind = fl.Flat.kind; soff = fl.Flat.soff; occ; busy; hold; mdst; msrcs }
+
+(* A block lowered to its cooked warps: what the scheduler queues. *)
+type cblock = { cbid : int; cwarps : cooked array }
+
+(* Interning table keyed by *physical* identity of the warp-trace array:
+   [Workflow.replicate_traces] replicates blocks by sharing the sampled
+   warp arrays, so a g-block grid built from n samples decodes n blocks'
+   worth of warps, not g.  Structural hashing is depth-bounded, and a
+   hash collision between distinct arrays merely cooks both. *)
+module WT = Hashtbl.Make (struct
+  type t = Trace.warp_trace
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+(* Cross-run cook memo: a serve daemon or benchmark loop replays the same
+   traces under the same device spec over and over, and every [cook] is
+   pure in (spec, warp trace).  Keys are weak (ephemeron): dropping a
+   trace or spec drops its cooked entry.  The spec key is structural —
+   [Spec.t] is plain data — while the trace key is physical, matching the
+   per-run intern table.  Guarded by a mutex because [run] is called
+   concurrently from serve worker domains; the lock covers only lookup
+   and insert, never the cook itself, so a racing duplicate cook is
+   wasted work, not a hazard. *)
+module Memo =
+  Ephemeron.K2.Make
+    (struct
+      type t = Gpu_hw.Spec.t
+
+      let equal = ( = )
+      let hash = Hashtbl.hash
+    end)
+    (struct
+      type t = Trace.warp_trace
+
+      let equal = ( == )
+      let hash = Hashtbl.hash
+    end)
+
+let memo : cooked Memo.t = Memo.create 256
+let memo_lock = Mutex.create ()
+
+(* A cooking function with one intern table for its whole lifetime: every
+   block cooked through the same cooker shares decodes for physically
+   shared warp arrays, no matter which cluster the blocks land on.  [run]
+   makes one cooker per call and feeds it only the blocks it will
+   actually simulate, so a sampled replay never decodes the blocks it
+   skips. *)
+let cooker p =
+  let table = WT.create 64 in
+  let spec = p.spec in
+  let cook_warp wt =
+    match WT.find_opt table wt with
+    | Some c -> c
+    | None ->
+      let c =
+        match
+          Mutex.protect memo_lock (fun () -> Memo.find_opt memo (spec, wt))
+        with
+        | Some c -> c
+        | None ->
+          let c = cook p wt in
+          Mutex.protect memo_lock (fun () -> Memo.replace memo (spec, wt) c);
+          c
+      in
+      WT.add table wt c;
+      c
+  in
+  fun (bt : Trace.block_trace) ->
+    { cbid = bt.block; cwarps = Array.map cook_warp bt.warps }
+
+(* --- mutable replay state ------------------------------------------------ *)
+
+type cluster_state = {
+  mutable gmem_free : int;
+  mutable gmem_busy : int;
+  mutable events : int; (* events replayed in this cluster *)
+  pid : int; (* timeline process id: original cluster index + 1 *)
+}
+
+type sm_state = {
+  mutable alu_free : int;
+  mutable smem_free : int;
+  mutable alu_busy : int;
+  mutable smem_busy : int;
+  mutable resident : int;
+  mutable free_warp_slots : int;
+  max_resident : int;
+  warp_slot_capacity : int;
+  mutable pending : cblock list;
+  mutable warps_launched : int;
+  mutable warps_retired : int;
+  mutable blocks_retired : int;
+  ord : int; (* device-wide SM index, for timeline track ids *)
+  cluster : cluster_state;
+}
+
+type block_state = {
+  mutable live : int;
+  mutable waiting : int;
+  mutable parked : warp_state list;
+  bid : int; (* grid block id, for timeline track ids *)
+  sm : sm_state;
+}
+
+and warp_state = {
+  ck : cooked;
+  mutable idx : int;
+  mutable ready : int;
+  regs : int array; (* ready time per mapped register *)
+  wid : int; (* warp index within its block *)
+  mutable stage : int; (* barrier-delimited stage the warp is in *)
+  mutable park_t : int; (* when the warp parked at the current barrier *)
+  block : block_state;
+}
+
 (* --- timeline recorder -------------------------------------------------- *)
 
 (* Shared across the clusters of one [run]: the ring buffer plus the
@@ -168,7 +331,9 @@ let make_params (spec : Gpu_hw.Spec.t) =
    durations tile exactly into the busy tick counters; warp slices cover
    each warp's hold (issue / smem / gmem) and park (barrier) intervals,
    which never overlap on a warp's track because a warp's next event
-   starts no earlier than its previous hold ended. *)
+   starts no earlier than its previous hold ended.  The stage arrays grow
+   unsynchronized, which is why an attached recorder pins [run] to the
+   serial cluster path. *)
 type recorder = {
   tl : Gpu_obs.Timeline.t;
   mutable st_alu : int array; (* busy ticks per stage index *)
@@ -231,23 +396,22 @@ let charge_stage r ~stage ~alu ~smem ~gmem =
 (* Launch one block's warps at [now].  Empty-trace warps retire through
    [warp_finished] like any other warp, so their slots return and an
    all-empty block still releases the SM. *)
-let rec launch_block p rc (pq : warp_state Heap.t) sm
-    (bt : Trace.block_trace) now =
+let rec launch_block p rc (pq : warp_state Heap.t) sm (cb : cblock) now =
   let block =
     {
-      live = Array.length bt.warps;
+      live = Array.length cb.cwarps;
       waiting = 0;
       parked = [];
-      bid = bt.block;
+      bid = cb.cbid;
       sm;
     }
   in
-  sm.warps_launched <- sm.warps_launched + Array.length bt.warps;
+  sm.warps_launched <- sm.warps_launched + Array.length cb.cwarps;
   Array.iteri
-    (fun wid wt ->
+    (fun wid ck ->
       let w =
         {
-          trace = wt;
+          ck;
           idx = 0;
           ready = now;
           regs = Array.make reg_slots now;
@@ -263,9 +427,9 @@ let rec launch_block p rc (pq : warp_state Heap.t) sm
         Gpu_obs.Timeline.set_thread r.tl ~pid:sm.cluster.pid
           ~tid:(warp_tid ~bid:block.bid ~wid)
           (Printf.sprintf "b%d.w%d" block.bid wid));
-      if Array.length wt > 0 then Heap.add pq ~key:now w
+      if ck.n > 0 then Heap.add pq ~key:now w
       else warp_finished p rc pq w now)
-    bt.warps
+    cb.cwarps
 
 (* Launch as many pending blocks as the SM's resources allow at [now].
    Normally a slot frees only when a whole block retires; under the
@@ -274,8 +438,8 @@ let rec launch_block p rc (pq : warp_state Heap.t) sm
 and try_launch p rc pq sm now =
   match sm.pending with
   | [] -> ()
-  | bt :: rest ->
-    let wpb = Array.length bt.Trace.warps in
+  | cb :: rest ->
+    let wpb = Array.length cb.cwarps in
     let ok =
       if p.spec.Gpu_hw.Spec.early_release then sm.free_warp_slots >= wpb
       else sm.resident < sm.max_resident
@@ -284,7 +448,7 @@ and try_launch p rc pq sm now =
       sm.pending <- rest;
       sm.resident <- sm.resident + 1;
       sm.free_warp_slots <- sm.free_warp_slots - wpb;
-      launch_block p rc pq sm bt now;
+      launch_block p rc pq sm cb now;
       try_launch p rc pq sm now
     end
 
@@ -328,149 +492,187 @@ and release_parked p rc pq block t =
         if t > pw.park_t then
           rec_warp r pw ~name:"barrier" ~start:pw.park_t ~dur:(t - pw.park_t));
       pw.ready <- t;
-      if pw.idx >= Array.length pw.trace then warp_finished p rc pq pw t
+      if pw.idx >= pw.ck.n then warp_finished p rc pq pw t
       else Heap.add pq ~key:t pw)
     parked
 
 (* In-order scoreboard invariant: a register's ready time never moves
    backward, because the dependence wait already includes the WAW check on
    the destination.  A violation means the scoreboard lost an ordering
-   edge — an engine bug the fuzz harness must be able to see. *)
+   edge — an engine bug the fuzz harness must be able to see.  [r] is
+   already mapped. *)
 let write_reg w r time =
-  let r = map_reg r in
   if time < w.regs.(r) then
     failwith "Engine: non-monotone register ready-time";
   w.regs.(r) <- time
 
-(* Process one warp's next event.  Returns the completion horizon the event
-   contributes to total time. *)
-let process p rc pq w now =
-  (* Engine invariant: scheduled warps always have an event left.  A
-     violation is an engine bug (lost retirement accounting), not bad
-     input; fail structurally instead of via the array bounds check. *)
-  if w.idx >= Array.length w.trace then
-    failwith "Engine: warp scheduled past the end of its trace";
-  let e = w.trace.(w.idx) in
-  (* Dependences: wait for sources and destination (WAW). *)
-  let t = ref (max now w.ready) in
-  Array.iter
-    (fun s ->
-      let r = w.regs.(map_reg s) in
-      if r > !t then t := r)
-    e.Trace.srcs;
-  if e.dst >= 0 then begin
-    let r = w.regs.(map_reg e.dst) in
-    if r > !t then t := r
-  end;
-  let t = !t in
-  let sm = w.block.sm in
-  if e.bar then begin
-    (* Barrier: advance past it, then park until the block catches up. *)
-    w.idx <- w.idx + 1;
-    w.ready <- t;
-    w.stage <- w.stage + 1;
-    let block = w.block in
-    if block.waiting + 1 = block.live then begin
-      (* last arrival: release everyone *)
-      release_parked p rc pq block t;
-      if w.idx >= Array.length w.trace then warp_finished p rc pq w t
-      else Heap.add pq ~key:t w
+(* Process a warp activation: the popped event plus any directly following
+   events of the same warp that would re-enter the queue strictly before
+   every queued event.  For those the [Heap.add] / [Heap.pop] pair is a
+   provable no-op — a key strictly below the root sifts to the root and
+   pops right back — so the events coalesce into one heap transaction and
+   the schedule (and every busy counter and timeline slice) is identical
+   to the uncoalesced engine.  Ties never coalesce: with equal keys the
+   pop could legitimately pick another warp.  Returns the max completion
+   horizon the activation contributes to total time. *)
+let process p rc pq w now0 =
+  let ck = w.ck in
+  let n = ck.n in
+  let horizon = ref 0 in
+  let now = ref now0 in
+  let running = ref true in
+  while !running do
+    (* Engine invariant: scheduled warps always have an event left.  A
+       violation is an engine bug (lost retirement accounting), not bad
+       input; fail structurally instead of via the array bounds check. *)
+    if w.idx >= n then
+      failwith "Engine: warp scheduled past the end of its trace";
+    let i = w.idx in
+    let sm = w.block.sm in
+    sm.cluster.events <- sm.cluster.events + 1;
+    (* Dependences: wait for sources and destination (WAW). *)
+    let t = ref (if !now > w.ready then !now else w.ready) in
+    for j = ck.soff.(i) to ck.soff.(i + 1) - 1 do
+      let r = w.regs.(ck.msrcs.(j)) in
+      if r > !t then t := r
+    done;
+    let dst = ck.mdst.(i) in
+    if dst >= 0 then begin
+      let r = w.regs.(dst) in
+      if r > !t then t := r
+    end;
+    let t = !t in
+    let k = ck.kind.(i) in
+    if k = Flat.k_bar then begin
+      (* Barrier: advance past it, then park until the block catches up.
+         Never coalesced: release re-queues peers at the same key. *)
+      w.idx <- i + 1;
+      w.ready <- t;
+      w.stage <- w.stage + 1;
+      let block = w.block in
+      if block.waiting + 1 = block.live then begin
+        (* last arrival: release everyone *)
+        release_parked p rc pq block t;
+        if w.idx >= n then warp_finished p rc pq w t
+        else Heap.add pq ~key:t w
+      end
+      else begin
+        w.park_t <- t;
+        block.waiting <- block.waiting + 1;
+        block.parked <- w :: block.parked
+      end;
+      if t > !horizon then horizon := t;
+      running := false
     end
     else begin
-      w.park_t <- t;
-      block.waiting <- block.waiting + 1;
-      block.parked <- w :: block.parked
-    end;
-    t
-  end
-  else begin
-    let horizon =
-      match e.mem with
-      | Trace.No_mem ->
-        let cls_index = Gpu_sim.Stats.class_index e.cls in
-        let occ = p.issue.(cls_index) in
-        let start = max t sm.alu_free in
-        sm.alu_free <- start + occ;
-        sm.alu_busy <- sm.alu_busy + occ;
-        let complete = start + p.alu_latency in
-        if e.dst >= 0 then write_reg w e.dst complete;
-        w.ready <- start + max occ p.warp_gap;
-        (match rc with
-        | None -> ()
-        | Some r ->
-          rec_pipe r sm ~alu:true ~start ~dur:occ;
-          rec_warp r w ~name:"issue" ~start ~dur:(w.ready - start);
-          charge_stage r ~stage:w.stage ~alu:occ ~smem:0 ~gmem:0);
-        complete
-      | Trace.Smem txns ->
-        (* A fused arithmetic instruction with a shared operand (class II
-           Fmad_smem) occupies both the issue pipeline and the shared
-           pipeline; plain loads and stores dispatch through the LSU and
-           only hold the shared pipeline. *)
-        let fused = e.cls <> Gpu_isa.Instr.Class_mem in
-        let busy = txns * p.smem_access in
-        let start =
-          if fused then max (max t sm.smem_free) sm.alu_free
-          else max t sm.smem_free
-        in
-        sm.smem_free <- start + busy;
-        sm.smem_busy <- sm.smem_busy + busy;
-        let occ = if fused then p.issue.(Gpu_sim.Stats.class_index e.cls)
-          else 0
-        in
-        if fused then begin
+      let h =
+        if k = Flat.k_alu then begin
+          let occ = ck.occ.(i) in
+          let start = if t > sm.alu_free then t else sm.alu_free in
           sm.alu_free <- start + occ;
-          sm.alu_busy <- sm.alu_busy + occ
-        end;
-        let complete = start + busy + p.smem_latency in
-        if e.dst >= 0 then write_reg w e.dst complete;
-        (* The LSU replays a conflicted access once per serialized
-           transaction and the scheduler only revisits the warp after the
-           replays drain, so the warp is held per transaction. *)
-        w.ready <- start + max p.warp_gap (txns * p.smem_replay);
-        (match rc with
-        | None -> ()
-        | Some r ->
-          rec_pipe r sm ~alu:false ~start ~dur:busy;
-          if fused then rec_pipe r sm ~alu:true ~start ~dur:occ;
-          rec_warp r w ~name:"smem" ~start ~dur:(w.ready - start);
-          charge_stage r ~stage:w.stage ~alu:occ ~smem:busy ~gmem:0);
-        if e.dst >= 0 then complete else start + busy
-      | Trace.Gmem_load txns | Trace.Gmem_store txns ->
-        let cl = sm.cluster in
-        let busy =
-          Array.fold_left
-            (fun acc (_, size) -> acc + p.gmem_txn_ticks size)
-            0 txns
-        in
-        let start = max t cl.gmem_free in
-        cl.gmem_free <- start + busy;
-        cl.gmem_busy <- cl.gmem_busy + busy;
-        let complete = start + busy + p.gmem_latency in
-        if e.dst >= 0 then write_reg w e.dst complete;
-        w.ready <- start + max p.mem_dispatch p.warp_gap;
-        (match rc with
-        | None -> ()
-        | Some r ->
-          rec_gmem r cl ~start ~dur:busy;
-          rec_warp r w ~name:"gmem" ~start ~dur:(w.ready - start);
-          charge_stage r ~stage:w.stage ~alu:0 ~smem:0 ~gmem:busy);
-        (match e.mem with
-        | Trace.Gmem_load _ -> complete
-        | _ -> start + busy)
-    in
-    w.idx <- w.idx + 1;
-    if w.idx >= Array.length w.trace then warp_finished p rc pq w w.ready
-    else Heap.add pq ~key:w.ready w;
-    horizon
-  end
+          sm.alu_busy <- sm.alu_busy + occ;
+          let complete = start + p.alu_latency in
+          if dst >= 0 then write_reg w dst complete;
+          w.ready <- start + ck.hold.(i);
+          (match rc with
+          | None -> ()
+          | Some r ->
+            rec_pipe r sm ~alu:true ~start ~dur:occ;
+            rec_warp r w ~name:"issue" ~start ~dur:(w.ready - start);
+            charge_stage r ~stage:w.stage ~alu:occ ~smem:0 ~gmem:0);
+          complete
+        end
+        else if k = Flat.k_smem || k = Flat.k_smem_fused then begin
+          (* A fused arithmetic instruction with a shared operand (class II
+             Fmad_smem) occupies both the issue pipeline and the shared
+             pipeline; plain loads and stores dispatch through the LSU and
+             only hold the shared pipeline. *)
+          let fused = k = Flat.k_smem_fused in
+          let busy = ck.busy.(i) in
+          let start =
+            if fused then
+              let s = if t > sm.smem_free then t else sm.smem_free in
+              if s > sm.alu_free then s else sm.alu_free
+            else if t > sm.smem_free then t
+            else sm.smem_free
+          in
+          sm.smem_free <- start + busy;
+          sm.smem_busy <- sm.smem_busy + busy;
+          let occ = ck.occ.(i) in
+          if fused then begin
+            sm.alu_free <- start + occ;
+            sm.alu_busy <- sm.alu_busy + occ
+          end;
+          let complete = start + busy + p.smem_latency in
+          if dst >= 0 then write_reg w dst complete;
+          (* The LSU replays a conflicted access once per serialized
+             transaction and the scheduler only revisits the warp after the
+             replays drain, so the warp is held per transaction. *)
+          w.ready <- start + ck.hold.(i);
+          (match rc with
+          | None -> ()
+          | Some r ->
+            rec_pipe r sm ~alu:false ~start ~dur:busy;
+            if fused then rec_pipe r sm ~alu:true ~start ~dur:occ;
+            rec_warp r w ~name:"smem" ~start ~dur:(w.ready - start);
+            charge_stage r ~stage:w.stage ~alu:occ ~smem:busy ~gmem:0);
+          if dst >= 0 then complete else start + busy
+        end
+        else begin
+          let cl = sm.cluster in
+          let busy = ck.busy.(i) in
+          let start = if t > cl.gmem_free then t else cl.gmem_free in
+          cl.gmem_free <- start + busy;
+          cl.gmem_busy <- cl.gmem_busy + busy;
+          let complete = start + busy + p.gmem_latency in
+          if dst >= 0 then write_reg w dst complete;
+          w.ready <- start + ck.hold.(i);
+          (match rc with
+          | None -> ()
+          | Some r ->
+            rec_gmem r cl ~start ~dur:busy;
+            rec_warp r w ~name:"gmem" ~start ~dur:(w.ready - start);
+            charge_stage r ~stage:w.stage ~alu:0 ~smem:0 ~gmem:busy);
+          if k = Flat.k_gmem_load then complete else start + busy
+        end
+      in
+      if h > !horizon then horizon := h;
+      w.idx <- i + 1;
+      if w.idx >= n then begin
+        warp_finished p rc pq w w.ready;
+        running := false
+      end
+      else if Heap.is_empty pq || w.ready < Heap.min_key pq then
+        (* coalesce: continue this warp without touching the heap *)
+        now := w.ready
+      else begin
+        Heap.add pq ~key:w.ready w;
+        running := false
+      end
+    end
+  done;
+  !horizon
+
+(* What one simulated cluster reports back to the reduction. *)
+type cluster_out = {
+  co_end : int; (* latest completion horizon, ticks *)
+  co_alu : int;
+  co_smem : int;
+  co_gmem : int;
+  co_launched : int;
+  co_retired : int;
+  co_blocks_retired : int;
+  co_unlaunched : int;
+  co_events : int;
+}
 
 (* Simulate one cluster: [sm_blocks.(i)] is the ordered block queue of the
    cluster's i-th SM; [cluster_index] is its device-wide index (timeline
-   pid - 1).  Returns (end_time, alu_busy, smem_busy, gmem_busy). *)
+   pid - 1).  Touches nothing outside its own freshly built state, which
+   is what makes the cluster fan-out safe. *)
 let run_cluster p rc ~cluster_index ~max_resident sm_blocks =
   let cluster =
-    { gmem_free = 0; gmem_busy = 0; pid = cluster_index + 1 }
+    { gmem_free = 0; gmem_busy = 0; events = 0; pid = cluster_index + 1 }
   in
   (* never scheduled: fills the heap's unused payload slots *)
   let dummy_warp =
@@ -482,8 +684,8 @@ let run_cluster p rc ~cluster_index ~max_resident sm_blocks =
         warps_retired = 0; blocks_retired = 0; ord = 0; cluster;
       }
     in
-    { trace = [||]; idx = 0; ready = 0; regs = [||]; wid = 0; stage = 0;
-      park_t = 0;
+    { ck = cook p [||]; idx = 0; ready = 0; regs = [||]; wid = 0;
+      stage = 0; park_t = 0;
       block = { live = 0; waiting = 0; parked = []; bid = 0; sm } }
   in
   let pq : warp_state Heap.t = Heap.create ~dummy:dummy_warp in
@@ -499,7 +701,7 @@ let run_cluster p rc ~cluster_index ~max_resident sm_blocks =
       (fun i blocks ->
         let wpb =
           match blocks with
-          | bt :: _ -> max 1 (Array.length bt.Trace.warps)
+          | cb :: _ -> max 1 (Array.length cb.cwarps)
           | [] -> 1
         in
         let ord = (cluster_index * p.spec.Gpu_hw.Spec.sms_per_cluster) + i in
@@ -548,32 +750,94 @@ let run_cluster p rc ~cluster_index ~max_resident sm_blocks =
   in
   loop ();
   let sum f = Array.fold_left (fun acc sm -> acc + f sm) 0 sms in
-  ( !end_time,
-    sum (fun sm -> sm.alu_busy),
-    sum (fun sm -> sm.smem_busy),
-    cluster.gmem_busy,
-    ( sum (fun sm -> sm.warps_launched),
-      sum (fun sm -> sm.warps_retired),
-      sum (fun sm -> sm.blocks_retired),
-      sum (fun sm -> List.length sm.pending) ) )
+  {
+    co_end = !end_time;
+    co_alu = sum (fun sm -> sm.alu_busy);
+    co_smem = sum (fun sm -> sm.smem_busy);
+    co_gmem = cluster.gmem_busy;
+    co_launched = sum (fun sm -> sm.warps_launched);
+    co_retired = sum (fun sm -> sm.warps_retired);
+    co_blocks_retired = sum (fun sm -> sm.blocks_retired);
+    co_unlaunched = sum (fun sm -> List.length sm.pending);
+    co_events = cluster.events;
+  }
 
 (* Distribute grid blocks uniformly over the *clusters* first (block b goes
    to cluster b mod num_clusters, as the paper infers from the period-10
    sawtooth of Figure 3), round-robin over the SMs inside each cluster. *)
-let distribute (spec : Gpu_hw.Spec.t) (blocks : Trace.block_trace array) =
+let distribute (spec : Gpu_hw.Spec.t) (blocks : _ array) =
   let nclusters = Gpu_hw.Spec.num_clusters spec in
   let per_sm = Array.make spec.num_sms [] in
   Array.iteri
-    (fun b bt ->
+    (fun b cb ->
       let cluster = b mod nclusters in
       let sm_in_cluster = b / nclusters mod spec.sms_per_cluster in
       let sm = (cluster * spec.sms_per_cluster) + sm_in_cluster in
-      per_sm.(sm) <- bt :: per_sm.(sm))
+      per_sm.(sm) <- cb :: per_sm.(sm))
     blocks;
   let per_sm = Array.map List.rev per_sm in
   Array.init nclusters (fun c ->
       Array.init spec.sms_per_cluster (fun i ->
           per_sm.((c * spec.sms_per_cluster) + i)))
+
+(* --- sampled cluster selection ------------------------------------------ *)
+
+(* splitmix64, inlined so sampling is deterministic for a seed without a
+   dependency on the fuzzing library's generator. *)
+let mix64 x =
+  let open Int64 in
+  let z = add x 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* [k] distinct indices out of [0..n-1], seeded partial Fisher–Yates,
+   returned sorted so the sampled reduction runs in cluster order. *)
+let choose_indices ~seed ~k n =
+  let idx = Array.init n Fun.id in
+  let state = ref (Int64.of_int seed) in
+  let next bound =
+    state := Int64.add !state 1L;
+    let z = mix64 !state in
+    Int64.to_int
+      (Int64.rem (Int64.logand z Int64.max_int) (Int64.of_int bound))
+  in
+  for i = 0 to k - 1 do
+    let j = i + next (n - i) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  let chosen = Array.sub idx 0 k in
+  Array.sort compare chosen;
+  chosen
+
+(* Heuristic upper estimate from the sampled cluster end times: the
+   sampled max plus the sampled spread plus a dispersion term
+   (2 sample standard deviations, widened by 1/k for the sampling
+   error of the mean).  With one sample there is no dispersion
+   information, so the bound doubles the point estimate.  [cycles_low]
+   is exact-by-construction (a subset's max is a lower bound); the high
+   side is an estimate, which is why sampled results surface as
+   degraded confidence, not as a guarantee. *)
+let estimate_high ~ends est =
+  let k = Array.length ends in
+  if k <= 1 then 2 * est
+  else begin
+    let fk = float_of_int k in
+    let fends = Array.map float_of_int ends in
+    let mean = Array.fold_left ( +. ) 0.0 fends /. fk in
+    let var =
+      Array.fold_left (fun a e -> a +. ((e -. mean) ** 2.0)) 0.0 fends
+      /. (fk -. 1.0)
+    in
+    let sigma = sqrt var in
+    let mn = Array.fold_left min fends.(0) fends in
+    let spread = float_of_int est -. mn in
+    est
+    + int_of_float
+        (ceil (spread +. (2.0 *. sigma *. sqrt (1.0 +. (1.0 /. fk)))))
+  end
 
 (* Always-on conservation counters in the metrics registry: cheap (a few
    atomic adds per run), and they let `--metrics` correlate e.g. a what-if
@@ -588,7 +852,14 @@ let m_alu_busy = Metrics.counter "engine.busy.alu_cycles"
 let m_smem_busy = Metrics.counter "engine.busy.smem_cycles"
 let m_gmem_busy = Metrics.counter "engine.busy.gmem_cycles"
 
-let run ?(homogeneous = false) ?timeline ~(spec : Gpu_hw.Spec.t)
+(* Replay-throughput observability: events replayed (trace events
+   processed by the scheduler), total simulated ticks (summed cluster end
+   times) and how many clusters went through the parallel fan-out. *)
+let m_events_replayed = Metrics.counter "engine.events_replayed"
+let m_replay_ticks = Metrics.counter "engine.replay_ticks"
+let m_clusters_parallel = Metrics.counter "engine.clusters_parallel"
+
+let run ?(homogeneous = false) ?timeline ?sample ~(spec : Gpu_hw.Spec.t)
     ~max_resident_blocks (blocks : Trace.block_trace array) =
   if Array.length blocks = 0 then invalid_arg "Engine.run: no blocks";
   if max_resident_blocks <= 0 then
@@ -615,26 +886,101 @@ let run ?(homogeneous = false) ?timeline ~(spec : Gpu_hw.Spec.t)
            (fun (_, cl) -> cluster_load cl > 0)
            (Array.to_list (Array.mapi (fun i cl -> (i, cl)) clusters)))
   in
-  let cycles = ref 0 in
+  let nonempty = Array.length selected in
+  (* Sampled replay: a seeded subset of the non-empty clusters.  The
+     homogeneous shortcut already simulates a single representative
+     cluster, so sampling only applies to the heterogeneous path. *)
+  let selected, sampling =
+    match sample with
+    | Some s when (not homogeneous) && nonempty > 1 ->
+      let k =
+        match s.target with
+        | Fraction f ->
+          let k =
+            int_of_float (ceil (f *. float_of_int nonempty))
+          in
+          max 1 (min nonempty k)
+        | Max_blocks m ->
+          let per_cluster =
+            max 1 ((Array.length blocks + nonempty - 1) / nonempty)
+          in
+          max 1 (min nonempty (m / per_cluster))
+      in
+      if k >= nonempty then (selected, None)
+      else
+        let chosen = choose_indices ~seed:s.seed ~k nonempty in
+        (Array.map (fun i -> selected.(i)) chosen, Some k)
+    | Some _ | None -> (selected, None)
+  in
+  (* Decode exactly the blocks that will run: the clusters sampling
+     skipped are never cooked.  One cooker across the selection keeps
+     replicated warp arrays decoded once grid-wide. *)
+  let selected =
+    let cook_block = cooker p in
+    Array.map
+      (fun (ci, cl) -> (ci, Array.map (List.map cook_block) cl))
+      selected
+  in
+  let nsel = Array.length selected in
+  (* The recorder's stage accumulators are unsynchronized shared state, so
+     a timeline pins the run to the serial path; otherwise independent
+     clusters fan out over the domain pool.  Reduction below runs in
+     cluster order over [outs], so serial and parallel runs fold the very
+     same per-cluster results in the very same order: bit-identical. *)
+  let use_parallel =
+    Option.is_none rc && nsel > 1 && Pool.current_jobs () > 1
+  in
+  let outs =
+    if use_parallel then
+      Pool.parallel_init nsel (fun i ->
+          let cluster_index, cl = selected.(i) in
+          run_cluster p None ~cluster_index
+            ~max_resident:max_resident_blocks cl)
+    else
+      Array.map
+        (fun (cluster_index, cl) ->
+          run_cluster p rc ~cluster_index ~max_resident:max_resident_blocks
+            cl)
+        selected
+  in
+  let ticks = ref 0 in
   let alu = ref 0 and smem = ref 0 and gmem = ref 0 in
   let launched = ref 0 and retired = ref 0 in
   let blocks_retired = ref 0 and unlaunched = ref 0 in
+  let events = ref 0 and replay_ticks = ref 0 in
   Array.iter
-    (fun (cluster_index, cl) ->
-      let t, a, s, g, (wl, wr, br, bu) =
-        run_cluster p rc ~cluster_index ~max_resident:max_resident_blocks cl
-      in
-      if t > !cycles then cycles := t;
-      alu := !alu + a;
-      smem := !smem + s;
-      gmem := !gmem + g;
-      launched := !launched + wl;
-      retired := !retired + wr;
-      blocks_retired := !blocks_retired + br;
-      unlaunched := !unlaunched + bu)
-    selected;
-  let cycles = (!cycles + ticks_per_cycle - 1) / ticks_per_cycle in
+    (fun o ->
+      if o.co_end > !ticks then ticks := o.co_end;
+      alu := !alu + o.co_alu;
+      smem := !smem + o.co_smem;
+      gmem := !gmem + o.co_gmem;
+      launched := !launched + o.co_launched;
+      retired := !retired + o.co_retired;
+      blocks_retired := !blocks_retired + o.co_blocks_retired;
+      unlaunched := !unlaunched + o.co_unlaunched;
+      events := !events + o.co_events;
+      replay_ticks := !replay_ticks + o.co_end)
+    outs;
+  let cycles = (!ticks + ticks_per_cycle - 1) / ticks_per_cycle in
   let to_cycles busy = (busy + ticks_per_cycle - 1) / ticks_per_cycle in
+  let sampled =
+    match sampling with
+    | None -> None
+    | Some k ->
+      let ends = Array.map (fun o -> o.co_end) outs in
+      let high_ticks = estimate_high ~ends !ticks in
+      Some
+        {
+          clusters_sampled = k;
+          clusters_total = nonempty;
+          blocks_sampled =
+            Array.fold_left
+              (fun acc (_, cl) -> acc + cluster_load cl)
+              0 selected;
+          cycles_low = cycles;
+          cycles_high = (high_ticks + ticks_per_cycle - 1) / ticks_per_cycle;
+        }
+  in
   let stages_busy =
     match rc with
     | None -> [||]
@@ -655,20 +1001,24 @@ let run ?(homogeneous = false) ?timeline ~(spec : Gpu_hw.Spec.t)
   Metrics.add m_alu_busy (to_cycles !alu);
   Metrics.add m_smem_busy (to_cycles !smem);
   Metrics.add m_gmem_busy (to_cycles !gmem);
+  Metrics.add m_events_replayed !events;
+  Metrics.add m_replay_ticks !replay_ticks;
+  if use_parallel then Metrics.add m_clusters_parallel nsel;
   {
     cycles;
     seconds = float_of_int cycles /. (spec.core_clock_ghz *. 1e9);
     alu_busy_cycles = to_cycles !alu;
     smem_busy_cycles = to_cycles !smem;
     gmem_busy_cycles = to_cycles !gmem;
-    sms_simulated = Array.length selected * spec.sms_per_cluster;
-    clusters_simulated = Array.length selected;
+    sms_simulated = nsel * spec.sms_per_cluster;
+    clusters_simulated = nsel;
     blocks_simulated = Array.length blocks;
     warps_launched = !launched;
     warps_retired = !retired;
     blocks_retired = !blocks_retired;
     blocks_unlaunched = !unlaunched;
     stages_busy;
+    sampled;
   }
 
 (* --- per-stage attribution table --------------------------------------- *)
@@ -703,7 +1053,8 @@ type busy = { alu_cycles : int; smem_cycles : int; gmem_cycles : int }
 (* What the event-driven simulation must charge each pipeline, computed by
    summation alone — no scheduling, no event queue.  [run]'s busy counters
    must equal these exactly whenever every block is simulated
-   ([homogeneous:false]); the checking harness asserts that they do. *)
+   ([homogeneous:false], no sampling); the checking harness asserts that
+   they do, on both the serial and the parallel cluster path. *)
 let expected_busy ~(spec : Gpu_hw.Spec.t) (blocks : Trace.block_trace array)
     =
   let p = make_params spec in

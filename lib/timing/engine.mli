@@ -20,6 +20,24 @@ val ticks_per_cycle : int
     over the simulated clusters. *)
 type stage_busy = { alu_ticks : int; smem_ticks : int; gmem_ticks : int }
 
+(** Extrapolation record of a sampled replay.  [cycles_low] is the
+    sampled maximum — a {e guaranteed} lower bound on the full-replay
+    cycles, since the sampled clusters are a subset of all clusters and
+    the grid time is the maximum over clusters.  [cycles_high] is a
+    heuristic upper estimate (sampled max + sampled spread + two sample
+    standard deviations widened by the 1/k sampling error; twice the
+    point estimate when only one cluster was sampled): wide enough to
+    bracket the full replay on realistic grids but not a guarantee,
+    which is why sampled results surface as degraded confidence. *)
+type sampled_estimate = {
+  clusters_sampled : int;
+  clusters_total : int;
+      (** non-empty clusters a full replay would simulate *)
+  blocks_sampled : int;
+  cycles_low : int;
+  cycles_high : int;
+}
+
 type result = {
   cycles : int;
   seconds : float;
@@ -40,7 +58,22 @@ type result = {
   stages_busy : stage_busy array;
       (** per-barrier-stage pipeline attribution; empty unless [run] was
           given a timeline *)
+  sampled : sampled_estimate option;
+      (** present iff the replay ran on a sampled cluster subset; the
+          headline [cycles] then equals [sampled.cycles_low] *)
 }
+
+(** What a sampled replay simulates: a fraction of the non-empty clusters
+    (rounded up, clamped to [1, all]), or as many whole clusters as fit
+    [Max_blocks] grid blocks. *)
+type sample_target = Fraction of float | Max_blocks of int
+
+(** The seeded cluster subset request: same seed, same subset, on every
+    platform.  Applies only to the heterogeneous path ([homogeneous]
+    already simulates a single representative cluster) and only when it
+    actually shrinks the cluster set; otherwise {!result.sampled} is
+    [None] and the replay is exact. *)
+type sample = { target : sample_target; seed : int }
 
 (** [run ~spec ~max_resident_blocks blocks] replays the whole grid's
     traces ([blocks.(b)] is block b).  With [homogeneous:true] only the
@@ -57,10 +90,30 @@ type result = {
     under pid [c+1] (pid 0 is reserved for workflow spans); SM [s] uses
     tids [2s] (alu) and [2s+1] (smem), the cluster's global pipe tid 999,
     and block [b] warp [w] tid [10000 + 64 b + w].  Without a timeline
-    the recording paths cost one [None] match per event. *)
+    the recording paths cost one [None] match per event.
+
+    Throughput: every distinct warp trace (by physical identity — the
+    workflow's cyclic replication shares warp arrays across blocks)
+    decodes once into packed cost arrays before replay, decodes are
+    memoized across runs per (spec, trace) so repeated replays of the
+    same traces never re-decode, and only the blocks actually selected
+    for simulation (after the homogeneous shortcut or [sample]'s subset)
+    are decoded at all; consecutive
+    events of one warp that would re-enter the event queue strictly
+    before every queued event coalesce into one heap transaction; and on
+    the heterogeneous path without a timeline the independent clusters
+    fan out over the {!Gpu_parallel.Pool} domain pool with a
+    deterministic cluster-order reduction.  All three preserve the exact
+    schedule: results are bit-identical to the serial, uncoalesced
+    engine.  [sample] instead trades exactness for speed — it replays a
+    seeded subset of clusters and reports the extrapolation in
+    {!result.sampled} (a timeline still records, but only the sampled
+    clusters' slices, so the lib/check tiling audit only applies to full
+    replays). *)
 val run :
   ?homogeneous:bool ->
   ?timeline:Gpu_obs.Timeline.t ->
+  ?sample:sample ->
   spec:Gpu_hw.Spec.t ->
   max_resident_blocks:int ->
   Gpu_sim.Trace.block_trace array ->

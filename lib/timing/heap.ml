@@ -19,6 +19,11 @@ let is_empty t = t.size = 0
 
 let length t = t.size
 
+(* The root key.  Undefined (not an error) on an empty heap: the engine's
+   coalescing test is [is_empty || key < min_key], which never reads the
+   root of an empty heap. *)
+let min_key t = t.keys.(0)
+
 let grow t =
   let n = Array.length t.keys in
   let keys = Array.make (2 * n) 0 in

@@ -11,5 +11,12 @@ val is_empty : 'a t -> bool
 val length : 'a t -> int
 val add : 'a t -> key:int -> 'a -> unit
 
+(** The minimum key currently stored.  Only meaningful when the heap is
+    non-empty ([is_empty t = false]); reading an empty heap's minimum
+    returns an unspecified value.  [add t ~key v] followed by [pop t]
+    returns [v] whenever [key < min_key t] held before the [add] — the
+    engine's event-coalescing shortcut relies on exactly that. *)
+val min_key : 'a t -> int
+
 (** Pop the minimum-key element, if any. *)
 val pop : 'a t -> (int * 'a) option

@@ -166,11 +166,12 @@ let run_simulated ?spec ~n ~tile a b =
 
 (* Analysis entry point for the Section 5.1 experiments: one sampled block
    is exact because every block does identical work. *)
-let analyze ?spec ?(measure = false) ?(sample = 4) ?timeline ~n ~tile () =
+let analyze ?spec ?(measure = false) ?(sample = 4) ?replay_sample ?timeline
+    ~n ~tile () =
   let a = ("a", Array.make (n * n) 0l) in
   let b = ("b", Array.make (n * n) 0l) in
   let c = ("c", Array.make (n * n) 0l) in
-  Gpu_model.Workflow.analyze ?spec ~sample ~measure ?timeline
+  Gpu_model.Workflow.analyze ?spec ~sample ?replay_sample ~measure ?timeline
     ~grid:(grid ~n ~tile) ~block:threads_per_block
     ~args:[ a; b; c ]
     (kernel ~n ~tile)

@@ -29,6 +29,7 @@ val analyze :
   ?spec:Gpu_hw.Spec.t ->
   ?measure:bool ->
   ?sample:int ->
+  ?replay_sample:Gpu_timing.Engine.sample ->
   ?timeline:Gpu_obs.Timeline.t ->
   n:int ->
   tile:int ->

@@ -314,12 +314,13 @@ let run_simulated ?spec m fmt x =
 
 (* Analysis entry point.  Rows differ in their gather targets, so by
    default every block is simulated (exact statistics). *)
-let analyze ?spec ?(measure = false) ?sample ?timeline m fmt =
+let analyze ?spec ?(measure = false) ?sample ?replay_sample ?timeline m fmt
+    =
   let x = Array.make (rows m) 1.0 in
   let a = args m fmt x in
   let grid, block = launch m fmt in
-  Gpu_model.Workflow.analyze ?spec ?sample ~measure ?timeline ~grid ~block
-    ~args:a (kernel m fmt)
+  Gpu_model.Workflow.analyze ?spec ?sample ?replay_sample ~measure ?timeline
+    ~grid ~block ~args:a (kernel m fmt)
 
 (* --- Figure 11a: bytes moved per matrix entry -------------------------- *)
 

@@ -63,6 +63,7 @@ val analyze :
   ?spec:Gpu_hw.Spec.t ->
   ?measure:bool ->
   ?sample:int ->
+  ?replay_sample:Gpu_timing.Engine.sample ->
   ?timeline:Gpu_obs.Timeline.t ->
   matrix ->
   format ->

@@ -254,8 +254,8 @@ let run_simulated ?spec ~n ~padded systems =
 (* Analysis entry point for the Section 5.2 experiments (512 systems of
    512 equations in the paper).  Blocks are homogeneous, so a small sample
    is exact. *)
-let analyze ?spec ?(measure = false) ?(sample = 2) ?timeline ~nsys ~n
-    ~padded () =
+let analyze ?spec ?(measure = false) ?(sample = 2) ?replay_sample ?timeline
+    ~nsys ~n ~padded () =
   let words = nsys * n in
   let args =
     List.map (fun p -> (p, Array.make words 0l)) [ "a"; "b"; "c"; "d"; "x" ]
@@ -263,5 +263,5 @@ let analyze ?spec ?(measure = false) ?(sample = 2) ?timeline ~nsys ~n
   (* All-zero coefficients would divide by zero in rcp; load b = 1. *)
   let b_arg = List.assoc "b" args in
   Array.fill b_arg 0 words (Int32.bits_of_float 1.0);
-  Gpu_model.Workflow.analyze ?spec ~sample ~measure ?timeline ~grid:nsys
-    ~block:(threads ~n) ~args (kernel ~n ~padded)
+  Gpu_model.Workflow.analyze ?spec ~sample ?replay_sample ~measure ?timeline
+    ~grid:nsys ~block:(threads ~n) ~args (kernel ~n ~padded)

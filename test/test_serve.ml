@@ -221,6 +221,24 @@ let test_retry_after () =
     (Budget.retry_after_ms ~limits ~queue_depth:(limits.Budget.queue_cap + 10)
     > Budget.retry_after_ms ~limits ~queue_depth:limits.Budget.queue_cap)
 
+let test_replay_sample_policy () =
+  let frac = Budget.replay_sample_fraction in
+  Alcotest.(check bool)
+    "unmeasured requests never sample" true
+    (frac ~measure:false ~remaining_ms:(Some 1.0) = None);
+  Alcotest.(check bool)
+    "unbounded budget replays exactly" true
+    (frac ~measure:true ~remaining_ms:None = None);
+  Alcotest.(check bool)
+    "ample budget replays exactly" true
+    (frac ~measure:true ~remaining_ms:(Some 60_000.0) = None);
+  Alcotest.(check bool)
+    "tight budget samples 30%" true
+    (frac ~measure:true ~remaining_ms:(Some 8_000.0) = Some 0.3);
+  Alcotest.(check bool)
+    "desperate budget samples 10%" true
+    (frac ~measure:true ~remaining_ms:(Some 500.0) = Some 0.1)
+
 (* --- in-process server ---------------------------------------------------- *)
 
 let with_server ?(limits = Budget.default_limits) f =
@@ -326,6 +344,37 @@ let test_serve_watchdog_timeout () =
     ok_or_fail "request" (Client.request c (small_matmul ~id:"after" ()))
   in
   Alcotest.(check bool) "daemon alive" true (resp2.P.status = P.Completed)
+
+let test_serve_sampled_replay () =
+  Lazy.force warm;
+  with_server @@ fun _t ep ->
+  with_client ep @@ fun c ->
+  (* A measured heterogeneous replay (spmv's grid loads clusters
+     unevenly) under a deadline tight enough to trip the sampling policy
+     but generous enough to finish: instead of racing the watchdog to a
+     timeout the daemon degrades to a sampled replay and says so. *)
+  let req =
+    {
+      (small_matmul ~deadline_ms:8_000 ~id:"sampled" ()) with
+      P.params = P.Spmv { spmv_format = Gpu_workloads.Spmv.Ell };
+      measure = true;
+    }
+  in
+  let resp = ok_or_fail "request" (Client.request c req) in
+  Alcotest.(check bool) "completed, not timed out" true
+    (resp.P.status = P.Completed);
+  Alcotest.(check bool) "confidence degraded" true
+    (resp.P.confidence = Some "degraded");
+  Alcotest.(check bool)
+    "carries the sampled-replay diagnostic" true
+    (List.exists
+       (fun (d : D.t) ->
+         d.D.severity = D.Warning
+         && d.D.stage = D.Timing
+         &&
+         let m = d.D.message in
+         String.length m >= 21 && String.sub m 0 21 = "timing replay sampled")
+       resp.P.diags)
 
 let test_serve_backpressure () =
   Lazy.force warm;
@@ -537,6 +586,8 @@ let () =
           Alcotest.test_case "deadline arithmetic" `Quick test_deadlines;
           Alcotest.test_case "working-set estimates" `Quick test_working_set;
           Alcotest.test_case "retry-after hint" `Quick test_retry_after;
+          Alcotest.test_case "replay-sampling policy" `Quick
+            test_replay_sample_policy;
         ] );
       ( "daemon",
         [
@@ -548,6 +599,8 @@ let () =
             test_serve_deadline_zero;
           Alcotest.test_case "watchdog answers past-deadline compute" `Quick
             test_serve_watchdog_timeout;
+          Alcotest.test_case "deadline pressure samples the replay" `Quick
+            test_serve_sampled_replay;
           Alcotest.test_case "full queue pushes back" `Quick
             test_serve_backpressure;
           Alcotest.test_case "a crashing request is isolated" `Quick

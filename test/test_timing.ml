@@ -177,6 +177,131 @@ let test_homogeneous_shortcut () =
   Alcotest.(check int) "homogeneous shortcut agrees" full.Engine.cycles
     fast.Engine.cycles
 
+(* A deliberately lopsided grid: per-block warp counts and trace lengths
+   vary, every cluster gets a different load, and every third block
+   synchronizes on a barrier.  Heterogeneous, so the engine simulates all
+   ten clusters — the interesting path for parallel replay and sampling. *)
+let heterogeneous_grid n_blocks =
+  let bar =
+    { (alu_event ~dst:Trace.no_reg I.Class_ctrl) with Trace.bar = true }
+  in
+  Array.init n_blocks (fun b ->
+      let warps = 1 + (b mod 5) in
+      {
+        Trace.block = b;
+        warps =
+          Array.init warps (fun w ->
+              let work = dependent_chain (20 + (13 * b mod 60) + (7 * w)) in
+              let tail =
+                [|
+                  {
+                    Trace.cls = I.Class_mem;
+                    dst = 5;
+                    srcs = [||];
+                    mem = Trace.Gmem_load [| (64 * b, 64) |];
+                    bar = false;
+                  };
+                  exit_event;
+                |]
+              in
+              if b mod 3 = 0 then
+                Array.concat [ [| bar |]; work; tail ]
+              else Array.append work tail);
+      })
+
+let test_parallel_bit_identical () =
+  Gpu_parallel.Pool.set_jobs 4;
+  let blocks = heterogeneous_grid 37 in
+  let events =
+    Array.fold_left (fun a b -> a + Trace.event_count b) 0 blocks
+  in
+  let warps =
+    Array.fold_left
+      (fun a (b : Trace.block_trace) -> a + Array.length b.Trace.warps)
+      0 blocks
+  in
+  (* A timeline recorder forces the serial cluster loop; without one the
+     clusters fan out over the domain pool.  Both must agree exactly. *)
+  let tl = Gpu_obs.Timeline.create ~capacity:((4 * events) + warps + 64) () in
+  let serial =
+    Engine.run ~homogeneous:false ~timeline:tl ~spec ~max_resident_blocks:4
+      blocks
+  in
+  let par =
+    Engine.run ~homogeneous:false ~spec ~max_resident_blocks:4 blocks
+  in
+  Alcotest.(check int) "cycles" serial.Engine.cycles par.Engine.cycles;
+  Alcotest.(check int) "alu busy" serial.Engine.alu_busy_cycles
+    par.Engine.alu_busy_cycles;
+  Alcotest.(check int) "smem busy" serial.Engine.smem_busy_cycles
+    par.Engine.smem_busy_cycles;
+  Alcotest.(check int) "gmem busy" serial.Engine.gmem_busy_cycles
+    par.Engine.gmem_busy_cycles;
+  Alcotest.(check int) "warps launched" serial.Engine.warps_launched
+    par.Engine.warps_launched;
+  Alcotest.(check int) "warps retired" serial.Engine.warps_retired
+    par.Engine.warps_retired;
+  Alcotest.(check int) "blocks retired" serial.Engine.blocks_retired
+    par.Engine.blocks_retired;
+  Alcotest.(check int) "blocks unlaunched" serial.Engine.blocks_unlaunched
+    par.Engine.blocks_unlaunched
+
+let test_sampled_bounds () =
+  let blocks = heterogeneous_grid 40 in
+  let full =
+    Engine.run ~homogeneous:false ~spec ~max_resident_blocks:4 blocks
+  in
+  let s = { Engine.target = Engine.Fraction 0.3; seed = 7 } in
+  let sampled =
+    Engine.run ~homogeneous:false ~sample:s ~spec ~max_resident_blocks:4
+      blocks
+  in
+  (match sampled.Engine.sampled with
+  | None -> Alcotest.fail "expected a sampled estimate"
+  | Some e ->
+    Alcotest.(check bool) "a strict subset of clusters" true
+      (e.Engine.clusters_sampled < e.Engine.clusters_total
+      && e.Engine.clusters_sampled >= 1);
+    Alcotest.(check bool) "fewer blocks than the grid" true
+      (e.Engine.blocks_sampled < Array.length blocks);
+    Alcotest.(check int) "headline cycles are the guaranteed lower bound"
+      e.Engine.cycles_low sampled.Engine.cycles;
+    Alcotest.(check bool)
+      (Printf.sprintf "low bound %d <= full %d" e.Engine.cycles_low
+         full.Engine.cycles)
+      true
+      (e.Engine.cycles_low <= full.Engine.cycles);
+    Alcotest.(check bool)
+      (Printf.sprintf "high bound %d >= full %d" e.Engine.cycles_high
+         full.Engine.cycles)
+      true
+      (e.Engine.cycles_high >= full.Engine.cycles));
+  (* Seeded sampling is reproducible: same seed, same subset, same
+     extrapolation. *)
+  let again =
+    Engine.run ~homogeneous:false ~sample:s ~spec ~max_resident_blocks:4
+      blocks
+  in
+  Alcotest.(check int) "seeded determinism" sampled.Engine.cycles
+    again.Engine.cycles;
+  (* The exact run carries no estimate, and a Max_blocks budget caps the
+     simulated volume. *)
+  Alcotest.(check bool) "full replay is exact" true
+    (full.Engine.sampled = None);
+  let budget =
+    Engine.run ~homogeneous:false
+      ~sample:{ Engine.target = Engine.Max_blocks 8; seed = 1 }
+      ~spec ~max_resident_blocks:4 blocks
+  in
+  match budget.Engine.sampled with
+  | None -> Alcotest.fail "Max_blocks should sample"
+  | Some e ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%d blocks within budget (+1 cluster rounding)"
+         e.Engine.blocks_sampled)
+      true
+      (e.Engine.blocks_sampled <= 12)
+
 let () =
   Alcotest.run "timing"
     [
@@ -200,5 +325,12 @@ let () =
           Alcotest.test_case "early release" `Quick test_early_release;
           Alcotest.test_case "homogeneous shortcut" `Quick
             test_homogeneous_shortcut;
+        ] );
+      ( "replay throughput",
+        [
+          Alcotest.test_case "parallel clusters bit-identical" `Quick
+            test_parallel_bit_identical;
+          Alcotest.test_case "sampled replay bounds" `Quick
+            test_sampled_bounds;
         ] );
     ]
