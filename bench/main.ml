@@ -667,6 +667,59 @@ let replay () =
   Printf.printf
     "committed reference numbers and methodology: BENCH_7.json\n"
 
+(* --- Atomic contention (DESIGN §15) ---------------------------------------- *)
+
+(* The fourth cost class on its three atomic-bound workloads: sweep the
+   contention knob of each (histogram skew, degree hub, reduce variant)
+   and print the measured contention penalty, the atomic component's
+   share of the predicted time, and the model-vs-engine agreement. *)
+let atomic () =
+  header "Atomic" "atomic contention: penalty, component share, model vs \
+                   engine (DESIGN §15)";
+  let module H = Gpu_workloads.Histogram in
+  let module D = Gpu_workloads.Degree in
+  let module R = Gpu_workloads.Reduce in
+  let row name (r : Workflow.report) =
+    let a = r.Workflow.analysis in
+    let t = a.Model.totals in
+    let pen =
+      Stats.atomic_contention_penalty (Stats.total r.Workflow.stats)
+    in
+    let total =
+      t.Component.instruction +. t.Component.shared +. t.Component.atomic
+      +. t.Component.global
+    in
+    let err =
+      match Workflow.measured_seconds r with
+      | Some m -> 100.0 *. (a.Model.predicted_seconds -. m) /. m
+      | None -> nan
+    in
+    Printf.printf
+      "%-20s penalty %6.2fx   atomic %7.4f ms (%3.0f%% of components)   \
+       pred %7.4f ms   err %+6.1f%%   %s\n"
+      name pen
+      (1e3 *. t.Component.atomic)
+      (100.0 *. t.Component.atomic /. total)
+      (1e3 *. a.Model.predicted_seconds)
+      err
+      (Component.short_name a.Model.bottleneck)
+  in
+  List.iter
+    (fun skew ->
+      row
+        (Printf.sprintf "histogram skew=%.1f" skew)
+        (H.analyze ~measure:true ~skew ~blocks:256 ()))
+    [ 0.0; 0.5; 0.8; 1.0 ];
+  List.iter
+    (fun hub ->
+      row
+        (Printf.sprintf "degree hub=%.1f" hub)
+        (D.analyze ~measure:true ~hub ~blocks:256 ()))
+    [ 0.0; 0.3; 1.0 ];
+  row "reduce tree" (R.analyze ~measure:true ~blocks:512 R.Sequential);
+  row "reduce atomic" (R.analyze ~measure:true ~blocks:512 R.Atomic);
+  Printf.printf "committed reference numbers: BENCH_8.json\n"
+
 (* --- Validation summary ----------------------------------------------------- *)
 
 let validation () =
@@ -817,6 +870,7 @@ let experiments =
     ("extras", extras);
     ("ablation", ablation);
     ("replay", replay);
+    ("atomic", atomic);
     ("validation", validation);
   ]
 

@@ -230,25 +230,44 @@ let microbench_cmd =
 let measure_flag =
   Arg.(value & flag & info [ "measure" ] ~doc:"Also run the timing simulator")
 
-let workload_conv = Arg.enum [ ("matmul", `Matmul); ("tridiag", `Tridiag);
-                               ("spmv", `Spmv) ]
+let workload_conv =
+  Arg.enum
+    [
+      ("matmul", `Matmul); ("tridiag", `Tridiag); ("spmv", `Spmv);
+      ("reduce", `Reduce); ("histogram", `Histogram); ("degree", `Degree);
+    ]
 
 (* The architectural variants come from the serve protocol's device
    fleet (its head is the baseline), so [--variant] names and the
    daemon's [device] field can never drift apart. *)
 let variant_specs = List.tl Gpu_serve.Protocol.devices
 
-let report_of ?replay_sample ~measure workload tile padded fmt dev =
+let report_of ?replay_sample ?timeline ~measure workload tile padded fmt
+    atomic dev =
   match workload with
   | `Matmul ->
-    Gpu_workloads.Matmul.analyze ?replay_sample ~spec:dev ~measure ~n:1024
-      ~tile ()
+    Gpu_workloads.Matmul.analyze ?replay_sample ?timeline ~spec:dev ~measure
+      ~n:1024 ~tile ()
   | `Tridiag ->
-    Gpu_workloads.Tridiag.analyze ?replay_sample ~spec:dev ~measure ~nsys:512
-      ~n:512 ~padded ()
+    Gpu_workloads.Tridiag.analyze ?replay_sample ?timeline ~spec:dev ~measure
+      ~nsys:512 ~n:512 ~padded ()
   | `Spmv ->
     let m = Gpu_workloads.Spmv.qcd_like () in
-    Gpu_workloads.Spmv.analyze ?replay_sample ~spec:dev ~measure m fmt
+    Gpu_workloads.Spmv.analyze ?replay_sample ?timeline ~spec:dev ~measure m
+      fmt
+  | `Reduce ->
+    let variant =
+      if atomic then Gpu_workloads.Reduce.Atomic
+      else Gpu_workloads.Reduce.Sequential
+    in
+    Gpu_workloads.Reduce.analyze ?replay_sample ?timeline ~spec:dev ~measure
+      ~blocks:512 variant
+  | `Histogram ->
+    Gpu_workloads.Histogram.analyze ?replay_sample ?timeline ~spec:dev
+      ~measure ~blocks:256 ()
+  | `Degree ->
+    Gpu_workloads.Degree.analyze ?replay_sample ?timeline ~spec:dev ~measure
+      ~blocks:256 ()
 
 let tile_arg =
   Arg.(value & opt int 16 & info [ "tile" ] ~doc:"Matmul tile (8|16|32)")
@@ -256,6 +275,14 @@ let tile_arg =
 let padded_arg =
   Arg.(value & flag & info [ "padded" ] ~doc:"Tridiag: pad shared arrays \
                                               (CR-NBC)")
+
+let atomic_arg =
+  Arg.(
+    value & flag
+    & info [ "atomic" ]
+        ~doc:
+          "Reduce: use the atomic single-accumulator variant (every \
+           half-warp fully serialized) instead of the sequential tree")
 
 (* An enum rather than a free-form string: an unknown format is a usage
    error (exit 2) caught by cmdliner, not a [failwith] at analysis time. *)
@@ -278,7 +305,8 @@ let workload_arg =
   Arg.(
     required
     & pos 0 (some workload_conv) None
-    & info [] ~docv:"WORKLOAD" ~doc:"matmul, tridiag or spmv")
+    & info [] ~docv:"WORKLOAD"
+        ~doc:"matmul, tridiag, spmv, reduce, histogram or degree")
 
 (* Timing-replay cluster sampling: a CLI fraction becomes a seeded
    [Engine.sample] so repeated invocations pick the same cluster subset. *)
@@ -301,13 +329,15 @@ let replay_sample_of = function
     Some { Gpu_timing.Engine.target = Gpu_timing.Engine.Fraction f; seed = 0 }
 
 let analyze_cmd =
-  let run workload tile padded fmt measure rsample metrics mfmt jobs no_cache
-      =
+  let run workload tile padded fmt atomic measure rsample metrics mfmt jobs
+      no_cache =
     with_metrics metrics mfmt @@ fun () ->
     guard D.Cli @@ fun () ->
     apply_calibration_opts jobs no_cache;
     let replay_sample = replay_sample_of rsample in
-    let r = report_of ?replay_sample ~measure workload tile padded fmt spec in
+    let r =
+      report_of ?replay_sample ~measure workload tile padded fmt atomic spec
+    in
     Fmt.pr "%a@." Gpu_model.Workflow.pp r;
     match r.Gpu_model.Workflow.measured with
     | Some m ->
@@ -320,7 +350,7 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:"Run the full Figure-1 workflow on a case-study workload")
     Term.(
-      const run $ workload_arg $ tile_arg $ padded_arg $ fmt_arg
+      const run $ workload_arg $ tile_arg $ padded_arg $ fmt_arg $ atomic_arg
       $ measure_flag $ replay_sample_arg $ metrics_arg $ metrics_format_arg
       $ jobs_arg $ no_cache_arg)
 
@@ -336,14 +366,16 @@ let whatif_cmd =
             "Device variant (repeatable): maxblocks16, banks17, segment16, \
              segment4, bigregfile, bigsmem, earlyrelease")
   in
-  let run workload tile padded fmt variants metrics mfmt jobs no_cache =
+  let run workload tile padded fmt atomic variants metrics mfmt jobs no_cache
+      =
     with_metrics metrics mfmt @@ fun () ->
     guard D.Cli @@ fun () ->
     apply_calibration_opts jobs no_cache;
     (* one variant per pool task: the per-variant table re-fit dominates *)
     match
       Gpu_parallel.Pool.parallel_map
-        (fun dev -> report_of ~measure:false workload tile padded fmt dev)
+        (fun dev ->
+          report_of ~measure:false workload tile padded fmt atomic dev)
         (spec :: variants)
     with
     | [] -> assert false (* parallel_map preserves length *)
@@ -370,7 +402,7 @@ let whatif_cmd =
     (Cmd.info "whatif"
        ~doc:"Re-analyze a workload on architectural variants")
     Term.(
-      const run $ workload_arg $ tile_arg $ padded_arg $ fmt_arg
+      const run $ workload_arg $ tile_arg $ padded_arg $ fmt_arg $ atomic_arg
       $ variant_arg $ metrics_arg $ metrics_format_arg $ jobs_arg
       $ no_cache_arg)
 
@@ -532,9 +564,10 @@ let check_cmd =
       in
       let s = Gpu_check.Harness.run ~progress:(Fmt.epr "%s@.") cfg in
       Fmt.pr
-        "seed %d: %d coalesce + %d bank oracle comparisons, %d engine \
-         audits, %d model differentials (band %.2fx)@."
-        seed s.coalesce_cases s.bank_cases s.audit_cases s.diff_cases tol;
+        "seed %d: %d coalesce + %d bank + %d atomic oracle comparisons, %d \
+         engine audits, %d model differentials (band %.2fx)@."
+        seed s.coalesce_cases s.bank_cases s.atomic_cases s.audit_cases
+        s.diff_cases tol;
       if Gpu_check.Harness.ok s then Fmt.pr "all properties hold@."
       else begin
         List.iter
@@ -551,7 +584,8 @@ let check_cmd =
                "replay a dumped reproducer with gpuperf check --replay FILE"
              "%d of %d properties' cases failed"
              (List.length s.failures)
-             (s.coalesce_cases + s.bank_cases + s.audit_cases + s.diff_cases))
+             (s.coalesce_cases + s.bank_cases + s.atomic_cases
+             + s.audit_cases + s.diff_cases))
       end
   in
   Cmd.v
@@ -593,7 +627,8 @@ let trace_cmd =
             "Problem size: matmul matrix order (divisible by 64 and the \
              tile) or tridiag system size (power of two); ignored by spmv")
   in
-  let run workload tile padded fmt n out capacity metrics mfmt jobs no_cache =
+  let run workload tile padded fmt atomic n out capacity metrics mfmt jobs
+      no_cache =
     with_metrics metrics mfmt @@ fun () ->
     guard D.Cli @@ fun () ->
     apply_calibration_opts jobs no_cache;
@@ -609,9 +644,9 @@ let trace_cmd =
       | `Tridiag ->
         Gpu_workloads.Tridiag.analyze ~spec ~measure:true ~timeline:tl
           ~nsys:512 ~n ~padded ()
-      | `Spmv ->
-        let m = Gpu_workloads.Spmv.qcd_like () in
-        Gpu_workloads.Spmv.analyze ~spec ~measure:true ~timeline:tl m fmt
+      | `Spmv | `Reduce | `Histogram | `Degree ->
+        report_of ~timeline:tl ~measure:true workload tile padded fmt atomic
+          spec
     in
     let oc = open_out_bin out in
     Fun.protect
@@ -638,8 +673,8 @@ let trace_cmd =
          "Run the workflow with span + engine-timeline tracing and export \
           Chrome trace-event JSON")
     Term.(
-      const run $ workload_arg $ tile_arg $ padded_arg $ fmt_arg $ n $ out
-      $ capacity $ metrics_arg $ metrics_format_arg $ jobs_arg
+      const run $ workload_arg $ tile_arg $ padded_arg $ fmt_arg $ atomic_arg
+      $ n $ out $ capacity $ metrics_arg $ metrics_format_arg $ jobs_arg
       $ no_cache_arg)
 
 (* --- report ---------------------------------------------------------------- *)
@@ -717,8 +752,8 @@ let report_cmd =
       & info [ "no-whatif" ]
           ~doc:"Skip the architectural-variant what-if section")
   in
-  let run workload tile padded sfmt n fmt top out ledger_path no_ledger
-      no_whatif metrics mfmt jobs no_cache =
+  let run workload tile padded sfmt atomic n fmt top out ledger_path
+      no_ledger no_whatif metrics mfmt jobs no_cache =
     with_metrics metrics mfmt @@ fun () ->
     guard D.Cli @@ fun () ->
     apply_calibration_opts jobs no_cache;
@@ -730,15 +765,17 @@ let report_cmd =
       | `Tridiag ->
         Gpu_workloads.Tridiag.analyze ~spec:dev ~measure ?timeline ~nsys:512
           ~n ~padded ()
-      | `Spmv ->
-        let m = Gpu_workloads.Spmv.qcd_like () in
-        Gpu_workloads.Spmv.analyze ~spec:dev ~measure ?timeline m sfmt
+      | `Spmv | `Reduce | `Histogram | `Degree ->
+        report_of ?timeline ~measure workload tile padded sfmt atomic dev
     in
     let workload_name =
       match workload with
       | `Matmul -> "matmul"
       | `Tridiag -> "tridiag"
       | `Spmv -> "spmv"
+      | `Reduce -> if atomic then "reduce-atomic" else "reduce"
+      | `Histogram -> "histogram"
+      | `Degree -> "degree"
     in
     (* A timeline on the measured run populates the engine's per-stage
        busy counters for the report's stage summary. *)
@@ -818,9 +855,10 @@ let report_cmd =
           per-stage breakdown, hotspot attribution, what-if deltas and the \
           accuracy-ledger trend")
     Term.(
-      const run $ workload_arg $ tile_arg $ padded_arg $ spmv_fmt $ n
-      $ render_fmt $ top $ out $ ledger_path $ no_ledger $ no_whatif
-      $ metrics_arg $ metrics_format_arg $ jobs_arg $ no_cache_arg)
+      const run $ workload_arg $ tile_arg $ padded_arg $ spmv_fmt
+      $ atomic_arg $ n $ render_fmt $ top $ out $ ledger_path $ no_ledger
+      $ no_whatif $ metrics_arg $ metrics_format_arg $ jobs_arg
+      $ no_cache_arg)
 
 (* --- serve ----------------------------------------------------------------- *)
 

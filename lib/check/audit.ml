@@ -96,6 +96,10 @@ let check ~(spec : Gpu_hw.Spec.t) (c : Case.t) : (unit, string) result =
         "smem busy %d cycles, summation says %d" r.smem_busy_cycles
         expected.smem_cycles;
       ensure
+        (r.atomic_busy_cycles = expected.atomic_cycles)
+        "atomic busy %d cycles, summation says %d" r.atomic_busy_cycles
+        expected.atomic_cycles;
+      ensure
         (r.gmem_busy_cycles = expected.gmem_cycles)
         "gmem busy %d cycles, summation says %d" r.gmem_busy_cycles
         expected.gmem_cycles;
@@ -109,6 +113,15 @@ let check ~(spec : Gpu_hw.Spec.t) (c : Case.t) : (unit, string) result =
         (r.smem_busy_cycles <= (r.cycles + 1) * r.sms_simulated)
         "smem busier (%d cycles) than %d SMs over %d cycles can be"
         r.smem_busy_cycles r.sms_simulated r.cycles;
+      (* atomics share the shared pipe's cursor, so smem + atomic together
+         cannot exceed the pipe's capacity either; the combined bound is
+         the stronger check but each counter must also fit alone *)
+      ensure
+        (r.smem_busy_cycles + r.atomic_busy_cycles
+        <= (r.cycles + 2) * r.sms_simulated)
+        "shared pipe (smem %d + atomic %d cycles) busier than %d SMs over \
+         %d cycles can be"
+        r.smem_busy_cycles r.atomic_busy_cycles r.sms_simulated r.cycles;
       ensure
         (r.gmem_busy_cycles <= (r.cycles + 1) * r.clusters_simulated)
         "gmem busier (%d cycles) than %d clusters over %d cycles can be"
@@ -129,6 +142,7 @@ let check ~(spec : Gpu_hw.Spec.t) (c : Case.t) : (unit, string) result =
       in
       tile "alu" r.alu_busy_cycles;
       tile "smem" r.smem_busy_cycles;
+      tile "atomic" r.atomic_busy_cycles;
       tile "gmem" r.gmem_busy_cycles;
       let stage_sum f =
         Array.fold_left (fun acc st -> acc + f st) 0 r.stages_busy
@@ -142,6 +156,7 @@ let check ~(spec : Gpu_hw.Spec.t) (c : Case.t) : (unit, string) result =
       in
       per_stage "alu" (fun st -> st.Engine.alu_ticks) "alu";
       per_stage "smem" (fun st -> st.Engine.smem_ticks) "smem";
+      per_stage "atomic" (fun st -> st.Engine.atomic_ticks) "atomic";
       per_stage "gmem" (fun st -> st.Engine.gmem_ticks) "gmem";
       (* Determinism across execution strategies: the timeline run above
          forces the serial path; rerunning without a recorder takes the
@@ -161,6 +176,7 @@ let check ~(spec : Gpu_hw.Spec.t) (c : Case.t) : (unit, string) result =
         same "cycles" r.cycles p.Engine.cycles;
         same "alu busy" r.alu_busy_cycles p.Engine.alu_busy_cycles;
         same "smem busy" r.smem_busy_cycles p.Engine.smem_busy_cycles;
+        same "atomic busy" r.atomic_busy_cycles p.Engine.atomic_busy_cycles;
         same "gmem busy" r.gmem_busy_cycles p.Engine.gmem_busy_cycles;
         same "warps launched" r.warps_launched p.Engine.warps_launched;
         same "warps retired" r.warps_retired p.Engine.warps_retired;

@@ -21,6 +21,9 @@ type ev =
       (** [fused] = arithmetic with a shared operand (Fmad_smem, class II);
           otherwise a plain load/store dispatched through the LSU
           (class mem) *)
+  | Atomic of { txns : int; dst : int; srcs : int array }
+      (** shared-memory atomic: [txns] is the contention-serialized
+          half-warp transaction count *)
   | Gmem of {
       store : bool;
       txns : (int * int) array;  (** (base, size) transactions *)
@@ -108,6 +111,14 @@ let event_of_ev = function
       mem = Trace.Smem txns;
       bar = false;
     }
+  | Atomic { txns; dst; srcs } ->
+    {
+      Trace.cls = I.Class_mem;
+      dst;
+      srcs;
+      mem = Trace.Smem_atomic txns;
+      bar = false;
+    }
   | Gmem { store; txns; dst; srcs } ->
     {
       Trace.cls = I.Class_mem;
@@ -150,6 +161,8 @@ let pp_ev ppf = function
     Fmt.pf ppf "smem %s txns=%d dst=%d srcs=%a"
       (if fused then "fused" else "plain")
       txns dst pp_ints srcs
+  | Atomic { txns; dst; srcs } ->
+    Fmt.pf ppf "atomic txns=%d dst=%d srcs=%a" txns dst pp_ints srcs
   | Gmem { store; txns; dst; srcs } ->
     Fmt.pf ppf "gmem %s dst=%d srcs=%a txns=%a"
       (if store then "store" else "load")
@@ -233,6 +246,8 @@ let to_string c =
                       line "smem %s %d %d %s"
                         (if fused then "fused" else "plain")
                         txns dst (ints_to_string srcs)
+                    | Atomic { txns; dst; srcs } ->
+                      line "atomic %d %d %s" txns dst (ints_to_string srcs)
                     | Gmem { store; txns; dst; srcs } ->
                       line "gmem %s %d %s %s"
                         (if store then "store" else "load")
@@ -364,6 +379,11 @@ let of_string s =
           | Some txns, Some dst ->
             ev (Smem { fused; txns; dst; srcs = parse_ints srcs })
           | _ -> raise (Parse ("bad smem event: " ^ l)))
+        | [ "atomic"; txns; dst; srcs ] -> (
+          match (int_of_string_opt txns, int_of_string_opt dst) with
+          | Some txns, Some dst ->
+            ev (Atomic { txns; dst; srcs = parse_ints srcs })
+          | _ -> raise (Parse ("bad atomic event: " ^ l)))
         | [ "gmem"; kind; dst; srcs; txns ] -> (
           let store =
             match kind with

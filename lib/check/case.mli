@@ -10,6 +10,8 @@
 type ev =
   | Alu of { cls : Gpu_isa.Instr.cost_class; dst : int; srcs : int array }
   | Smem of { fused : bool; txns : int; dst : int; srcs : int array }
+  | Atomic of { txns : int; dst : int; srcs : int array }
+      (** shared-memory atomic: contention-serialized half-warp txns *)
   | Gmem of {
       store : bool;
       txns : (int * int) array;

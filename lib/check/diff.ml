@@ -43,7 +43,7 @@ let pp_report ppf r =
 
 let is_work = function
   | Case.Alu { cls = I.Class_ctrl; _ } -> false
-  | Case.Alu _ | Case.Smem _ | Case.Gmem _ -> true
+  | Case.Alu _ | Case.Smem _ | Case.Atomic _ | Case.Gmem _ -> true
 
 (* Mirror the interpreter's per-stage accounting for one abstract case. *)
 let stats_of_case (c : Case.t) =
@@ -68,6 +68,13 @@ let stats_of_case (c : Case.t) =
                       (* a conflict-free full half-warp pair needs 2
                          transactions; the generator only inflates *)
                       Stats.count_smem st ~stage:k ~txns
+                        ~ideal:(min txns 2)
+                    | Case.Atomic { txns; _ } ->
+                      Stats.count_issue st ~stage:k I.Class_mem;
+                      (* contention-free would be one transaction per
+                         active half-warp group; the generator's txns
+                         only inflate from there *)
+                      Stats.count_atomic st ~stage:k ~txns
                         ~ideal:(min txns 2)
                     | Case.Gmem { txns; _ } ->
                       Stats.count_issue st ~stage:k I.Class_mem;

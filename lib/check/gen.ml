@@ -75,6 +75,49 @@ let gen_bank_access r =
     lanes = gen_lanes r ~count ~width;
   }
 
+(* Conflicting-address grids for the atomic oracle: unlike the plain bank
+   generator, these deliberately concentrate lanes on few words — the
+   same-word case is exactly where atomic serialization and bank-conflict
+   counting diverge (a broadcast costs 1 shared transaction but k atomic
+   ones). *)
+let gen_atomic_lanes r ~count ~width =
+  let aligned a = a / width * width in
+  let window = 1024 in
+  let base = aligned (R.int r window) in
+  let pattern = R.int r 6 in
+  let lane i =
+    match pattern with
+    | 0 -> base (* full contention: every lane the same word *)
+    | 1 -> base + (i mod pick r [| 2; 4 |] * width) (* k-way duplicates *)
+    | 2 -> base + (i * width) (* conflict-free sequential *)
+    | 3 ->
+      (* bin-grid: lanes hash into a handful of bins, the histogram
+         shape *)
+      let bins = pick r [| 3; 5; 8 |] in
+      base + (i * 7 mod bins * width)
+    | 4 ->
+      let stride = pick r [| 16; 32 |] in
+      base + (i * stride * width) (* same-bank, distinct words *)
+    | _ -> aligned (R.int r window) (* scatter *)
+  in
+  let sparse = R.int r 4 = 0 in
+  Array.init count (fun i ->
+      if sparse && R.int r 4 = 0 then None else Some (lane i))
+
+let gen_atomic_access r =
+  let width = 4 in
+  let banks = pick r [| 16; 16; 16; 8; 32 |] in
+  let group = pick r [| 16; 16; 8; 32 |] in
+  let count = pick r [| 16; 32; range r 1 32 |] in
+  {
+    Oracle.group;
+    min_segment = 32;
+    max_segment = 128;
+    banks;
+    width;
+    lanes = gen_atomic_lanes r ~count ~width;
+  }
+
 (* --- kernel cases for the engine auditor --------------------------------- *)
 
 let work_classes = [| I.Class_i; I.Class_ii; I.Class_ii; I.Class_iii;
@@ -94,7 +137,7 @@ let gen_gmem_txns r =
       (R.int r 4096 / size * size, size))
 
 let gen_ev r =
-  match R.int r 10 with
+  match R.int r 12 with
   | 0 | 1 ->
     Case.Smem
       {
@@ -111,6 +154,11 @@ let gen_ev r =
         dst = gen_dst r;
         srcs = gen_srcs r;
       }
+  | 4 | 5 ->
+    (* contention-serialized atomics: up to a whole group serializing on
+       one word (16 transactions per half-warp, 32 for the warp) *)
+    Case.Atomic
+      { txns = range r 1 32; dst = gen_dst r; srcs = gen_srcs r }
   | _ -> Case.Alu { cls = pick r work_classes; dst = gen_dst r; srcs = gen_srcs r }
 
 (* Heterogeneous grid exercising every scheduling path: empty warps (the
@@ -150,12 +198,19 @@ let gen_diff_ev r ~acc =
      serialized through a dependent chain — the same structure the
      calibrated synthetic benchmarks and the paper's case studies have *)
   let scratch = 32 + R.int r 16 in
-  match R.int r 12 with
+  match R.int r 13 with
   | 0 ->
     Case.Smem
       {
         fused = R.bool r;
         txns = pick r [| 2; 2; 2; 4; 8 |];
+        dst = scratch;
+        srcs = [||];
+      }
+  | 12 ->
+    Case.Atomic
+      {
+        txns = pick r [| 2; 2; 4; 8; 16 |];
         dst = scratch;
         srcs = [||];
       }

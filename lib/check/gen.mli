@@ -18,6 +18,12 @@ val gen_coalesce_access : rng -> Oracle.access
     prime-bank what-if's 17). *)
 val gen_bank_access : rng -> Oracle.access
 
+(** Conflicting-address grid for the atomic oracle: contention-heavy
+    patterns (same-word broadcast, k-way duplicates, histogram-style
+    bins) where serialized-multiplicity and distinct-word counting
+    diverge. *)
+val gen_atomic_access : rng -> Oracle.access
+
 (** Heterogeneous grid exercising every engine scheduling path: empty
     warps, barrier-final warps, uneven blocks, tight residency limits. *)
 val gen_audit_case : rng -> Case.t

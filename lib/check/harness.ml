@@ -28,6 +28,7 @@ type failure = {
 type summary = {
   coalesce_cases : int;
   bank_cases : int;
+  atomic_cases : int;
   audit_cases : int;
   diff_cases : int;
   shrink_evals : int;
@@ -42,6 +43,7 @@ let tag_coalesce = 1
 let tag_bank = 2
 let tag_audit = 3
 let tag_diff = 4
+let tag_atomic = 5
 
 let audit_budget cases = max 1 (cases / 5)
 let diff_budget cases = max 1 (cases / 25)
@@ -69,8 +71,8 @@ let run ?(progress = fun _ -> ()) cfg =
   let spec = cfg.spec in
   (* memory-system oracles *)
   progress
-    (Printf.sprintf "oracles: %d coalesce + %d bank comparisons" cfg.cases
-       cfg.cases);
+    (Printf.sprintf "oracles: %d coalesce + %d bank + %d atomic comparisons"
+       cfg.cases cfg.cases cfg.cases);
   for i = 0 to cfg.cases - 1 do
     let r = Gen.sub_rng ~seed:cfg.seed ~tag:tag_coalesce i in
     match Oracle.coalesce_agrees (Gen.gen_coalesce_access r) with
@@ -87,6 +89,15 @@ let run ?(progress = fun _ -> ()) cfg =
     | Error detail ->
       record
         { property = "bank-oracle"; case_index = i; detail;
+          reproducer = None }
+  done;
+  for i = 0 to cfg.cases - 1 do
+    let r = Gen.sub_rng ~seed:cfg.seed ~tag:tag_atomic i in
+    match Oracle.atomic_agrees (Gen.gen_atomic_access r) with
+    | Ok () -> ()
+    | Error detail ->
+      record
+        { property = "atomic-oracle"; case_index = i; detail;
           reproducer = None }
   done;
   (* engine invariant audit, with shrinking *)
@@ -150,6 +161,7 @@ let run ?(progress = fun _ -> ()) cfg =
   {
     coalesce_cases = cfg.cases;
     bank_cases = cfg.cases;
+    atomic_cases = cfg.cases;
     audit_cases = naudit;
     diff_cases = ndiff;
     shrink_evals = !shrink_evals;

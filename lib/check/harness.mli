@@ -1,7 +1,8 @@
-(** The [gpuperf check] driver: seeded property sweep over all four
-    properties — coalesce oracle, bank oracle, engine invariant audit,
-    model-vs-engine differential — with greedy shrinking of failing
-    kernel cases and replayable reproducer dumps. *)
+(** The [gpuperf check] driver: seeded property sweep over five
+    properties — coalesce oracle, bank oracle, atomic-serialization
+    oracle, engine invariant audit, model-vs-engine differential — with
+    greedy shrinking of failing kernel cases and replayable reproducer
+    dumps. *)
 
 type config = {
   seed : int;
@@ -21,6 +22,7 @@ type failure = {
 type summary = {
   coalesce_cases : int;
   bank_cases : int;
+  atomic_cases : int;
   audit_cases : int;
   diff_cases : int;
   shrink_evals : int;

@@ -159,3 +159,77 @@ let bank_agrees a =
   else
     Error
       (Fmt.str "bank mismatch on %a: impl=%d oracle=%d" pp_access a impl ref_)
+
+(* --- atomic serialization ------------------------------------------------ *)
+
+(* Per issue group: one bank entry per lane-word access, *with*
+   multiplicity — unlike plain loads, two atomics on the same word cannot
+   broadcast, because each read-modify-write must observe the previous
+   one's write.  The count per bank is found by sorting the bank list and
+   taking the longest run (the implementation tallies through a hash
+   table, the opposite machinery); the group's cost is the busiest bank. *)
+let atomic_group ~banks ~width lanes =
+  let word_size = 4 in
+  let hits = ref [] in
+  Array.iter
+    (function
+      | None -> ()
+      | Some addr ->
+        for w = addr / word_size to (addr + width - 1) / word_size do
+          hits := (w mod banks) :: !hits
+        done)
+    lanes;
+  let sorted = List.sort compare !hits in
+  let rec runs cur len best = function
+    | [] -> max best len
+    | b :: rest ->
+      if b = cur then runs cur (len + 1) best rest
+      else runs b 1 (max best len) rest
+  in
+  match sorted with [] -> 0 | b :: rest -> runs b 1 0 rest
+
+let atomic_warp a =
+  let n = Array.length a.lanes in
+  let rec go start acc =
+    if start >= n then acc
+    else
+      let len = min a.group (n - start) in
+      let slice = Array.sub a.lanes start len in
+      go (start + a.group)
+        (acc + atomic_group ~banks:a.banks ~width:a.width slice)
+  in
+  go 0 0
+
+let atomic_ideal_warp a =
+  let n = Array.length a.lanes in
+  let rec go start acc =
+    if start >= n then acc
+    else
+      let len = min a.group (n - start) in
+      let active = ref false in
+      for i = start to start + len - 1 do
+        if a.lanes.(i) <> None then active := true
+      done;
+      go (start + a.group) (acc + if !active then 1 else 0)
+  in
+  go 0 0
+
+let atomic_agrees a =
+  let impl =
+    Gpu_mem.Bank.warp_atomic_transactions ~width:a.width ~banks:a.banks
+      ~group:a.group a.lanes
+  in
+  let impl_ideal =
+    Gpu_mem.Bank.ideal_warp_atomic_transactions ~group:a.group a.lanes
+  in
+  let ref_ = atomic_warp a in
+  let ref_ideal = atomic_ideal_warp a in
+  if impl <> ref_ then
+    Error
+      (Fmt.str "atomic mismatch on %a: impl=%d oracle=%d" pp_access a impl
+         ref_)
+  else if impl_ideal <> ref_ideal then
+    Error
+      (Fmt.str "atomic ideal mismatch on %a: impl=%d oracle=%d" pp_access a
+         impl_ideal ref_ideal)
+  else Ok ()

@@ -30,3 +30,18 @@ val coalesce_agrees : access -> (unit, string) result
 (** [Ok ()] when {!Gpu_mem.Bank.warp_transactions} agrees with
     {!bank_warp}. *)
 val bank_agrees : access -> (unit, string) result
+
+(** Reference contention-serialized atomic transaction count: one bank
+    entry per lane-word access {e with} multiplicity (same-word atomics
+    serialize, they never broadcast), counted by sorting and run-length
+    instead of the implementation's hash tables. *)
+val atomic_warp : access -> int
+
+(** Reference contention-free count: one transaction per issue group with
+    at least one active lane. *)
+val atomic_ideal_warp : access -> int
+
+(** [Ok ()] when {!Gpu_mem.Bank.warp_atomic_transactions} and
+    {!Gpu_mem.Bank.ideal_warp_atomic_transactions} agree with
+    {!atomic_warp} and {!atomic_ideal_warp}. *)
+val atomic_agrees : access -> (unit, string) result

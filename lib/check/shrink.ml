@@ -30,9 +30,11 @@ let map_stages f (c : Case.t) =
 let simplify_ev = function
   | Case.Smem ({ txns; _ } as s) when txns > 1 ->
     Some (Case.Smem { s with txns = 1 })
+  | Case.Atomic ({ txns; _ } as a) when txns > 1 ->
+    Some (Case.Atomic { a with txns = 1 })
   | Case.Gmem ({ txns; _ } as g) when Array.length txns > 1 ->
     Some (Case.Gmem { g with txns = [| txns.(0) |] })
-  | Case.Alu _ | Case.Smem _ | Case.Gmem _ -> None
+  | Case.Alu _ | Case.Smem _ | Case.Atomic _ | Case.Gmem _ -> None
 
 let candidates (c : Case.t) : Case.t list =
   let nblocks = Array.length c.blocks in
@@ -103,6 +105,28 @@ let candidates (c : Case.t) : Case.t list =
         else evs)
       c
   in
+  (* Positional drops reach interior events that halving and suffix
+     truncation cannot; only worth enumerating once the stages are
+     short. *)
+  let max_events =
+    Array.fold_left
+      (fun m (b : Case.block) ->
+        Array.fold_left
+          (fun m -> function
+            | Case.Empty -> m
+            | Case.Stages st ->
+              Array.fold_left (fun m evs -> max m (Array.length evs)) m st)
+          m b.warps)
+      0 c.blocks
+  in
+  let event_drops =
+    if max_events < 2 || max_events > 8 then []
+    else
+      List.init max_events (fun k ->
+          map_stages
+            (fun evs -> if Array.length evs > k then drop evs k else evs)
+            c)
+  in
   let empty_warp j =
     {
       c with
@@ -135,7 +159,7 @@ let candidates (c : Case.t) : Case.t list =
     (fun cand -> cand <> c)
     (halves @ single_blocks @ stage_drops @ warp_drops
     @ [ halve_events ] @ warp_empties @ residency
-    @ [ drop_last_event; simplified ])
+    @ [ drop_last_event ] @ event_drops @ [ simplified ])
 
 (* Returns the shrunk case and the number of predicate evaluations spent.
    [fails] must hold of the input (otherwise it is returned unchanged). *)

@@ -1,34 +1,48 @@
-(* The three components of GPU execution time the paper models
-   (Section 3): the instruction pipeline, shared-memory access, and
-   global-memory access. *)
+(* The components of GPU execution time the model charges (paper
+   Section 3, plus atomics): the instruction pipeline, shared-memory
+   access, atomic serialization on the shared pipe, and global-memory
+   access.  The paper models the first three cost kinds; the atomic
+   component follows the same utilization-law shape (Dong & Pai,
+   arXiv:2503.17893) with the contention-serialized transaction count in
+   place of the conflict-adjusted one. *)
 
-type t = Instruction_pipeline | Shared_memory | Global_memory
+type t = Instruction_pipeline | Shared_memory | Atomic | Global_memory
 
-let all = [ Instruction_pipeline; Shared_memory; Global_memory ]
+let all = [ Instruction_pipeline; Shared_memory; Atomic; Global_memory ]
 
 let name = function
   | Instruction_pipeline -> "instruction pipeline"
   | Shared_memory -> "shared memory"
+  | Atomic -> "atomic serialization"
   | Global_memory -> "global memory"
 
 let short_name = function
   | Instruction_pipeline -> "instr"
   | Shared_memory -> "shared"
+  | Atomic -> "atomic"
   | Global_memory -> "global"
 
-type times = { instruction : float; shared : float; global : float }
+type times = {
+  instruction : float;
+  shared : float;
+  atomic : float;
+  global : float;
+}
 
-let zero_times = { instruction = 0.0; shared = 0.0; global = 0.0 }
+let zero_times =
+  { instruction = 0.0; shared = 0.0; atomic = 0.0; global = 0.0 }
 
 let time_of times = function
   | Instruction_pipeline -> times.instruction
   | Shared_memory -> times.shared
+  | Atomic -> times.atomic
   | Global_memory -> times.global
 
 let add a b =
   {
     instruction = a.instruction +. b.instruction;
     shared = a.shared +. b.shared;
+    atomic = a.atomic +. b.atomic;
     global = a.global +. b.global;
   }
 

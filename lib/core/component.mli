@@ -1,13 +1,21 @@
-(** The three components of GPU execution time the paper models
-    (Section 3): instruction pipeline, shared memory, global memory. *)
+(** The components of GPU execution time the model charges: the paper's
+    three (Section 3) — instruction pipeline, shared memory, global
+    memory — plus atomic serialization on the shared pipe, which follows
+    the same utilization-law shape with the contention-serialized
+    transaction count. *)
 
-type t = Instruction_pipeline | Shared_memory | Global_memory
+type t = Instruction_pipeline | Shared_memory | Atomic | Global_memory
 
 val all : t list
 val name : t -> string
 val short_name : t -> string
 
-type times = { instruction : float; shared : float; global : float }
+type times = {
+  instruction : float;
+  shared : float;
+  atomic : float;
+  global : float;
+}
 
 val zero_times : times
 val time_of : times -> t -> float

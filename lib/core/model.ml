@@ -26,6 +26,7 @@ type cause =
   | Expensive_instructions of float (* class III/IV fraction *)
   | Insufficient_warps of int
   | Bank_conflicts of float (* penalty factor *)
+  | Atomic_contention of float (* serialized / contention-free txns *)
   | Bookkeeping_smem_traffic
   | Uncoalesced_accesses of float (* coalescing efficiency *)
   | Large_transaction_granularity
@@ -40,6 +41,8 @@ let pp_cause ppf = function
       (100.0 *. f)
   | Insufficient_warps w -> Fmt.pf ppf "insufficient parallel warps (%d)" w
   | Bank_conflicts p -> Fmt.pf ppf "bank conflicts (%.2fx transactions)" p
+  | Atomic_contention p ->
+    Fmt.pf ppf "atomic contention (%.2fx serialized transactions)" p
   | Bookkeeping_smem_traffic ->
     Fmt.pf ppf "shared-memory traffic from bookkeeping accesses"
   | Uncoalesced_accesses e ->
@@ -162,6 +165,18 @@ let analyze_stage inp ~program_txns_per_thread ~stage_index
     float_of_int (s.smem_txns * transaction_bytes)
     *. inp.scale /. (smem_bw *. 1e9) /. balance
   in
+  (* Atomic serialization time: the contention-serialized transactions
+     drain through the same shared pipe at the same microbenchmarked
+     bandwidth, but are charged as their own component — an atomic-bound
+     stage should say so, not hide inside the shared term.  The balance
+     factor is numerically the grid load balance, kept as its own binding
+     because the atomic term's balance could diverge from the shared one
+     (e.g. contention hotspots concentrating on few SMs). *)
+  let atomic_balance = balance in
+  let t_atomic =
+    float_of_int (s.atomic_txns * transaction_bytes)
+    *. inp.scale /. (smem_bw *. 1e9) /. atomic_balance
+  in
   (* Global memory time: synthetic benchmark of the same configuration. *)
   let gmem_bw =
     if program_txns_per_thread = 0 then Float.infinity
@@ -176,7 +191,12 @@ let analyze_stage inp ~program_txns_per_thread ~stage_index
       *. inp.scale /. (gmem_bw *. 1e9)
   in
   let times =
-    { Component.instruction = t_instr; shared = t_smem; global = t_gmem }
+    {
+      Component.instruction = t_instr;
+      shared = t_smem;
+      atomic = t_atomic;
+      global = t_gmem;
+    }
   in
   let bottleneck = Component.bottleneck times in
   (* Cause diagnosis (Section 3). *)
@@ -191,6 +211,7 @@ let analyze_stage inp ~program_txns_per_thread ~stage_index
       /. total
   in
   let conflict_penalty = Stats.bank_conflict_penalty s in
+  let contention_penalty = Stats.atomic_contention_penalty s in
   let coalescing = Stats.coalescing_efficiency s in
   let saturation_warps = 16 in
   let causes =
@@ -218,6 +239,16 @@ let analyze_stage inp ~program_txns_per_thread ~stage_index
              s.smem_accesses > 0
              && float_of_int s.mads /. float_of_int s.smem_accesses < 2.0
            then [ Bookkeeping_smem_traffic ]
+           else []);
+          (if active_warps < saturation_warps then
+             [ Insufficient_warps active_warps ]
+           else []);
+        ]
+    | Component.Atomic ->
+      List.concat
+        [
+          (if contention_penalty > 1.1 then
+             [ Atomic_contention contention_penalty ]
            else []);
           (if active_warps < saturation_warps then
              [ Insufficient_warps active_warps ]
@@ -343,6 +374,7 @@ let analyze inp =
   let finite (t : Component.times) =
     Float.is_finite t.Component.instruction
     && Float.is_finite t.Component.shared
+    && Float.is_finite t.Component.atomic
     && Float.is_finite t.Component.global
   in
   List.iter
@@ -369,7 +401,7 @@ let analyze inp =
      the complementary upper bound, bracketing the truth. *)
   let no_overlap_seconds =
     totals.Component.instruction +. totals.Component.shared
-    +. totals.Component.global
+    +. totals.Component.atomic +. totals.Component.global
   in
   let all = Stats.total inp.stats in
   let density = Stats.computational_density all in
@@ -422,8 +454,9 @@ let analyze_result inp =
 (* --- Reporting -------------------------------------------------------- *)
 
 let pp_times ppf (t : Component.times) =
-  Fmt.pf ppf "instr %.3g ms, shared %.3g ms, global %.3g ms"
-    (1e3 *. t.instruction) (1e3 *. t.shared) (1e3 *. t.global)
+  Fmt.pf ppf "instr %.3g ms, shared %.3g ms, atomic %.3g ms, global %.3g ms"
+    (1e3 *. t.instruction) (1e3 *. t.shared) (1e3 *. t.atomic)
+    (1e3 *. t.global)
 
 let pp_stage ppf st =
   Fmt.pf ppf "@[<v>stage %d: %a@,  bottleneck: %a (%d warps/SM)%a@]" st.index

@@ -15,6 +15,8 @@ type cause =
   | Expensive_instructions of float  (** class III/IV fraction *)
   | Insufficient_warps of int
   | Bank_conflicts of float  (** transaction inflation factor *)
+  | Atomic_contention of float
+      (** serialized / contention-free atomic transactions *)
   | Bookkeeping_smem_traffic
   | Uncoalesced_accesses of float  (** coalescing efficiency *)
   | Large_transaction_granularity

@@ -68,6 +68,7 @@ let event_cost_equal (a : Gpu_sim.Trace.event) (b : Gpu_sim.Trace.event) =
     match (m, m') with
     | Gpu_sim.Trace.No_mem, Gpu_sim.Trace.No_mem -> true
     | Gpu_sim.Trace.Smem n, Gpu_sim.Trace.Smem n' -> n = n'
+    | Gpu_sim.Trace.Smem_atomic n, Gpu_sim.Trace.Smem_atomic n' -> n = n'
     | Gpu_sim.Trace.Gmem_load t, Gpu_sim.Trace.Gmem_load t'
     | Gpu_sim.Trace.Gmem_store t, Gpu_sim.Trace.Gmem_store t' ->
       Array.length t = Array.length t'

@@ -272,6 +272,31 @@ let parse_op ~line mnemonic rest =
       match a with
       | d :: addr -> Instr.Ld (sp, w, reg ~line d, maddr ~line addr)
       | [] -> fail ~line "ld: destination expected")
+    | [ "atom"; "shared"; opname; "b32" ] -> (
+      let o =
+        match opname with
+        | "add" -> Instr.Aadd
+        | "min" -> Instr.Amin
+        | "max" -> Instr.Amax
+        | "cas" -> Instr.Acas
+        | _ -> fail ~line ("unknown atomic operation " ^ opname)
+      in
+      let mk d addr x swap =
+        Instr.Atom (o, reg ~line d, addr, operand ~line x, swap)
+      in
+      match a with
+      | [ d; Tlbracket; Treg b; Trbracket; x ] ->
+        mk d { Instr.base = R b; offset = 0 } x None
+      | [ d; Tlbracket; Treg b; Tplus; Tint off; Trbracket; x ] ->
+        mk d { Instr.base = R b; offset = Int32.to_int off } x None
+      | [ d; Tlbracket; Treg b; Trbracket; x; y ] ->
+        mk d { Instr.base = R b; offset = 0 } x (Some (operand ~line y))
+      | [ d; Tlbracket; Treg b; Tplus; Tint off; Trbracket; x; y ] ->
+        mk d
+          { Instr.base = R b; offset = Int32.to_int off }
+          x
+          (Some (operand ~line y))
+      | _ -> fail ~line "atom: dst, [addr], src expected")
     | [ "st"; space; width ] -> (
       let sp =
         match space with

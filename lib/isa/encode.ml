@@ -66,6 +66,8 @@ let sregs = [ Instr.Tid_x; Ntid_x; Ctaid_x; Nctaid_x; Laneid; Warpid ]
 
 let spaces = [ Instr.Global; Shared ]
 
+let atomic_ops = [ Instr.Aadd; Amin; Amax; Acas ]
+
 let index_of xs x =
   let rec go i = function
     | [] -> invalid_arg "Encode.index_of"
@@ -176,6 +178,17 @@ let put_op b op =
     put_operand b x;
     put_maddr b m;
     put_operand b z
+  | Instr.Atom (o, d, m, x, swap) -> (
+    put_u8 b 19;
+    put_u8 b (index_of atomic_ops o);
+    put_reg b d;
+    put_maddr b m;
+    put_operand b x;
+    match swap with
+    | None -> put_u8 b 0
+    | Some y ->
+      put_u8 b 1;
+      put_operand b y)
 
 let put_instr b (i : Instr.t) =
   (match i.pred with
@@ -351,6 +364,18 @@ let get_op r =
     let x = get_operand r in
     let m = get_maddr r in
     Instr.Fmad_smem (d, x, m, get_operand r)
+  | 19 ->
+    let o = nth_of "atomic_op" atomic_ops (get_u8 r) in
+    let d = get_reg r in
+    let m = get_maddr r in
+    let x = get_operand r in
+    let swap =
+      match get_u8 r with
+      | 0 -> None
+      | 1 -> Some (get_operand r)
+      | t -> raise (Decode_error (Printf.sprintf "bad swap tag %d" t))
+    in
+    Instr.Atom (o, d, m, x, swap)
   | t -> raise (Decode_error (Printf.sprintf "bad op tag %d" t))
 
 let get_instr r =

@@ -72,6 +72,8 @@ type cmp_type = S32 | F32
 
 type cvt_op = I2f | F2i | F2i_rni (* round to nearest int *)
 
+type atomic_op = Aadd | Amin | Amax | Acas
+
 type space = Global | Shared
 
 (* A memory address is [base register + byte offset].  Width is in bytes:
@@ -98,6 +100,12 @@ type op =
   | Selp of reg * operand * operand * pred (* dst <- p ? a : b *)
   | Ld of space * int * reg * maddr (* width, dst, address *)
   | St of space * int * maddr * operand (* width, address, src *)
+  | Atom of atomic_op * reg * maddr * operand * operand option
+    (* shared-memory 32-bit read-modify-write: dst <- old shared[addr];
+       shared[addr] <- op(old, src).  The trailing operand is the CAS swap
+       value ([Some] iff the op is [Acas]: shared[addr] <- old = src ?
+       swap : old).  Lanes of a warp hitting the same word serialize —
+       the contention the atomic cost class charges for. *)
   | Bra of string (* unconditional branch to label *)
   | Bra_pred of pred * bool * string * string
     (* [Bra_pred (p, sense, target, reconv)]: branch to [target] for lanes
@@ -125,7 +133,7 @@ let classify_op = function
     Class_ii
   | Sfu _ -> Class_iii
   | Dop _ | Dfma _ -> Class_iv
-  | Ld _ | St _ -> Class_mem
+  | Ld _ | St _ | Atom _ -> Class_mem
   | Bra _ | Bra_pred _ -> Class_ii
   | Bar | Exit -> Class_ctrl
 
@@ -190,6 +198,12 @@ let cvt_name = function
   | F2i -> "cvt.s32.f32"
   | F2i_rni -> "cvt.rni.s32.f32"
 
+let atomic_op_name = function
+  | Aadd -> "add"
+  | Amin -> "min"
+  | Amax -> "max"
+  | Acas -> "cas"
+
 let space_name = function Global -> "global" | Shared -> "shared"
 
 let pp_reg ppf (R i) = Fmt.pf ppf "$r%d" i
@@ -242,6 +256,12 @@ let pp_op ppf = function
   | St (sp, w, m, s) ->
     Fmt.pf ppf "st.%s.b%d %a, %a" (space_name sp) (w * 8) pp_maddr m
       pp_operand s
+  | Atom (o, d, m, s, swap) -> (
+    Fmt.pf ppf "atom.shared.%s.b32 %a, %a, %a" (atomic_op_name o) pp_reg d
+      pp_maddr m pp_operand s;
+    match swap with
+    | None -> ()
+    | Some sw -> Fmt.pf ppf ", %a" pp_operand sw)
   | Bra l -> Fmt.pf ppf "bra %s" l
   | Bra_pred (p, sense, target, reconv) ->
     Fmt.pf ppf "@%s%a bra %s, %s"

@@ -40,6 +40,9 @@ type sfu_op = Rcp | Rsqrt | Sin | Cos | Lg2 | Ex2
 type cmp = Eq | Ne | Lt | Le | Gt | Ge
 type cmp_type = S32 | F32
 type cvt_op = I2f | F2i | F2i_rni
+
+type atomic_op = Aadd | Amin | Amax | Acas
+
 type space = Global | Shared
 
 type maddr = { base : reg; offset : int (** byte offset *) }
@@ -63,6 +66,11 @@ type op =
   | Selp of reg * operand * operand * pred
   | Ld of space * int * reg * maddr (** width in bytes, dst, address *)
   | St of space * int * maddr * operand
+  | Atom of atomic_op * reg * maddr * operand * operand option
+      (** shared-memory 32-bit read-modify-write:
+          [dst <- old shared\[addr\]; shared\[addr\] <- op(old, src)].  The
+          trailing operand is the CAS swap value, [Some] iff the op is
+          {!Acas}. *)
   | Bra of string
   | Bra_pred of pred * bool * string * string
       (** [Bra_pred (p, sense, target, reconv)]: branch to [target] in lanes
@@ -83,6 +91,7 @@ val classify : t -> cost_class
 val is_memory : t -> bool
 val is_barrier : t -> bool
 val sreg_name : sreg -> string
+val atomic_op_name : atomic_op -> string
 val pp_reg : Format.formatter -> reg -> unit
 val pp_pred : Format.formatter -> pred -> unit
 val pp_operand : Format.formatter -> operand -> unit

@@ -74,6 +74,8 @@ let max_reg t =
     | Selp (d, a, b, _) -> reg d; operand a; operand b
     | Ld (_, _, d, m) -> reg d; maddr m
     | St (_, _, m, s) -> maddr m; operand s
+    | Atom (_, d, m, s, swap) ->
+      reg d; maddr m; operand s; Option.iter operand swap
     | Bra _ | Bra_pred _ | Bar | Exit -> ()
   in
   Array.iter visit t.code;

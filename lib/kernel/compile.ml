@@ -48,7 +48,10 @@ let used_sregs body =
   and cond (Ir.Cmp (_, _, a, b)) = exp a; exp b
   and stmt = function
     | Ir.Let (_, e) | Ir.Local (_, e) | Ir.Assign (_, e) -> exp e
-    | Ir.St_global (_, idx, e) | Ir.St_shared (_, idx, e) -> exp idx; exp e
+    | Ir.St_global (_, idx, e)
+    | Ir.St_shared (_, idx, e)
+    | Ir.Atom_shared (_, _, idx, e) ->
+      exp idx; exp e
     | Ir.If (c, t, e) -> cond c; List.iter stmt t; List.iter stmt e
     | Ir.While (c, b) -> cond c; List.iter stmt b
     | Ir.For (_, lo, hi, b) -> exp lo; exp hi; List.iter stmt b
@@ -97,6 +100,11 @@ let cmp_ty : Ir.cmp_type -> I.cmp_type = function
   | Ir.S32 -> I.S32
   | Ir.F32 -> I.F32
 
+let atomic_op : Ir.atomic -> I.atomic_op = function
+  | Ir.Atomic_add -> I.Aadd
+  | Ir.Atomic_min -> I.Amin
+  | Ir.Atomic_max -> I.Amax
+
 type state = {
   mutable lines : Gpu_isa.Program.line list; (* reversed *)
   mutable srcs : string list; (* reversed, one per emitted instruction *)
@@ -119,6 +127,7 @@ let stmt_tag : Ir.stmt -> string = function
   | Ir.Assign (n, _) -> "assign " ^ n
   | Ir.St_global (a, _, _) -> "store " ^ a ^ "[..]"
   | Ir.St_shared (a, _, _) -> "store shared " ^ a ^ "[..]"
+  | Ir.Atom_shared (_, a, _, _) -> "atom shared " ^ a ^ "[..]"
   | Ir.If _ -> "if"
   | Ir.While _ -> "while"
   | Ir.For (x, _, _, _) -> "for " ^ x
@@ -458,6 +467,17 @@ and compile_stmt_inner st (s : Ir.stmt) =
     let ov = eval st value in
     let a = address st ~base_operand:(`Off (shared_offset st arr)) idx in
     emit st (I.St (I.Shared, 4, maddr_of a, ov));
+    release_address st a;
+    free_operand st ov
+  | Ir.Atom_shared (op, arr, idx, value) ->
+    (* the statement form discards the returned old value, but the ISA
+       instruction still writes it: a short-lived temporary, allocated
+       last so the reverse-order free discipline holds *)
+    let ov = eval st value in
+    let a = address st ~base_operand:(`Off (shared_offset st arr)) idx in
+    let d = alloc_temp st in
+    emit st (I.Atom (atomic_op op, I.R d, maddr_of a, ov, None));
+    free_operand st (I.Reg (I.R d));
     release_address st a;
     free_operand st ov
   | Ir.If (c, then_s, []) ->

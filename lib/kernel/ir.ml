@@ -50,12 +50,19 @@ type exp =
 
 and cond = Cmp of cmp * cmp_type * exp * exp
 
+type atomic = Atomic_add | Atomic_min | Atomic_max
+(* CAS stays ISA-only: structured kernels express read-modify-write
+   reductions, and those three cover the paper-era workloads *)
+
 type stmt =
   | Let of string * exp (* immutable binding, scoped to the block *)
   | Local of string * exp (* mutable local with initial value *)
   | Assign of string * exp (* update of a [Local] *)
   | St_global of string * exp * exp (* array, word index, value *)
   | St_shared of string * exp * exp
+  | Atom_shared of atomic * string * exp * exp
+    (* atomic read-modify-write of shared[idx]: serializes under
+       same-word contention, the fourth cost class *)
   | If of cond * stmt list * stmt list
   | While of cond * stmt list
   | For of string * exp * exp * stmt list
@@ -93,6 +100,9 @@ let ld_shared_at addr off = Ld_shared_at (addr, off)
 let global_addr arr idx = Global_addr (arr, idx)
 let ld_global_at addr off = Ld_global_at (addr, off)
 let imad a b c = Imad (a, b, c)
+let atomic_add arr idx value = Atom_shared (Atomic_add, arr, idx, value)
+let atomic_min arr idx value = Atom_shared (Atomic_min, arr, idx, value)
+let atomic_max arr idx value = Atom_shared (Atomic_max, arr, idx, value)
 let ( < ) a b = Cmp (Lt, S32, a, b)
 let ( <= ) a b = Cmp (Le, S32, a, b)
 let ( > ) a b = Cmp (Gt, S32, a, b)

@@ -42,12 +42,19 @@ type exp =
 
 and cond = Cmp of cmp * cmp_type * exp * exp
 
+(** Atomic read-modify-write operators on shared memory (CAS stays
+    ISA-only: structured kernels express reductions with these three). *)
+type atomic = Atomic_add | Atomic_min | Atomic_max
+
 type stmt =
   | Let of string * exp  (** immutable binding, scoped to enclosing block *)
   | Local of string * exp  (** mutable local with initial value *)
   | Assign of string * exp
   | St_global of string * exp * exp  (** array, word index, value *)
   | St_shared of string * exp * exp
+  | Atom_shared of atomic * string * exp * exp
+      (** atomic read-modify-write of shared\[idx\]: serializes under
+          same-word contention, the fourth cost class *)
   | If of cond * stmt list * stmt list
   | While of cond * stmt list
   | For of string * exp * exp * stmt list
@@ -89,6 +96,9 @@ val ld_shared_at : exp -> int -> exp
 val global_addr : string -> exp -> exp
 val ld_global_at : exp -> int -> exp
 val imad : exp -> exp -> exp -> exp
+val atomic_add : string -> exp -> exp -> stmt
+val atomic_min : string -> exp -> exp -> stmt
+val atomic_max : string -> exp -> exp -> stmt
 val ( < ) : exp -> exp -> cond
 val ( <= ) : exp -> exp -> cond
 val ( > ) : exp -> exp -> cond

@@ -15,8 +15,13 @@
 
 let word_size = 4
 
-(* Words [addr/4 .. (addr+width-1)/4] touched by one lane's access. *)
+(* Words [addr/4 .. (addr+width-1)/4] touched by one lane's access.
+   Negative addresses are rejected: OCaml's [/] and [mod] truncate toward
+   zero, so [-1 / 4 = 0] would silently tally the access in word 0 of
+   bank 0 instead of failing like [Machine.shared_check] does. *)
 let iter_words ~width addr f =
+  if addr < 0 then
+    invalid_arg (Printf.sprintf "Bank: negative address %d" addr);
   let first = addr / word_size in
   let last = (addr + width - 1) / word_size in
   for w = first to last do
@@ -27,30 +32,35 @@ let check_width ~who width =
   if width <= 0 then
     invalid_arg (Printf.sprintf "Bank.%s: width must be > 0" who)
 
-(* Conflict degree of one access group: the maximum, over banks, of the
-   number of *distinct* words addressed in that bank.  1 means conflict-free
-   (or served by broadcast); an inactive group has degree 0. *)
-let conflict_degree ?(width = word_size) ~banks addresses =
+(* Conflict degree of the access group [addresses.(start .. start+len-1)]:
+   the maximum, over banks, of the number of *distinct* words addressed in
+   that bank.  The range form exists so [warp_transactions] can walk a
+   warp's groups without allocating a slice per group — this runs once per
+   shared access in the functional simulator's hot path. *)
+let conflict_degree_range ~width ~banks addresses start len =
   if banks <= 0 then invalid_arg "Bank.conflict_degree: banks must be > 0";
   check_width ~who:"conflict_degree" width;
   let per_bank = Hashtbl.create 16 in
-  Array.iter
-    (function
-      | None -> ()
-      | Some addr ->
-        iter_words ~width addr (fun w ->
-            let b = w mod banks in
-            let words =
-              match Hashtbl.find_opt per_bank b with
-              | Some ws -> ws
-              | None ->
-                let ws = Hashtbl.create 4 in
-                Hashtbl.add per_bank b ws;
-                ws
-            in
-            Hashtbl.replace words w ()))
-    addresses;
+  for i = start to start + len - 1 do
+    match addresses.(i) with
+    | None -> ()
+    | Some addr ->
+      iter_words ~width addr (fun w ->
+          let b = w mod banks in
+          let words =
+            match Hashtbl.find_opt per_bank b with
+            | Some ws -> ws
+            | None ->
+              let ws = Hashtbl.create 4 in
+              Hashtbl.add per_bank b ws;
+              ws
+          in
+          Hashtbl.replace words w ())
+  done;
   Hashtbl.fold (fun _ words acc -> max acc (Hashtbl.length words)) per_bank 0
+
+let conflict_degree ?(width = word_size) ~banks addresses =
+  conflict_degree_range ~width ~banks addresses 0 (Array.length addresses)
 
 (* Number of serialized shared-memory transactions needed to serve one
    access group: its conflict degree (0 if no lane is active, which costs no
@@ -61,15 +71,82 @@ let transactions ?width ~banks addresses =
 (* Split a warp's lane addresses into half-warp groups of [group] lanes and
    sum their transaction counts.  This is the effective transaction count
    the performance model charges against shared-memory bandwidth. *)
-let warp_transactions ?width ~banks ~group addresses =
+let warp_transactions ?(width = word_size) ~banks ~group addresses =
   if group <= 0 then invalid_arg "Bank.warp_transactions: group must be > 0";
   let n = Array.length addresses in
   let rec go start acc =
     if start >= n then acc
     else
       let len = min group (n - start) in
-      let slice = Array.sub addresses start len in
-      go (start + group) (acc + transactions ?width ~banks slice)
+      go (start + group)
+        (acc + conflict_degree_range ~width ~banks addresses start len)
+  in
+  go 0 0
+
+(* --- Atomic serialization (DESIGN §15) --------------------------------
+
+   An atomic read-modify-write cannot be served by broadcast: two lanes
+   hitting the *same* word must still serialize, because each one's read
+   must observe the previous one's write.  So where [conflict_degree]
+   counts distinct words per bank, the atomic degree counts every access
+   per bank *with multiplicity* — the maximum over banks of the total
+   lane-word accesses landing there is how many back-to-back shared-memory
+   cycles the group occupies. *)
+let atomic_degree_range ~width ~banks addresses start len =
+  if banks <= 0 then invalid_arg "Bank.atomic_degree: banks must be > 0";
+  check_width ~who:"atomic_degree" width;
+  let per_bank = Hashtbl.create 16 in
+  for i = start to start + len - 1 do
+    match addresses.(i) with
+    | None -> ()
+    | Some addr ->
+      iter_words ~width addr (fun w ->
+          let b = w mod banks in
+          let n =
+            match Hashtbl.find_opt per_bank b with
+            | Some n -> n
+            | None -> 0
+          in
+          Hashtbl.replace per_bank b (n + 1))
+  done;
+  Hashtbl.fold (fun _ n acc -> max acc n) per_bank 0
+
+(* Serialized transactions one access group of atomics needs: the maximum
+   over banks of the multiplicity-counted accesses (0 if no lane active). *)
+let atomic_transactions ?(width = word_size) ~banks addresses =
+  atomic_degree_range ~width ~banks addresses 0 (Array.length addresses)
+
+(* Sum of per-group atomic serialization over a warp's half-warp groups:
+   what the model charges the atomic component for this access. *)
+let warp_atomic_transactions ?(width = word_size) ~banks ~group addresses =
+  if group <= 0 then
+    invalid_arg "Bank.warp_atomic_transactions: group must be > 0";
+  let n = Array.length addresses in
+  let rec go start acc =
+    if start >= n then acc
+    else
+      let len = min group (n - start) in
+      go (start + group)
+        (acc + atomic_degree_range ~width ~banks addresses start len)
+  in
+  go 0 0
+
+(* Contention-free floor for the same access: one transaction per group
+   with at least one active lane — the count a conflict-free, fully
+   diverged-address atomic would achieve. *)
+let ideal_warp_atomic_transactions ~group addresses =
+  if group <= 0 then
+    invalid_arg "Bank.ideal_warp_atomic_transactions: group must be > 0";
+  let n = Array.length addresses in
+  let rec go start acc =
+    if start >= n then acc
+    else
+      let len = min group (n - start) in
+      let active = ref false in
+      for i = start to start + len - 1 do
+        if addresses.(i) <> None then active := true
+      done;
+      go (start + group) (acc + if !active then 1 else 0)
   in
   go 0 0
 

@@ -23,3 +23,19 @@ val warp_transactions :
     active group, the word count of its widest active lane. *)
 val ideal_warp_transactions :
   ?width:int -> group:int -> int option array -> int
+
+(** Serialized transactions one access group of atomic read-modify-writes
+    needs: the maximum over banks of the lane-word accesses landing in that
+    bank counted {e with multiplicity} — same-word accesses cannot
+    broadcast, each must observe the previous one's write. *)
+val atomic_transactions : ?width:int -> banks:int -> int option array -> int
+
+(** Atomic serialization for a warp access, split into groups of [group]
+    lanes and summed. *)
+val warp_atomic_transactions :
+  ?width:int -> banks:int -> group:int -> int option array -> int
+
+(** Contention-free floor for the same atomic access: one transaction per
+    group with at least one active lane. *)
+val ideal_warp_atomic_transactions :
+  group:int -> int option array -> int

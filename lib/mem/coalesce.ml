@@ -35,88 +35,112 @@ let check_config c =
     invalid_arg "Coalesce: min_segment > max_segment";
   if c.group <= 0 then invalid_arg "Coalesce: group must be positive"
 
-(* Serve one issue group.  [addresses.(i) = Some a] is the byte address
-   requested by thread [i]; [None] marks an inactive thread.  [width] is the
-   access width in bytes.  Returns transactions in service order. *)
-let group_transactions c ~width addresses =
-  check_config c;
-  if Array.length addresses > c.group then
-    invalid_arg "Coalesce.group_transactions: more threads than group size";
-  if width > c.max_segment then
-    invalid_arg "Coalesce.group_transactions: access wider than a segment";
-  Array.iter
-    (function
-      | Some a when a < 0 || a mod width <> 0 ->
-        invalid_arg
-          "Coalesce.group_transactions: addresses must be width-aligned"
-      | Some _ | None -> ())
-    addresses;
-  let pending = Array.map (fun a -> a) addresses in
-  let served = ref [] in
+let check_addresses ~width addresses start len =
+  for i = start to start + len - 1 do
+    match addresses.(i) with
+    | Some a when a < 0 || a mod width <> 0 ->
+      invalid_arg
+        "Coalesce.group_transactions: addresses must be width-aligned"
+    | Some _ | None -> ()
+  done
+
+(* Serve the issue group [addresses.(start + i) for i < len] without
+   copying it (this runs once per global access in the functional
+   simulator's hot path).  [served_lane.(i)], false on entry for i < len,
+   flags lanes already served.  Transactions are consed onto [acc] in
+   reverse service order. *)
+let serve_group c ~width addresses start len served_lane acc =
+  let served = ref acc in
   let remaining () =
-    let first = ref None in
-    Array.iteri
-      (fun i a ->
-        match (a, !first) with
-        | Some _, None -> first := Some i
-        | _ -> ())
-      pending;
+    let first = ref (-1) in
+    (try
+       for i = 0 to len - 1 do
+         if not served_lane.(i) then
+           match addresses.(start + i) with
+           | Some _ ->
+             first := i;
+             raise Exit
+           | None -> ()
+       done
+     with Exit -> ());
     !first
   in
   let rec serve () =
-    match remaining () with
-    | None -> List.rev !served
-    | Some leader ->
+    let leader = remaining () in
+    if leader < 0 then !served
+    else begin
       let leader_addr =
-        match pending.(leader) with
+        match addresses.(start + leader) with
         | Some a -> a
         (* invariant, not input-reachable: [remaining] only ever returns
-           the index of a pending (Some) lane *)
+           the index of an unserved active lane *)
         | None -> assert false
       in
       (* Step 1: the max_segment-aligned segment holding the leader. *)
       let seg = c.max_segment in
       let base = leader_addr / seg * seg in
-      (* Step 2: which pending threads fall entirely inside it. *)
+      (* Step 2: which unserved threads fall entirely inside it. *)
       let inside a = a >= base && a + width <= base + seg in
-      let members = ref [] in
-      Array.iteri
-        (fun i a ->
-          match a with
-          | Some a when inside a -> members := (i, a) :: !members
-          | _ -> ())
-        pending;
+      let lo = ref max_int and hi = ref 0 in
+      for i = 0 to len - 1 do
+        if not served_lane.(i) then
+          match addresses.(start + i) with
+          | Some a when inside a ->
+            lo := min !lo a;
+            hi := max !hi (a + width)
+          | Some _ | None -> ()
+      done;
       (* Step 3: shrink while all members fit in one half. *)
-      let lo =
-        List.fold_left (fun acc (_, a) -> min acc a) max_int !members
-      in
-      let hi =
-        List.fold_left (fun acc (_, a) -> max acc (a + width)) 0 !members
-      in
       let rec shrink base size =
         if size / 2 >= c.min_segment then
           let half = size / 2 in
-          if hi <= base + half then shrink base half
-          else if lo >= base + half then shrink (base + half) half
+          if !hi <= base + half then shrink base half
+          else if !lo >= base + half then shrink (base + half) half
           else (base, size)
         else (base, size)
       in
-      let base, size = shrink base seg in
-      List.iter (fun (i, _) -> pending.(i) <- None) !members;
-      served := { base; size } :: !served;
+      let tbase, tsize = shrink base seg in
+      for i = 0 to len - 1 do
+        if not served_lane.(i) then
+          match addresses.(start + i) with
+          | Some a when inside a -> served_lane.(i) <- true
+          | Some _ | None -> ()
+      done;
+      served := { base = tbase; size = tsize } :: !served;
       serve ()
+    end
   in
   serve ()
 
-(* Serve a full warp: split into issue groups of [c.group] threads. *)
-let warp_transactions c ~width addresses =
+(* Serve one issue group.  [addresses.(i) = Some a] is the byte address
+   requested by thread [i]; [None] marks an inactive thread.  [width] is the
+   access width in bytes.  Returns transactions in service order. *)
+let group_transactions c ~width addresses =
+  check_config c;
   let n = Array.length addresses in
+  if n > c.group then
+    invalid_arg "Coalesce.group_transactions: more threads than group size";
+  if width > c.max_segment then
+    invalid_arg "Coalesce.group_transactions: access wider than a segment";
+  check_addresses ~width addresses 0 n;
+  List.rev (serve_group c ~width addresses 0 n (Array.make (max n 1) false) [])
+
+(* Serve a full warp: split into issue groups of [c.group] threads, reusing
+   one served-lane buffer across the groups. *)
+let warp_transactions c ~width addresses =
+  check_config c;
+  if width > c.max_segment then
+    invalid_arg "Coalesce.group_transactions: access wider than a segment";
+  let n = Array.length addresses in
+  check_addresses ~width addresses 0 n;
+  let served_lane = Array.make c.group false in
   let rec go start acc =
-    if start >= n then List.concat (List.rev acc)
-    else
+    if start >= n then List.rev acc
+    else begin
       let len = min c.group (n - start) in
-      let slice = Array.sub addresses start len in
-      go (start + c.group) (group_transactions c ~width slice :: acc)
+      Array.fill served_lane 0 len false;
+      go (start + c.group) (serve_group c ~width addresses start len served_lane acc)
+    end
   in
   go 0 []
 

@@ -26,6 +26,7 @@ type stage = {
   active_warps : int;
   instruction : row list;
   shared : row list;
+  atomic : row list;
   global : row list;
 }
 
@@ -108,6 +109,31 @@ let analyze_stage ~(report : Gpu_model.Workflow.report) ~balance
         end)
       sites
   in
+  let atomic =
+    List.filter_map
+      (fun (site : Stats.site) ->
+        if site.atomic_txns = 0 then None
+        else begin
+          let src, instr, cls = describe site.pc in
+          let seconds =
+            float_of_int (site.atomic_txns * transaction_bytes)
+            *. scale
+            /. (sa.Model.smem_bandwidth *. 1e9)
+            /. balance
+          in
+          Some
+            {
+              pc = site.pc;
+              src;
+              instr;
+              cls;
+              count = site.atomic_txns;
+              seconds;
+              share = share ~total:sa.Model.times.Component.atomic seconds;
+            }
+        end)
+      sites
+  in
   let global =
     List.filter_map
       (fun (site : Stats.site) ->
@@ -141,6 +167,7 @@ let analyze_stage ~(report : Gpu_model.Workflow.report) ~balance
     active_warps = sa.Model.active_warps;
     instruction = order instruction;
     shared = order shared;
+    atomic = order atomic;
     global = order global;
   }
 
@@ -166,6 +193,7 @@ let of_report (report : Gpu_model.Workflow.report) =
 let rows st = function
   | Component.Instruction_pipeline -> st.instruction
   | Component.Shared_memory -> st.shared
+  | Component.Atomic -> st.atomic
   | Component.Global_memory -> st.global
 
 let top n rows =

@@ -27,6 +27,7 @@ type stage = {
   active_warps : int;
   instruction : row list;  (** descending seconds, ties by ascending pc *)
   shared : row list;
+  atomic : row list;
   global : row list;
 }
 

@@ -127,6 +127,10 @@ let of_report ?git ?host ~workload (r : Gpu_model.Workflow.report) =
           (busy
              (fun m -> m.Gpu_timing.Engine.smem_busy_cycles)
              (fun m -> m.Gpu_timing.Engine.sms_simulated));
+        comp "atomic" totals.Gpu_model.Component.atomic
+          (busy
+             (fun m -> m.Gpu_timing.Engine.atomic_busy_cycles)
+             (fun m -> m.Gpu_timing.Engine.sms_simulated));
         comp "global" totals.Gpu_model.Component.global
           (busy
              (fun m -> m.Gpu_timing.Engine.gmem_busy_cycles)

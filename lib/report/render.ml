@@ -87,11 +87,12 @@ let sparkline values =
 let component_label = function
   | Component.Instruction_pipeline -> "instruction pipeline"
   | Component.Shared_memory -> "shared memory"
+  | Component.Atomic -> "atomic serialization"
   | Component.Global_memory -> "global memory"
 
 let count_header = function
   | Component.Instruction_pipeline -> "issued"
-  | Component.Shared_memory -> "txns"
+  | Component.Shared_memory | Component.Atomic -> "txns"
   | Component.Global_memory -> "bytes"
 
 let summary_section inp =
@@ -254,6 +255,10 @@ let efficiency_section inp =
         ("coalescing efficiency", pct a.Model.coalescing_efficiency);
         ( "bank-conflict penalty",
           Printf.sprintf "%.2fx" a.Model.bank_conflict_penalty );
+        ( "atomic-contention penalty",
+          Printf.sprintf "%.2fx"
+            (Gpu_sim.Stats.atomic_contention_penalty
+               (Gpu_sim.Stats.total inp.report.Workflow.stats)) );
       ];
   ]
 
@@ -302,24 +307,29 @@ let timeline_section inp =
            (if m.Engine.clusters_simulated = 1 then "" else "s"));
       Table
         {
-          headers = [ "stage"; "alu"; "smem"; "gmem"; "busiest" ];
-          aligns = [ R; R; R; R; L ];
+          headers = [ "stage"; "alu"; "smem"; "atomic"; "gmem"; "busiest" ];
+          aligns = [ R; R; R; R; R; L ];
           rows =
             Array.to_list
               (Array.mapi
                  (fun i (sb : Engine.stage_busy) ->
                    let alu = cycles sb.Engine.alu_ticks in
                    let smem = cycles sb.Engine.smem_ticks in
+                   let atomic = cycles sb.Engine.atomic_ticks in
                    let gmem = cycles sb.Engine.gmem_ticks in
                    let busiest =
-                     if alu >= smem && alu >= gmem then "alu"
-                     else if smem >= gmem then "smem"
-                     else "gmem"
+                     List.fold_left
+                       (fun (bn, bv) (n, v) ->
+                         if v > bv then (n, v) else (bn, bv))
+                       ("alu", alu)
+                       [ ("smem", smem); ("atomic", atomic); ("gmem", gmem) ]
+                     |> fst
                    in
                    [
                      string_of_int i;
                      string_of_int alu;
                      string_of_int smem;
+                     string_of_int atomic;
                      string_of_int gmem;
                      busiest;
                    ])
@@ -615,6 +625,7 @@ let times_json (t : Component.times) =
     [
       ("instruction_s", Jsonx.Num t.Component.instruction);
       ("shared_s", Jsonx.Num t.Component.shared);
+      ("atomic_s", Jsonx.Num t.Component.atomic);
       ("global_s", Jsonx.Num t.Component.global);
     ]
 

@@ -26,11 +26,18 @@ type params =
   | Matmul of { n : int; tile : int }
   | Tridiag of { nsys : int; n : int; padded : bool }
   | Spmv of { spmv_format : Spmv.format }
+  | Reduce of { r_blocks : int; r_atomic : bool }
+  | Histogram of { h_blocks : int; bins : int; skew : float }
+  | Degree of { d_blocks : int; nodes : int; hub : float }
 
 let workload_name = function
   | Matmul _ -> "matmul"
   | Tridiag _ -> "tridiag"
   | Spmv _ -> "spmv"
+  | Reduce _ -> "reduce" (* the atomic flag rides in params, so the
+                            name round-trips through the wire *)
+  | Histogram _ -> "histogram"
+  | Degree _ -> "degree"
 
 type request = {
   id : string;
@@ -89,7 +96,11 @@ let known_keys =
     "measure"; "sample"; "op";
   ]
 
-let known_param_keys = [ "n"; "tile"; "nsys"; "padded"; "format" ]
+let known_param_keys =
+  [
+    "n"; "tile"; "nsys"; "padded"; "format"; "blocks"; "atomic"; "bins";
+    "skew"; "nodes"; "hub";
+  ]
 
 let get_int ~what ?default fields key =
   match List.assoc_opt key fields with
@@ -117,8 +128,21 @@ let get_string ~what ?default fields key =
   | Some (Jsonx.Str s) -> s
   | Some _ -> bad "%s: field %S must be a string" what key
 
+let get_float ~what ~default fields key =
+  match List.assoc_opt key fields with
+  | None -> default
+  | Some v -> (
+    match Jsonx.to_float v with
+    | Some f -> f
+    | None -> bad "%s: field %S must be a number" what key)
+
 let positive ~what key v =
   if v < 1 then bad "%s: field %S must be >= 1, got %d" what key v;
+  v
+
+let fraction ~what key v =
+  if not (v >= 0.0 && v <= 1.0) then
+    bad "%s: field %S must be in [0, 1], got %g" what key v;
   v
 
 let parse_params ~workload fields =
@@ -150,7 +174,33 @@ let parse_params ~workload fields =
     | Some f -> Spmv { spmv_format = f }
     | None ->
       bad "params: unknown spmv format %S (ell, bell+im, bell+imiv)" name)
-  | w -> bad "unknown workload %S (matmul, tridiag, spmv)" w
+  | "reduce" ->
+    Reduce
+      {
+        r_blocks =
+          positive ~what "blocks" (get_int ~what ~default:512 fields "blocks");
+        r_atomic = get_bool ~what ~default:false fields "atomic";
+      }
+  | "histogram" ->
+    Histogram
+      {
+        h_blocks =
+          positive ~what "blocks" (get_int ~what ~default:256 fields "blocks");
+        bins = positive ~what "bins" (get_int ~what ~default:64 fields "bins");
+        skew = fraction ~what "skew" (get_float ~what ~default:0.8 fields "skew");
+      }
+  | "degree" ->
+    Degree
+      {
+        d_blocks =
+          positive ~what "blocks" (get_int ~what ~default:256 fields "blocks");
+        nodes =
+          positive ~what "nodes" (get_int ~what ~default:64 fields "nodes");
+        hub = fraction ~what "hub" (get_float ~what ~default:0.3 fields "hub");
+      }
+  | w ->
+    bad "unknown workload %S (matmul, tridiag, spmv, reduce, histogram, \
+         degree)" w
 
 let parse_request line =
   match Jsonx.parse line with
@@ -232,6 +282,16 @@ let params_to_json = function
       [ ("nsys", jint nsys); ("n", jint n); ("padded", Jsonx.Bool padded) ]
   | Spmv { spmv_format } ->
     Jsonx.Obj [ ("format", Jsonx.Str (spmv_format_name spmv_format)) ]
+  | Reduce { r_blocks; r_atomic } ->
+    Jsonx.Obj [ ("blocks", jint r_blocks); ("atomic", Jsonx.Bool r_atomic) ]
+  | Histogram { h_blocks; bins; skew } ->
+    Jsonx.Obj
+      [ ("blocks", jint h_blocks); ("bins", jint bins);
+        ("skew", Jsonx.Num skew) ]
+  | Degree { d_blocks; nodes; hub } ->
+    Jsonx.Obj
+      [ ("blocks", jint d_blocks); ("nodes", jint nodes);
+        ("hub", Jsonx.Num hub) ]
 
 let request_to_json r =
   Jsonx.Obj

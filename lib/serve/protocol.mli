@@ -36,6 +36,9 @@ type params =
   | Matmul of { n : int; tile : int }
   | Tridiag of { nsys : int; n : int; padded : bool }
   | Spmv of { spmv_format : Gpu_workloads.Spmv.format }
+  | Reduce of { r_blocks : int; r_atomic : bool }
+  | Histogram of { h_blocks : int; bins : int; skew : float }
+  | Degree of { d_blocks : int; nodes : int; hub : float }
 
 val workload_name : params -> string
 

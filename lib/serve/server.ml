@@ -236,6 +236,17 @@ let run_analysis ?replay_sample (req : P.request) =
     Gpu_workloads.Spmv.analyze ~spec ~measure ?sample ?replay_sample
       (Gpu_workloads.Spmv.qcd_like ())
       spmv_format
+  | P.Reduce { r_blocks; r_atomic } ->
+    Gpu_workloads.Reduce.analyze ~spec ~measure ?sample ?replay_sample
+      ~blocks:r_blocks
+      (if r_atomic then Gpu_workloads.Reduce.Atomic
+       else Gpu_workloads.Reduce.Sequential)
+  | P.Histogram { h_blocks; bins; skew } ->
+    Gpu_workloads.Histogram.analyze ~spec ~measure ?sample ?replay_sample
+      ~blocks:h_blocks ~bins ~skew ()
+  | P.Degree { d_blocks; nodes; hub } ->
+    Gpu_workloads.Degree.analyze ~spec ~measure ?sample ?replay_sample
+      ~blocks:d_blocks ~nodes ~hub ()
 
 (* Deadline pressure → sampled replay: a measured request whose remaining
    budget is tight replays a seeded cluster subset (the seed derives from

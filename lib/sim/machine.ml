@@ -263,7 +263,7 @@ let step cfg ~program ~gmem ~(stats : Stats.t option) block w =
     | I.Setp _ | I.Bra _ | I.Bra_pred _ | I.Bar | I.Exit -> false
     | I.Mov _ | I.Mov_sreg _ | I.Iop _ | I.Imad _ | I.Fop _ | I.Fmad _
     | I.Fmad_smem _ | I.Dop _ | I.Dfma _ | I.Sfu _ | I.Cvt _ | I.Selp _
-    | I.Ld _ | I.St _ ->
+    | I.Ld _ | I.St _ | I.Atom _ ->
       true
   in
   (match stats with
@@ -328,6 +328,22 @@ let step cfg ~program ~gmem ~(stats : Stats.t option) block w =
     | Some st -> Stats.count_smem st ~stage:block.stage ~pc ~txns ~ideal
     | None -> ());
     record cfg w ~cls ~dst ~srcs ~mem:(Trace.Smem txns) ~bar:false
+  in
+  let count_atomic_access ~width addresses srcs dst =
+    let spec = cfg.spec in
+    let txns =
+      Gpu_mem.Bank.warp_atomic_transactions ~width
+        ~banks:spec.Gpu_hw.Spec.smem_banks
+        ~group:spec.Gpu_hw.Spec.coalesce_threads addresses
+    in
+    let ideal =
+      Gpu_mem.Bank.ideal_warp_atomic_transactions
+        ~group:spec.Gpu_hw.Spec.coalesce_threads addresses
+    in
+    (match stats with
+    | Some st -> Stats.count_atomic st ~stage:block.stage ~pc ~txns ~ideal
+    | None -> ());
+    record cfg w ~cls ~dst ~srcs ~mem:(Trace.Smem_atomic txns) ~bar:false
   in
   let count_gmem_access ~width ~kind addresses srcs dst =
     let txns =
@@ -505,6 +521,44 @@ let step cfg ~program ~gmem ~(stats : Stats.t option) block w =
     count_gmem_access ~width ~kind:`Store addresses
       (operand_srcs (reg_id m.base :: pred_srcs) s)
       Trace.no_reg;
+    advance ();
+    Continue
+  | I.Atom (op, d, m, s, swap) ->
+    (match (op, swap) with
+    | I.Acas, None -> stuck "atom.cas needs a swap operand"
+    | (I.Aadd | I.Amin | I.Amax), Some _ ->
+      stuck "atom.%s takes no swap operand" (I.atomic_op_name op)
+    | I.Acas, Some _ | (I.Aadd | I.Amin | I.Amax), None -> ());
+    let addresses = lane_addresses w ~mask:em m in
+    (* Lanes perform their read-modify-writes in lane order, each one
+       observing the previous lane's write — the serialization the
+       transaction count below charges for. *)
+    each_lane (fun lane ->
+        match addresses.(lane) with
+        | Some a ->
+          let old = shared_load32 block a in
+          set_reg w d lane old;
+          let src = Value.to_i32 (operand s lane) in
+          let oldv = Value.to_i32 old in
+          let nv =
+            match op with
+            | I.Aadd -> Int32.add oldv src
+            | I.Amin -> if Int32.compare oldv src <= 0 then oldv else src
+            | I.Amax -> if Int32.compare oldv src >= 0 then oldv else src
+            | I.Acas ->
+              let sw =
+                match swap with Some sw -> sw | None -> assert false
+              in
+              if Int32.equal oldv src then Value.to_i32 (operand sw lane)
+              else oldv
+          in
+          shared_store32 block a (Value.of_i32 nv)
+        | None -> ());
+    let srcs =
+      let base = operand_srcs (reg_id m.base :: pred_srcs) s in
+      match swap with Some sw -> operand_srcs base sw | None -> base
+    in
+    count_atomic_access ~width:4 addresses srcs (reg_id d);
     advance ();
     Continue
   | I.Bra l ->

@@ -30,6 +30,9 @@ type stage = {
   mutable smem_accesses : int; (* warp-level shared-memory instructions *)
   mutable smem_txns : int; (* conflict-adjusted half-warp transactions *)
   mutable smem_ideal_txns : int; (* same access pattern, conflict-free *)
+  mutable atomic_accesses : int; (* warp-level shared-atomic instructions *)
+  mutable atomic_txns : int; (* contention-serialized half-warp txns *)
+  mutable atomic_ideal_txns : int; (* same accesses, contention-free *)
   mutable gmem_accesses : int; (* warp-level global-memory instructions *)
   mutable gmem_txns : (int * int) list; (* transaction size -> count *)
   mutable gmem_requested_bytes : int;
@@ -41,6 +44,7 @@ type stage = {
      grow-on-demand; zero-length until a pc-carrying count arrives). *)
   mutable site_issued : int array; (* warp-instructions issued at pc *)
   mutable site_smem_txns : int array; (* shared-memory txns charged to pc *)
+  mutable site_atomic_txns : int array; (* atomic txns charged to pc *)
   mutable site_gmem_bytes : int array; (* global bytes transferred at pc *)
 }
 
@@ -51,6 +55,9 @@ let empty_stage () =
     smem_accesses = 0;
     smem_txns = 0;
     smem_ideal_txns = 0;
+    atomic_accesses = 0;
+    atomic_txns = 0;
+    atomic_ideal_txns = 0;
     gmem_accesses = 0;
     gmem_txns = [];
     gmem_requested_bytes = 0;
@@ -59,6 +66,7 @@ let empty_stage () =
     active_warp_slots = 0;
     site_issued = [||];
     site_smem_txns = [||];
+    site_atomic_txns = [||];
     site_gmem_bytes = [||];
   }
 
@@ -116,6 +124,15 @@ let count_smem ?pc t ~stage:i ~txns ~ideal =
   | Some pc -> s.site_smem_txns <- site_add s.site_smem_txns pc txns
   | None -> ()
 
+let count_atomic ?pc t ~stage:i ~txns ~ideal =
+  let s = stage t i in
+  s.atomic_accesses <- s.atomic_accesses + 1;
+  s.atomic_txns <- s.atomic_txns + txns;
+  s.atomic_ideal_txns <- s.atomic_ideal_txns + ideal;
+  match pc with
+  | Some pc -> s.site_atomic_txns <- site_add s.site_atomic_txns pc txns
+  | None -> ()
+
 let count_gmem ?pc t ~stage:i ~txns ~requested =
   let s = stage t i in
   s.gmem_accesses <- s.gmem_accesses + 1;
@@ -162,6 +179,7 @@ type site = {
   pc : int;
   issued : int;
   smem_txns : int;
+  atomic_txns : int;
   gmem_transferred_bytes : int;
 }
 
@@ -169,17 +187,19 @@ let sites s =
   let get a i = if i < Array.length a then a.(i) else 0 in
   let len =
     max
-      (Array.length s.site_issued)
+      (max (Array.length s.site_issued) (Array.length s.site_atomic_txns))
       (max (Array.length s.site_smem_txns) (Array.length s.site_gmem_bytes))
   in
   let acc = ref [] in
   for pc = len - 1 downto 0 do
     let issued = get s.site_issued pc in
     let smem_txns = get s.site_smem_txns pc in
+    let atomic_txns = get s.site_atomic_txns pc in
     let gmem = get s.site_gmem_bytes pc in
-    if issued <> 0 || smem_txns <> 0 || gmem <> 0 then
+    if issued <> 0 || smem_txns <> 0 || atomic_txns <> 0 || gmem <> 0 then
       acc :=
-        { pc; issued; smem_txns; gmem_transferred_bytes = gmem } :: !acc
+        { pc; issued; smem_txns; atomic_txns; gmem_transferred_bytes = gmem }
+        :: !acc
   done;
   !acc
 
@@ -204,6 +224,9 @@ let merge_stage ~into:(a : stage) (b : stage) =
   a.smem_accesses <- a.smem_accesses + b.smem_accesses;
   a.smem_txns <- a.smem_txns + b.smem_txns;
   a.smem_ideal_txns <- a.smem_ideal_txns + b.smem_ideal_txns;
+  a.atomic_accesses <- a.atomic_accesses + b.atomic_accesses;
+  a.atomic_txns <- a.atomic_txns + b.atomic_txns;
+  a.atomic_ideal_txns <- a.atomic_ideal_txns + b.atomic_ideal_txns;
   a.gmem_accesses <- a.gmem_accesses + b.gmem_accesses;
   List.iter
     (fun (size, c) ->
@@ -219,6 +242,7 @@ let merge_stage ~into:(a : stage) (b : stage) =
   a.active_warp_slots <- max a.active_warp_slots b.active_warp_slots;
   a.site_issued <- merge_sites a.site_issued b.site_issued;
   a.site_smem_txns <- merge_sites a.site_smem_txns b.site_smem_txns;
+  a.site_atomic_txns <- merge_sites a.site_atomic_txns b.site_atomic_txns;
   a.site_gmem_bytes <- merge_sites a.site_gmem_bytes b.site_gmem_bytes
 
 (* All stages folded into one (the multi-block overlapped view of paper
@@ -247,6 +271,12 @@ let bank_conflict_penalty (s : stage) =
   if s.smem_ideal_txns = 0 then 1.0
   else float_of_int s.smem_txns /. float_of_int s.smem_ideal_txns
 
+(* Atomic-contention penalty: serialized / contention-free atomic
+   transactions (1.0 means every atomic hit its own bank and word). *)
+let atomic_contention_penalty (s : stage) =
+  if s.atomic_ideal_txns = 0 then 1.0
+  else float_of_int s.atomic_txns /. float_of_int s.atomic_ideal_txns
+
 let pp_stage ppf (s : stage) =
   let classes =
     List.map
@@ -255,10 +285,12 @@ let pp_stage ppf (s : stage) =
       I.all_cost_classes
   in
   Fmt.pf ppf
-    "@[<v>issued: %s (mad %d)@,shared txns: %d (ideal %d)@,global txns: %d \
+    "@[<v>issued: %s (mad %d)@,shared txns: %d (ideal %d)@,atomic txns: %d \
+     (ideal %d)@,global txns: %d \
      (%d B moved, %d B requested)@,barriers: %d@]"
     (String.concat " " classes)
-    s.mads s.smem_txns s.smem_ideal_txns (gmem_txn_count s)
+    s.mads s.smem_txns s.smem_ideal_txns s.atomic_txns s.atomic_ideal_txns
+    (gmem_txn_count s)
     s.gmem_transferred_bytes s.gmem_requested_bytes s.barriers
 
 let pp ppf t =

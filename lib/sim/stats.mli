@@ -13,6 +13,9 @@ type stage = {
   mutable smem_accesses : int;  (** warp-level shared-memory instructions *)
   mutable smem_txns : int;  (** conflict-adjusted half-warp transactions *)
   mutable smem_ideal_txns : int;  (** same pattern, conflict-free *)
+  mutable atomic_accesses : int;  (** warp-level shared-atomic instructions *)
+  mutable atomic_txns : int;  (** contention-serialized half-warp txns *)
+  mutable atomic_ideal_txns : int;  (** same accesses, contention-free *)
   mutable gmem_accesses : int;  (** warp-level global-memory instructions *)
   mutable gmem_txns : (int * int) list;  (** transaction size -> count *)
   mutable gmem_requested_bytes : int;
@@ -24,6 +27,8 @@ type stage = {
       (** warp-instructions issued per pc (dense, grow-on-demand) *)
   mutable site_smem_txns : int array;
       (** conflict-adjusted shared-memory transactions per pc *)
+  mutable site_atomic_txns : int array;
+      (** contention-serialized atomic transactions per pc *)
   mutable site_gmem_bytes : int array;
       (** global-memory bytes transferred per pc *)
 }
@@ -56,6 +61,9 @@ val count_mad : t -> stage:int -> unit
 val count_smem :
   ?pc:int -> t -> stage:int -> txns:int -> ideal:int -> unit
 
+val count_atomic :
+  ?pc:int -> t -> stage:int -> txns:int -> ideal:int -> unit
+
 val count_gmem :
   ?pc:int -> t -> stage:int -> txns:Gpu_mem.Coalesce.txn list ->
   requested:int -> unit
@@ -74,6 +82,7 @@ type site = {
   pc : int;
   issued : int;  (** warp-instructions issued at this pc *)
   smem_txns : int;  (** conflict-adjusted shared transactions *)
+  atomic_txns : int;  (** contention-serialized atomic transactions *)
   gmem_transferred_bytes : int;  (** global bytes moved *)
 }
 
@@ -95,6 +104,10 @@ val coalescing_efficiency : stage -> float
 
 (** Effective / ideal shared transactions; 1.0 = conflict-free. *)
 val bank_conflict_penalty : stage -> float
+
+(** Serialized / contention-free atomic transactions; 1.0 = every atomic
+    hit its own bank and word. *)
+val atomic_contention_penalty : stage -> float
 
 val pp_stage : Format.formatter -> stage -> unit
 val pp : Format.formatter -> t -> unit

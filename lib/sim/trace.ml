@@ -23,6 +23,7 @@ let no_reg = -1
 type mem =
   | No_mem
   | Smem of int (* conflict-adjusted half-warp transaction count *)
+  | Smem_atomic of int (* contention-serialized half-warp transactions *)
   | Gmem_load of (int * int) array (* (base, size) transactions *)
   | Gmem_store of (int * int) array
 
@@ -62,7 +63,7 @@ let event_count (t : block_trace) =
 
 (* Gmem transaction bytes of one event. *)
 let mem_bytes = function
-  | No_mem | Smem _ -> 0
+  | No_mem | Smem _ | Smem_atomic _ -> 0
   | Gmem_load txns | Gmem_store txns ->
     Array.fold_left (fun acc (_, size) -> acc + size) 0 txns
 
@@ -78,6 +79,7 @@ module Flat = struct
   let k_gmem_load = 3
   let k_gmem_store = 4
   let k_bar = 5
+  let k_atomic = 6
 
   type t = {
     n : int; (* event count *)
@@ -103,7 +105,7 @@ module Flat = struct
         match e.mem with
         | Gmem_load txns | Gmem_store txns ->
           ngmem := !ngmem + Array.length txns
-        | No_mem | Smem _ -> ())
+        | No_mem | Smem _ | Smem_atomic _ -> ())
       w;
     let t =
       {
@@ -139,6 +141,9 @@ module Flat = struct
              t.kind.(i) <-
                (if e.cls <> I.Class_mem then k_smem_fused else k_smem);
              t.smem_txns.(i) <- txns
+           | Smem_atomic txns ->
+             t.kind.(i) <- k_atomic;
+             t.smem_txns.(i) <- txns
            | Gmem_load txns | Gmem_store txns ->
              t.kind.(i) <-
                (match e.mem with
@@ -173,6 +178,7 @@ module Flat = struct
           srcs;
           mem =
             (if k = k_smem || k = k_smem_fused then Smem t.smem_txns.(i)
+             else if k = k_atomic then Smem_atomic t.smem_txns.(i)
              else if k = k_gmem_load then Gmem_load (txns ())
              else if k = k_gmem_store then Gmem_store (txns ())
              else No_mem);

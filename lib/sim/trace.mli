@@ -9,6 +9,7 @@ val no_reg : int
 type mem =
   | No_mem
   | Smem of int  (** conflict-adjusted half-warp transaction count *)
+  | Smem_atomic of int  (** contention-serialized half-warp transactions *)
   | Gmem_load of (int * int) array  (** (base, size) transactions *)
   | Gmem_store of (int * int) array
 
@@ -60,6 +61,9 @@ module Flat : sig
   val k_gmem_load : int
   val k_gmem_store : int
   val k_bar : int
+
+  val k_atomic : int
+  (** shared-memory atomic: serialized transactions in [smem_txns] *)
 
   type t = private {
     n : int;  (** event count *)

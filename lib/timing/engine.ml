@@ -54,7 +54,12 @@ module Flat = Gpu_sim.Trace.Flat
 module Metrics = Gpu_obs.Metrics
 module Pool = Gpu_parallel.Pool
 
-type stage_busy = { alu_ticks : int; smem_ticks : int; gmem_ticks : int }
+type stage_busy = {
+  alu_ticks : int;
+  smem_ticks : int;
+  atomic_ticks : int;
+  gmem_ticks : int;
+}
 
 type sampled_estimate = {
   clusters_sampled : int;
@@ -71,6 +76,7 @@ type result = {
   seconds : float;
   alu_busy_cycles : int; (* summed over simulated SMs *)
   smem_busy_cycles : int;
+  atomic_busy_cycles : int; (* atomic share of the shared pipe, per SM *)
   gmem_busy_cycles : int; (* summed over simulated clusters *)
   sms_simulated : int;
   clusters_simulated : int;
@@ -188,7 +194,12 @@ let cook p (wt : Trace.warp_trace) =
       occ.(i) <- o;
       hold.(i) <- max o p.warp_gap
     end
-    else if k = Flat.k_smem || k = Flat.k_smem_fused then begin
+    else if k = Flat.k_smem || k = Flat.k_smem_fused || k = Flat.k_atomic
+    then begin
+      (* Atomics time like shared accesses — same pipe, same per-
+         transaction occupancy — but their transaction count is the
+         contention-serialized one and their busy ticks land in a
+         separate counter. *)
       let txns = fl.Flat.smem_txns.(i) in
       busy.(i) <- txns * p.smem_access;
       if k = Flat.k_smem_fused then occ.(i) <- p.issue.(fl.Flat.cls.(i));
@@ -293,6 +304,7 @@ type sm_state = {
   mutable smem_free : int;
   mutable alu_busy : int;
   mutable smem_busy : int;
+  mutable atomic_busy : int; (* atomic occupancy of the shared pipe *)
   mutable resident : int;
   mutable free_warp_slots : int;
   max_resident : int;
@@ -338,12 +350,20 @@ type recorder = {
   tl : Gpu_obs.Timeline.t;
   mutable st_alu : int array; (* busy ticks per stage index *)
   mutable st_smem : int array;
+  mutable st_atomic : int array;
   mutable st_gmem : int array;
   mutable nstages : int;
 }
 
 let make_recorder tl =
-  { tl; st_alu = [||]; st_smem = [||]; st_gmem = [||]; nstages = 0 }
+  {
+    tl;
+    st_alu = [||];
+    st_smem = [||];
+    st_atomic = [||];
+    st_gmem = [||];
+    nstages = 0;
+  }
 
 let ensure_stage r s =
   if s >= r.nstages then r.nstages <- s + 1;
@@ -357,6 +377,7 @@ let ensure_stage r s =
     in
     r.st_alu <- grow r.st_alu;
     r.st_smem <- grow r.st_smem;
+    r.st_atomic <- grow r.st_atomic;
     r.st_gmem <- grow r.st_gmem
   end
 
@@ -376,6 +397,14 @@ let rec_pipe r (sm : sm_state) ~alu ~start ~dur =
     ~name:(if alu then "alu" else "smem")
     ~ts:start ~dur
 
+(* Atomics occupy the shared pipe's track but carry their own category, so
+   the audit can tile "atomic" slices against the atomic busy counter
+   separately from plain shared traffic. *)
+let rec_atomic r (sm : sm_state) ~start ~dur =
+  Gpu_obs.Timeline.add r.tl ~pid:sm.cluster.pid
+    ~tid:((2 * sm.ord) + 1)
+    ~cat:"atomic" ~name:"atomic" ~ts:start ~dur
+
 let rec_gmem r (cl : cluster_state) ~start ~dur =
   Gpu_obs.Timeline.add r.tl ~pid:cl.pid ~tid:gmem_tid ~cat:"gmem"
     ~name:"gmem" ~ts:start ~dur
@@ -385,10 +414,11 @@ let rec_warp r (w : warp_state) ~name ~start ~dur =
     ~tid:(warp_tid ~bid:w.block.bid ~wid:w.wid)
     ~cat:"warp" ~name ~ts:start ~dur
 
-let charge_stage r ~stage ~alu ~smem ~gmem =
+let charge_stage r ~stage ~alu ~smem ~atomic ~gmem =
   ensure_stage r stage;
   r.st_alu.(stage) <- r.st_alu.(stage) + alu;
   r.st_smem.(stage) <- r.st_smem.(stage) + smem;
+  r.st_atomic.(stage) <- r.st_atomic.(stage) + atomic;
   r.st_gmem.(stage) <- r.st_gmem.(stage) + gmem
 
 (* --- event-driven core -------------------------------------------------- *)
@@ -579,7 +609,7 @@ let process p rc pq w now0 =
           | Some r ->
             rec_pipe r sm ~alu:true ~start ~dur:occ;
             rec_warp r w ~name:"issue" ~start ~dur:(w.ready - start);
-            charge_stage r ~stage:w.stage ~alu:occ ~smem:0 ~gmem:0);
+            charge_stage r ~stage:w.stage ~alu:occ ~smem:0 ~atomic:0 ~gmem:0);
           complete
         end
         else if k = Flat.k_smem || k = Flat.k_smem_fused then begin
@@ -615,7 +645,30 @@ let process p rc pq w now0 =
             rec_pipe r sm ~alu:false ~start ~dur:busy;
             if fused then rec_pipe r sm ~alu:true ~start ~dur:occ;
             rec_warp r w ~name:"smem" ~start ~dur:(w.ready - start);
-            charge_stage r ~stage:w.stage ~alu:occ ~smem:busy ~gmem:0);
+            charge_stage r ~stage:w.stage ~alu:occ ~smem:busy ~atomic:0
+              ~gmem:0);
+          if dst >= 0 then complete else start + busy
+        end
+        else if k = Flat.k_atomic then begin
+          (* Shared-memory atomic: dispatches through the LSU like a plain
+             shared access and contends for the same pipe cursor, but its
+             busy ticks are charged to the atomic counter — the transaction
+             count is the contention-serialized one, and the model costs it
+             as a separate component. *)
+          let busy = ck.busy.(i) in
+          let start = if t > sm.smem_free then t else sm.smem_free in
+          sm.smem_free <- start + busy;
+          sm.atomic_busy <- sm.atomic_busy + busy;
+          let complete = start + busy + p.smem_latency in
+          if dst >= 0 then write_reg w dst complete;
+          w.ready <- start + ck.hold.(i);
+          (match rc with
+          | None -> ()
+          | Some r ->
+            rec_atomic r sm ~start ~dur:busy;
+            rec_warp r w ~name:"atomic" ~start ~dur:(w.ready - start);
+            charge_stage r ~stage:w.stage ~alu:0 ~smem:0 ~atomic:busy
+              ~gmem:0);
           if dst >= 0 then complete else start + busy
         end
         else begin
@@ -632,7 +685,8 @@ let process p rc pq w now0 =
           | Some r ->
             rec_gmem r cl ~start ~dur:busy;
             rec_warp r w ~name:"gmem" ~start ~dur:(w.ready - start);
-            charge_stage r ~stage:w.stage ~alu:0 ~smem:0 ~gmem:busy);
+            charge_stage r ~stage:w.stage ~alu:0 ~smem:0 ~atomic:0
+              ~gmem:busy);
           if k = Flat.k_gmem_load then complete else start + busy
         end
       in
@@ -658,6 +712,7 @@ type cluster_out = {
   co_end : int; (* latest completion horizon, ticks *)
   co_alu : int;
   co_smem : int;
+  co_atomic : int;
   co_gmem : int;
   co_launched : int;
   co_retired : int;
@@ -679,9 +734,10 @@ let run_cluster p rc ~cluster_index ~max_resident sm_blocks =
     let sm =
       {
         alu_free = 0; smem_free = 0; alu_busy = 0; smem_busy = 0;
-        resident = 0; free_warp_slots = 0; max_resident = 0;
-        warp_slot_capacity = 0; pending = []; warps_launched = 0;
-        warps_retired = 0; blocks_retired = 0; ord = 0; cluster;
+        atomic_busy = 0; resident = 0; free_warp_slots = 0;
+        max_resident = 0; warp_slot_capacity = 0; pending = [];
+        warps_launched = 0; warps_retired = 0; blocks_retired = 0;
+        ord = 0; cluster;
       }
     in
     { ck = cook p [||]; idx = 0; ready = 0; regs = [||]; wid = 0;
@@ -712,6 +768,7 @@ let run_cluster p rc ~cluster_index ~max_resident sm_blocks =
             smem_free = 0;
             alu_busy = 0;
             smem_busy = 0;
+            atomic_busy = 0;
             resident = 0;
             free_warp_slots = capacity;
             max_resident;
@@ -754,6 +811,7 @@ let run_cluster p rc ~cluster_index ~max_resident sm_blocks =
     co_end = !end_time;
     co_alu = sum (fun sm -> sm.alu_busy);
     co_smem = sum (fun sm -> sm.smem_busy);
+    co_atomic = sum (fun sm -> sm.atomic_busy);
     co_gmem = cluster.gmem_busy;
     co_launched = sum (fun sm -> sm.warps_launched);
     co_retired = sum (fun sm -> sm.warps_retired);
@@ -850,6 +908,7 @@ let m_blocks_retired = Metrics.counter "engine.blocks.retired"
 let m_blocks_unlaunched = Metrics.counter "engine.blocks.unlaunched"
 let m_alu_busy = Metrics.counter "engine.busy.alu_cycles"
 let m_smem_busy = Metrics.counter "engine.busy.smem_cycles"
+let m_atomic_busy = Metrics.counter "engine.busy.atomic_cycles"
 let m_gmem_busy = Metrics.counter "engine.busy.gmem_cycles"
 
 (* Replay-throughput observability: events replayed (trace events
@@ -944,7 +1003,7 @@ let run ?(homogeneous = false) ?timeline ?sample ~(spec : Gpu_hw.Spec.t)
         selected
   in
   let ticks = ref 0 in
-  let alu = ref 0 and smem = ref 0 and gmem = ref 0 in
+  let alu = ref 0 and smem = ref 0 and atomic = ref 0 and gmem = ref 0 in
   let launched = ref 0 and retired = ref 0 in
   let blocks_retired = ref 0 and unlaunched = ref 0 in
   let events = ref 0 and replay_ticks = ref 0 in
@@ -953,6 +1012,7 @@ let run ?(homogeneous = false) ?timeline ?sample ~(spec : Gpu_hw.Spec.t)
       if o.co_end > !ticks then ticks := o.co_end;
       alu := !alu + o.co_alu;
       smem := !smem + o.co_smem;
+      atomic := !atomic + o.co_atomic;
       gmem := !gmem + o.co_gmem;
       launched := !launched + o.co_launched;
       retired := !retired + o.co_retired;
@@ -989,6 +1049,7 @@ let run ?(homogeneous = false) ?timeline ?sample ~(spec : Gpu_hw.Spec.t)
           {
             alu_ticks = r.st_alu.(i);
             smem_ticks = r.st_smem.(i);
+            atomic_ticks = r.st_atomic.(i);
             gmem_ticks = r.st_gmem.(i);
           })
   in
@@ -1000,6 +1061,7 @@ let run ?(homogeneous = false) ?timeline ?sample ~(spec : Gpu_hw.Spec.t)
   Metrics.add m_blocks_unlaunched !unlaunched;
   Metrics.add m_alu_busy (to_cycles !alu);
   Metrics.add m_smem_busy (to_cycles !smem);
+  Metrics.add m_atomic_busy (to_cycles !atomic);
   Metrics.add m_gmem_busy (to_cycles !gmem);
   Metrics.add m_events_replayed !events;
   Metrics.add m_replay_ticks !replay_ticks;
@@ -1009,6 +1071,7 @@ let run ?(homogeneous = false) ?timeline ?sample ~(spec : Gpu_hw.Spec.t)
     seconds = float_of_int cycles /. (spec.core_clock_ghz *. 1e9);
     alu_busy_cycles = to_cycles !alu;
     smem_busy_cycles = to_cycles !smem;
+    atomic_busy_cycles = to_cycles !atomic;
     gmem_busy_cycles = to_cycles !gmem;
     sms_simulated = nsel * spec.sms_per_cluster;
     clusters_simulated = nsel;
@@ -1029,26 +1092,41 @@ let pp_stage_attribution ppf r =
   if Array.length r.stages_busy = 0 then
     Fmt.pf ppf "no per-stage attribution (run without a timeline)"
   else begin
-    Fmt.pf ppf "@[<v>%5s %12s %12s %12s  %s@," "stage" "alu (cyc)"
-      "smem (cyc)" "gmem (cyc)" "busiest";
+    Fmt.pf ppf "@[<v>%5s %12s %12s %12s %12s  %s@," "stage" "alu (cyc)"
+      "smem (cyc)" "atomic (cyc)" "gmem (cyc)" "busiest";
     let to_cycles t = (t + ticks_per_cycle - 1) / ticks_per_cycle in
     Array.iteri
       (fun i s ->
         let busiest =
-          if s.alu_ticks >= s.smem_ticks && s.alu_ticks >= s.gmem_ticks then
-            "alu"
-          else if s.smem_ticks >= s.gmem_ticks then "smem"
-          else "gmem"
+          let pairs =
+            [
+              ("alu", s.alu_ticks);
+              ("smem", s.smem_ticks);
+              ("atomic", s.atomic_ticks);
+              ("gmem", s.gmem_ticks);
+            ]
+          in
+          fst
+            (List.fold_left
+               (fun (bn, bt) (n, t) -> if t > bt then (n, t) else (bn, bt))
+               (List.hd pairs) (List.tl pairs))
         in
-        Fmt.pf ppf "%5d %12d %12d %12d  %s@," i (to_cycles s.alu_ticks)
-          (to_cycles s.smem_ticks) (to_cycles s.gmem_ticks) busiest)
+        Fmt.pf ppf "%5d %12d %12d %12d %12d  %s@," i (to_cycles s.alu_ticks)
+          (to_cycles s.smem_ticks)
+          (to_cycles s.atomic_ticks)
+          (to_cycles s.gmem_ticks) busiest)
       r.stages_busy;
     Fmt.pf ppf "@]"
   end
 
 (* --- Analytic busy oracle (for lib/check) ----------------------------- *)
 
-type busy = { alu_cycles : int; smem_cycles : int; gmem_cycles : int }
+type busy = {
+  alu_cycles : int;
+  smem_cycles : int;
+  atomic_cycles : int;
+  gmem_cycles : int;
+}
 
 (* What the event-driven simulation must charge each pipeline, computed by
    summation alone — no scheduling, no event queue.  [run]'s busy counters
@@ -1058,7 +1136,7 @@ type busy = { alu_cycles : int; smem_cycles : int; gmem_cycles : int }
 let expected_busy ~(spec : Gpu_hw.Spec.t) (blocks : Trace.block_trace array)
     =
   let p = make_params spec in
-  let alu = ref 0 and smem = ref 0 and gmem = ref 0 in
+  let alu = ref 0 and smem = ref 0 and atomic = ref 0 and gmem = ref 0 in
   Array.iter
     (fun (bt : Trace.block_trace) ->
       Array.iter
@@ -1075,6 +1153,8 @@ let expected_busy ~(spec : Gpu_hw.Spec.t) (blocks : Trace.block_trace array)
                      issue pipeline (mirrors [process]) *)
                   if e.cls <> Gpu_isa.Instr.Class_mem then
                     alu := !alu + p.issue.(Gpu_sim.Stats.class_index e.cls)
+                | Trace.Smem_atomic txns ->
+                  atomic := !atomic + (txns * p.smem_access)
                 | Trace.Gmem_load txns | Trace.Gmem_store txns ->
                   gmem :=
                     !gmem
@@ -1088,5 +1168,6 @@ let expected_busy ~(spec : Gpu_hw.Spec.t) (blocks : Trace.block_trace array)
   {
     alu_cycles = to_cycles !alu;
     smem_cycles = to_cycles !smem;
+    atomic_cycles = to_cycles !atomic;
     gmem_cycles = to_cycles !gmem;
   }

@@ -18,7 +18,12 @@ val ticks_per_cycle : int
 
 (** Busy ticks one barrier-delimited stage charged each pipeline, summed
     over the simulated clusters. *)
-type stage_busy = { alu_ticks : int; smem_ticks : int; gmem_ticks : int }
+type stage_busy = {
+  alu_ticks : int;
+  smem_ticks : int;
+  atomic_ticks : int;
+  gmem_ticks : int;
+}
 
 (** Extrapolation record of a sampled replay.  [cycles_low] is the
     sampled maximum — a {e guaranteed} lower bound on the full-replay
@@ -43,6 +48,8 @@ type result = {
   seconds : float;
   alu_busy_cycles : int;  (** summed over simulated SMs *)
   smem_busy_cycles : int;
+  atomic_busy_cycles : int;
+      (** atomic share of the shared pipe, summed over simulated SMs *)
   gmem_busy_cycles : int;  (** summed over simulated clusters *)
   sms_simulated : int;
   clusters_simulated : int;
@@ -82,10 +89,12 @@ type sample = { target : sample_target; seed : int }
     total.
 
     [timeline] turns on interval recording: every pipeline busy interval
-    (categories ["alu"], ["smem"], ["gmem"]; per category the slice
-    durations in ticks tile exactly into the corresponding busy counter)
-    and every warp hold/park interval (category ["warp"]: [issue],
-    [smem], [gmem], [barrier], plus a zero-length [retire] marker) is
+    (categories ["alu"], ["smem"], ["atomic"], ["gmem"]; per category the
+    slice durations in ticks tile exactly into the corresponding busy
+    counter — atomics occupy the shared pipe's track but carry their own
+    category) and every warp hold/park interval (category ["warp"]:
+    [issue], [smem], [atomic], [gmem], [barrier], plus a zero-length
+    [retire] marker) is
     added, and {!result.stages_busy} is populated.  Cluster [c] records
     under pid [c+1] (pid 0 is reserved for workflow spans); SM [s] uses
     tids [2s] (alu) and [2s+1] (smem), the cluster's global pipe tid 999,
@@ -126,7 +135,12 @@ val pp_stage_attribution : Format.formatter -> result -> unit
 
 (** Analytic pipeline-busy totals for a trace set, in the same rounded
     cycles as {!result}'s busy counters. *)
-type busy = { alu_cycles : int; smem_cycles : int; gmem_cycles : int }
+type busy = {
+  alu_cycles : int;
+  smem_cycles : int;
+  atomic_cycles : int;
+  gmem_cycles : int;
+}
 
 (** What the event-driven simulation must charge each pipeline, computed
     by summation alone (no scheduling).  Equals {!result}'s busy counters

@@ -8,18 +8,24 @@
    - [Sequential]: the tuned tree where step s adds the upper half onto the
      lower half.  Active threads stay contiguous (no intra-warp divergence
      until the last warp) and accesses stay conflict-free.
+   - [Atomic]: no tree at all — every thread atomically adds its
+     (integerized) pair sum into one shared accumulator.  Fewest
+     instructions, worst serialization: all 16 lanes of every half-warp
+     contend on the same word, the workload the atomic cost class is
+     for.
 
-   Both reduce each block's 2*threads elements to one partial sum; the host
-   wrapper recursively reduces the partials.  The model shows exactly why
-   the sequential variant wins. *)
+   All variants reduce each block's 2*threads elements to one partial sum;
+   the host wrapper recursively reduces the partials.  The model shows
+   exactly why the sequential variant wins. *)
 
 module Ir = Gpu_kernel.Ir
 
-type variant = Interleaved | Sequential
+type variant = Interleaved | Sequential | Atomic
 
 let variant_name = function
   | Interleaved -> "interleaved"
   | Sequential -> "sequential"
+  | Atomic -> "atomic"
 
 let log2 n =
   let rec go k = if 1 lsl k >= n then k else go (k + 1) in
@@ -31,9 +37,42 @@ let log2 n =
    [threads] must be a power of two. *)
 let kernel ~threads variant =
   ignore (log2 threads);
+  match variant with
+  | Atomic ->
+    (* values pass through F2i/I2f: the ISA's atomic add is integer, so
+       this variant is exact only for integer-valued inputs (which the
+       analysis and tests use) *)
+    let epb = 2 * threads in
+    {
+      Ir.name = Printf.sprintf "reduce_atomic_%d" threads;
+      params = [ "input"; "partials" ];
+      shared = [ ("acc", 1) ];
+      body =
+        [
+          Ir.If (Ir.(Tid = i 0), [ Ir.St_shared ("acc", Ir.i 0, Ir.i 0) ], []);
+          Ir.Sync;
+          Ir.Let ("base", Ir.(Ctaid * i epb));
+          Ir.Let
+            ( "pair",
+              Ir.(
+                F2i (Ld_global ("input", v "base" + Tid))
+                + F2i (Ld_global ("input", v "base" + Tid + i threads))) );
+          Ir.atomic_add "acc" (Ir.i 0) (Ir.v "pair");
+          Ir.Sync;
+          Ir.If
+            ( Ir.(Tid = i 0),
+              [
+                Ir.St_global
+                  ("partials", Ir.Ctaid, Ir.I2f (Ir.Ld_shared ("acc", Ir.Int 0)));
+              ],
+              [] );
+        ];
+    }
+  | Interleaved | Sequential ->
   let steps = log2 threads in
   let tree =
     match variant with
+    | Atomic -> assert false
     | Interleaved ->
       (* step s: thread t < threads/2^(s+1) updates buf[2*2^s*t] *)
       List.concat_map
@@ -137,8 +176,8 @@ let run_simulated ?spec ?(threads = 128) variant xs =
   in
   go (Array.map Gpu_sim.Value.round_f32 xs)
 
-let analyze ?spec ?(measure = false) ?(sample = 2) ?(threads = 128)
-    ~blocks variant =
+let analyze ?spec ?(measure = false) ?(sample = 2) ?replay_sample ?timeline
+    ?(threads = 128) ~blocks variant =
   let epb = elements_per_block ~threads in
   let args =
     [
@@ -146,6 +185,6 @@ let analyze ?spec ?(measure = false) ?(sample = 2) ?(threads = 128)
       ("partials", Array.make blocks 0l);
     ]
   in
-  Gpu_model.Workflow.analyze ?spec ~sample ~measure ~grid:blocks
-    ~block:threads ~args
+  Gpu_model.Workflow.analyze ?spec ~sample ?replay_sample ?timeline ~measure
+    ~grid:blocks ~block:threads ~args
     (kernel ~threads variant)

@@ -1,10 +1,13 @@
-(** Parallel sum reduction in two shared-memory variants: [Interleaved]
+(** Parallel sum reduction in three shared-memory variants: [Interleaved]
     (interleaved addressing with a strided index, whose bank-conflict
-    degree doubles each step — the cyclic-reduction pathology) and the
-    tuned [Sequential] tree (contiguous, conflict-free).  Each block reduces 2*threads elements to
-    a partial sum; {!run_simulated} recursively reduces the partials. *)
+    degree doubles each step — the cyclic-reduction pathology), the
+    tuned [Sequential] tree (contiguous, conflict-free), and [Atomic]
+    (no tree: every thread atomically adds into one shared accumulator,
+    fully serializing each half-warp — exact only for integer-valued
+    inputs).  Each block reduces 2*threads elements to a partial sum;
+    {!run_simulated} recursively reduces the partials. *)
 
-type variant = Interleaved | Sequential
+type variant = Interleaved | Sequential | Atomic
 
 val variant_name : variant -> string
 
@@ -21,5 +24,7 @@ val run_simulated :
   ?spec:Gpu_hw.Spec.t -> ?threads:int -> variant -> float array -> float
 
 val analyze :
-  ?spec:Gpu_hw.Spec.t -> ?measure:bool -> ?sample:int -> ?threads:int ->
+  ?spec:Gpu_hw.Spec.t -> ?measure:bool -> ?sample:int ->
+  ?replay_sample:Gpu_timing.Engine.sample ->
+  ?timeline:Gpu_obs.Timeline.t -> ?threads:int ->
   blocks:int -> variant -> Gpu_model.Workflow.report

@@ -127,6 +127,10 @@ let test_bank_oracle () =
   sweep_oracle ~tag:2 ~gen:Gen.gen_bank_access ~agrees:Oracle.bank_agrees
     ~pp:Oracle.pp_access 200
 
+let test_atomic_oracle () =
+  sweep_oracle ~tag:5 ~gen:Gen.gen_atomic_access
+    ~agrees:Oracle.atomic_agrees ~pp:Oracle.pp_access 200
+
 (* --- audit sweep ---------------------------------------------------------- *)
 
 let test_audit_sweep () =
@@ -309,6 +313,9 @@ let test_corpus () =
         (Printf.sprintf "seed %d ran the coalesce budget" seed)
         50 summary.Harness.coalesce_cases;
       Alcotest.(check int)
+        (Printf.sprintf "seed %d ran the atomic budget" seed)
+        50 summary.Harness.atomic_cases;
+      Alcotest.(check int)
         (Printf.sprintf "seed %d ran the audit budget" seed)
         (Harness.audit_budget 50) summary.Harness.audit_cases;
       Alcotest.(check int)
@@ -336,6 +343,8 @@ let () =
             test_coalesce_oracle;
           Alcotest.test_case "bank analyzer agrees with the oracle" `Quick
             test_bank_oracle;
+          Alcotest.test_case "atomic serialization agrees with the oracle"
+            `Quick test_atomic_oracle;
         ] );
       ( "audit",
         [ Alcotest.test_case "random grids pass the audit" `Quick

@@ -116,6 +116,44 @@ let test_comments_and_blanks () =
   in
   checki "comments ignored" 2 (P.length p)
 
+(* --- Atomic instructions ------------------------------------------------- *)
+
+let atomic_samples =
+  [
+    I.Atom (I.Aadd, r 2, { I.base = r 1; offset = 0 }, rg 3, None);
+    I.Atom (I.Amin, r 2, { I.base = r 1; offset = 8 }, I.Imm 7l, None);
+    I.Atom (I.Amax, r 2, { I.base = r 1; offset = 64 }, rg 3, None);
+    I.Atom (I.Acas, r 2, { I.base = r 1; offset = 0 }, rg 3, Some (rg 4));
+    I.Atom (I.Acas, r 2, { I.base = r 1; offset = 4 }, I.Imm 0l,
+            Some (I.Imm 5l));
+  ]
+
+let test_atomic_asm_round_trip () =
+  List.iter
+    (fun op ->
+      let instr = I.mk op in
+      let text = I.to_string instr in
+      let back = Gpu_isa.Asm.parse_instr text in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s survives parse-print" text)
+        true (back = instr);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s is memory class" text)
+        true
+        (I.classify_op op = I.Class_mem))
+    atomic_samples
+
+let test_atomic_encode_round_trip () =
+  let lines =
+    P.Label "entry"
+    :: List.map (fun op -> P.Instr (I.mk op)) atomic_samples
+    @ [ P.Instr (I.mk I.Exit) ]
+  in
+  let p = P.of_lines ~name:"atomics" lines in
+  let p2 = Gpu_isa.Encode.decode (Gpu_isa.Encode.encode p) in
+  checks "binary codec round-trips every atomic opcode" (P.to_string p)
+    (P.to_string p2)
+
 (* --- Program utilities -------------------------------------------------- *)
 
 let test_register_demand () =
@@ -199,6 +237,16 @@ let gen_op =
         (let* d = gen_reg in
          let* m = gen_maddr in
          return (I.Ld (I.Shared, 4, d, m)));
+        (let* o = oneofl [ I.Aadd; I.Amin; I.Amax ] in
+         let* d = gen_reg in
+         let* m = gen_maddr in
+         let* x = gen_operand in
+         return (I.Atom (o, d, m, x, None)));
+        (let* d = gen_reg in
+         let* m = gen_maddr in
+         let* x = gen_operand in
+         let* y = gen_operand in
+         return (I.Atom (I.Acas, d, m, x, Some y)));
         (let* m = gen_maddr in
          let* s = gen_operand in
          return (I.St (I.Global, 4, m, s)));
@@ -278,6 +326,10 @@ let () =
           Alcotest.test_case "round trip" `Quick test_asm_round_trip;
           Alcotest.test_case "errors" `Quick test_asm_errors;
           Alcotest.test_case "comments" `Quick test_comments_and_blanks;
+          Alcotest.test_case "atomic opcodes round-trip" `Quick
+            test_atomic_asm_round_trip;
+          Alcotest.test_case "atomic binary codec" `Quick
+            test_atomic_encode_round_trip;
         ] );
       ( "program",
         [

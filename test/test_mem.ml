@@ -215,6 +215,126 @@ let test_wide_accesses () =
     (B.ideal_warp_transactions ~width:8 ~group:16
        (active 32 (fun i -> 8 * i)))
 
+(* --- Atomic serialization (DESIGN section 15) ---------------------------- *)
+
+let test_atomic_full_contention () =
+  (* every lane atomically updates the same word: a plain access would
+     broadcast (1 transaction); atomics serialize per lane *)
+  let a = active 16 (fun _ -> 128) in
+  Alcotest.(check int) "plain access broadcasts" 1
+    (B.conflict_degree ~banks:16 a);
+  Alcotest.(check int) "atomics serialize all 16 lanes" 16
+    (B.atomic_transactions ~banks:16 a)
+
+let test_atomic_conflict_free () =
+  (* sequential words, one per bank: no contention either way *)
+  let a = active 16 (fun i -> 4 * i) in
+  Alcotest.(check int) "distinct banks stay parallel" 1
+    (B.atomic_transactions ~banks:16 a)
+
+let test_atomic_kway_duplicates () =
+  (* pairs of lanes share a word: 2 accesses per word, still one distinct
+     word per bank — the atomic degree sees the multiplicity the plain
+     degree cannot *)
+  let a = active 16 (fun i -> 4 * (i mod 8)) in
+  Alcotest.(check int) "plain degree blind to duplicates" 1
+    (B.conflict_degree ~banks:16 a);
+  Alcotest.(check int) "2 same-word atomics serialize" 2
+    (B.atomic_transactions ~banks:16 a)
+
+let test_atomic_same_bank_stride () =
+  (* stride of 16 words: distinct words, all in bank 0 — atomics degrade
+     exactly like plain conflicts *)
+  let a = active 16 (fun i -> 4 * 16 * i) in
+  Alcotest.(check int) "plain 16-way conflict" 16
+    (B.conflict_degree ~banks:16 a);
+  Alcotest.(check int) "atomic matches on distinct words" 16
+    (B.atomic_transactions ~banks:16 a)
+
+let test_atomic_warp_split () =
+  let a = active 32 (fun i -> 4 * (i mod 4)) in
+  (* per half-warp: 4 words hit 4 times each -> 4 per group *)
+  Alcotest.(check int) "groups serialize independently" 8
+    (B.warp_atomic_transactions ~banks:16 ~group:16 a);
+  Alcotest.(check int) "ideal is one per active group" 2
+    (B.ideal_warp_atomic_transactions ~group:16 a);
+  Alcotest.(check int) "idle lanes cost nothing" 0
+    (B.warp_atomic_transactions ~banks:16 ~group:16 (Array.make 32 None));
+  Alcotest.(check int) "no active group, no ideal floor" 0
+    (B.ideal_warp_atomic_transactions ~group:16 (Array.make 32 None))
+
+let test_negative_address_rejected () =
+  (* OCaml's / and mod truncate toward zero, so -1/4 = 0 would silently
+     tally word 0 of bank 0; the analyzer must fail loudly instead *)
+  let raises f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  let neg = addrs [ -4 ] in
+  Alcotest.(check bool) "conflict_degree rejects" true
+    (raises (fun () -> B.conflict_degree ~banks:16 neg));
+  Alcotest.(check bool) "atomic_transactions rejects" true
+    (raises (fun () -> B.atomic_transactions ~banks:16 neg));
+  Alcotest.(check bool) "warp_transactions rejects" true
+    (raises (fun () -> B.warp_transactions ~banks:16 ~group:16 neg));
+  Alcotest.(check bool) "warp_atomic_transactions rejects" true
+    (raises (fun () -> B.warp_atomic_transactions ~banks:16 ~group:16 neg));
+  Alcotest.(check bool) "-1 rejected at the boundary" true
+    (raises (fun () -> B.conflict_degree ~banks:16 (addrs [ -1 ])));
+  (* address 0 is the valid boundary on the other side *)
+  Alcotest.(check int) "address 0 is valid" 1
+    (B.conflict_degree ~banks:16 (addrs [ 0 ]));
+  Alcotest.(check int) "address 0 atomics are valid" 1
+    (B.atomic_transactions ~banks:16 (addrs [ 0 ]))
+
+(* The warp walkers compute per-group degrees over index ranges of the
+   one lane array (no per-group slice allocation).  They must agree with
+   the obvious slice-then-analyze formulation for any lane pattern. *)
+let prop_warp_walkers_match_slices =
+  QCheck.Test.make ~count:500
+    ~name:"range-based warp walkers equal per-slice analysis"
+    (QCheck.make
+       QCheck.Gen.(
+         array_size (oneofl [ 8; 16; 24; 32 ])
+           (oneof
+              [
+                return None;
+                map (fun w -> Some (4 * w)) (int_bound 256);
+              ])))
+    (fun a ->
+      let group = 16 in
+      let sliced per_group =
+        let n = Array.length a in
+        let rec go start acc =
+          if start >= n then acc
+          else
+            let len = min group (n - start) in
+            go (start + group) (acc + per_group (Array.sub a start len))
+        in
+        go 0 0
+      in
+      B.warp_transactions ~banks:16 ~group a
+      = sliced (fun g -> B.conflict_degree ~banks:16 g)
+      && B.warp_atomic_transactions ~banks:16 ~group a
+         = sliced (fun g -> B.atomic_transactions ~banks:16 g))
+
+let prop_atomic_bounds =
+  QCheck.Test.make ~count:500
+    ~name:"atomic serialization dominates plain conflicts and its ideal"
+    gen_addresses
+    (fun a ->
+      let atomic = B.warp_atomic_transactions ~banks:16 ~group:16 a in
+      let plain = B.warp_transactions ~banks:16 ~group:16 a in
+      let ideal = B.ideal_warp_atomic_transactions ~group:16 a in
+      let actives =
+        Array.fold_left
+          (fun n x -> match x with Some _ -> n + 1 | None -> n)
+          0 a
+      in
+      ideal <= atomic && plain <= atomic && atomic <= actives)
+
 let prop_conflict_degree_bounds =
   QCheck.Test.make ~count:500 ~name:"conflict degree within bounds"
     gen_addresses
@@ -291,6 +411,23 @@ let () =
           Alcotest.test_case "wide (64-bit) accesses" `Quick
             test_wide_accesses;
           QCheck_alcotest.to_alcotest prop_conflict_degree_bounds;
+        ] );
+      ( "atomics",
+        [
+          Alcotest.test_case "full contention serializes" `Quick
+            test_atomic_full_contention;
+          Alcotest.test_case "conflict-free stays parallel" `Quick
+            test_atomic_conflict_free;
+          Alcotest.test_case "k-way duplicates" `Quick
+            test_atomic_kway_duplicates;
+          Alcotest.test_case "same-bank stride" `Quick
+            test_atomic_same_bank_stride;
+          Alcotest.test_case "warp split and ideal floor" `Quick
+            test_atomic_warp_split;
+          Alcotest.test_case "negative addresses rejected" `Quick
+            test_negative_address_rejected;
+          QCheck_alcotest.to_alcotest prop_warp_walkers_match_slices;
+          QCheck_alcotest.to_alcotest prop_atomic_bounds;
         ] );
       ( "cache",
         [

@@ -12,7 +12,8 @@ let spec = Gpu_hw.Spec.gtx285
 
 (* --- Component arithmetic ----------------------------------------------- *)
 
-let times i s g = { Component.instruction = i; shared = s; global = g }
+let times i s g =
+  { Component.instruction = i; shared = s; atomic = 0.0; global = g }
 
 let test_bottleneck_selection () =
   Alcotest.(check string) "instruction wins" "instruction pipeline"

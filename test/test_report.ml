@@ -143,7 +143,7 @@ let test_ledger_roundtrip () =
       r'.Ledger.fingerprint;
     Alcotest.(check (float 1e-15)) "predicted" r.Ledger.predicted_s
       r'.Ledger.predicted_s;
-    Alcotest.(check int) "three components" 3
+    Alcotest.(check int) "four components" 4
       (List.length r'.Ledger.components);
     Alcotest.(check bool) "error preserved" true
       (match (r.Ledger.error, r'.Ledger.error) with

@@ -320,6 +320,8 @@ let test_flat_round_trip () =
         mem = Trace.Smem 16; bar = false };
       { Trace.cls = I.Class_ii; dst = 5; srcs = [| 4; 3 |];
         mem = Trace.Smem 2; bar = false };
+      { Trace.cls = I.Class_mem; dst = 9; srcs = [| 4 |];
+        mem = Trace.Smem_atomic 16; bar = false };
       { Trace.cls = I.Class_mem; dst = 6; srcs = [| 5 |];
         mem = Trace.Gmem_load [| (0, 64); (128, 32); (4096, 128) |];
         bar = false };
@@ -469,6 +471,80 @@ let test_load64_roundtrip () =
   Alcotest.(check (float 1e-12)) "3*3+3" 12.0
     (Int64.float_of_bits (Int64.logor lo hi))
 
+let test_atomic_add_lane_order () =
+  (* All 32 lanes atomically add 1 to shared word 0.  Lanes perform their
+     read-modify-writes in lane order, each observing the previous lane's
+     write: lane i's returned old value is exactly i, and the final cell
+     holds 32. *)
+  let out =
+    run_raw ~out_words:33
+      [
+        ins (I.Mov (r 1, I.Imm 0l));
+        ins (I.St (I.Shared, 4, { I.base = r 1; offset = 0 }, I.Imm 0l));
+        ins I.Bar;
+        ins
+          (I.Atom (I.Aadd, r 2, { I.base = r 1; offset = 0 }, I.Imm 1l, None));
+        ins I.Bar;
+        ins (I.Mov_sreg (r 3, I.Tid_x));
+        ins (I.Imad (r 4, I.Reg (r 3), I.Imm 4l, I.Reg (r 0)));
+        ins (I.St (I.Global, 4, { I.base = r 4; offset = 0 }, I.Reg (r 2)));
+        ins (I.Ld (I.Shared, 4, r 5, { I.base = r 1; offset = 0 }));
+        ins (I.St (I.Global, 4, { I.base = r 0; offset = 128 }, I.Reg (r 5)));
+        ins I.Exit;
+      ]
+  in
+  Array.iteri
+    (fun t v ->
+      if t < 32 then
+        Alcotest.(check int)
+          (Printf.sprintf "lane %d observed %d prior adds" t t)
+          t (Int32.to_int v))
+    out;
+  Alcotest.(check int) "all 32 increments landed" 32 (Int32.to_int out.(32))
+
+let test_atomic_min_max_cas () =
+  (* min folds tids into an initial 100 -> 0; max folds them into an
+     initial -5 -> 31 (signed compare); every lane CASes word 2 from 0 to
+     5, so only lane 0 wins and later lanes read back the 5 *)
+  let out =
+    run_raw ~out_words:35
+      [
+        ins (I.Mov (r 1, I.Imm 0l));
+        ins (I.St (I.Shared, 4, { I.base = r 1; offset = 0 }, I.Imm 100l));
+        ins (I.St (I.Shared, 4, { I.base = r 1; offset = 4 }, I.Imm (-5l)));
+        ins (I.St (I.Shared, 4, { I.base = r 1; offset = 8 }, I.Imm 0l));
+        ins I.Bar;
+        ins (I.Mov_sreg (r 3, I.Tid_x));
+        ins
+          (I.Atom (I.Amin, r 2, { I.base = r 1; offset = 0 }, I.Reg (r 3),
+                   None));
+        ins
+          (I.Atom (I.Amax, r 2, { I.base = r 1; offset = 4 }, I.Reg (r 3),
+                   None));
+        ins
+          (I.Atom (I.Acas, r 2, { I.base = r 1; offset = 8 }, I.Imm 0l,
+                   Some (I.Imm 5l)));
+        ins I.Bar;
+        (* each lane records its CAS-returned old value, then the finals *)
+        ins (I.Imad (r 4, I.Reg (r 3), I.Imm 4l, I.Reg (r 0)));
+        ins (I.St (I.Global, 4, { I.base = r 4; offset = 0 }, I.Reg (r 2)));
+        ins (I.Ld (I.Shared, 4, r 5, { I.base = r 1; offset = 0 }));
+        ins (I.St (I.Global, 4, { I.base = r 0; offset = 128 }, I.Reg (r 5)));
+        ins (I.Ld (I.Shared, 4, r 5, { I.base = r 1; offset = 4 }));
+        ins (I.St (I.Global, 4, { I.base = r 0; offset = 132 }, I.Reg (r 5)));
+        ins I.Exit;
+      ]
+  in
+  Alcotest.(check int) "lane 0 won the CAS" 0 (Int32.to_int out.(0));
+  for t = 1 to 31 do
+    Alcotest.(check int)
+      (Printf.sprintf "lane %d lost the CAS" t)
+      5 (Int32.to_int out.(t))
+  done;
+  Alcotest.(check int) "atomic min reached 0" 0 (Int32.to_int out.(32));
+  Alcotest.(check int) "atomic max reached 31 past the -5 seed" 31
+    (Int32.to_int out.(33))
+
 let test_lane_and_warp_ids () =
   let k =
     compile
@@ -606,6 +682,10 @@ let () =
           Alcotest.test_case "fused mad" `Quick test_fused_mad_semantics;
           Alcotest.test_case "double precision" `Quick test_double_precision;
           Alcotest.test_case "64-bit memory" `Quick test_load64_roundtrip;
+          Alcotest.test_case "atomic add lane order" `Quick
+            test_atomic_add_lane_order;
+          Alcotest.test_case "atomic min/max/cas" `Quick
+            test_atomic_min_max_cas;
           Alcotest.test_case "ids and warps" `Quick test_lane_and_warp_ids;
         ] );
       ( "validation",

@@ -84,6 +84,52 @@ let test_smem_conflicts_slow () =
   Alcotest.(check bool) "16-way conflicts cost much more" true
     (t16 > 4 * t1)
 
+let test_atomic_contention_slows () =
+  (* same trace shape, rising serialization: full contention (16 txns per
+     half-warp group) must cost far more than conflict-free atomics *)
+  let atomic txns =
+    { Trace.cls = I.Class_mem; dst = 5; srcs = [||];
+      mem = Trace.Smem_atomic txns; bar = false }
+  in
+  let mk txns = Array.init 100 (fun _ -> atomic txns) in
+  let free = run [ block_of [| mk 2 |] ] in
+  let contended = run [ block_of [| mk 32 |] ] in
+  Alcotest.(check bool) "full contention costs much more" true
+    (contended.Engine.cycles > 4 * free.Engine.cycles);
+  (* the serialized transactions are charged to the atomic counter, not
+     the plain shared-memory one *)
+  Alcotest.(check bool) "atomic busy accounted" true
+    (contended.Engine.atomic_busy_cycles > free.Engine.atomic_busy_cycles);
+  Alcotest.(check int) "no plain smem busy from atomics" 0
+    contended.Engine.smem_busy_cycles
+
+let test_atomic_shares_shared_pipe () =
+  (* atomics and plain shared traffic contend for one LSU pipe: a mixed
+     trace must run at least as long as either half alone, and the two
+     busy counters together stay within the wall clock per SM *)
+  let atomic =
+    { Trace.cls = I.Class_mem; dst = 5; srcs = [||];
+      mem = Trace.Smem_atomic 8; bar = false }
+  in
+  let smem =
+    { Trace.cls = I.Class_mem; dst = 6; srcs = [||];
+      mem = Trace.Smem 8; bar = false }
+  in
+  let mixed = Array.init 100 (fun i -> if i mod 2 = 0 then atomic else smem) in
+  let r = run [ block_of [| mixed |] ] in
+  let only ev = run [ block_of [| Array.make 50 ev |] ] in
+  let a = only atomic and s = only smem in
+  Alcotest.(check bool) "mixed is no faster than its atomic half" true
+    (r.Engine.cycles >= a.Engine.cycles);
+  Alcotest.(check bool) "mixed is no faster than its smem half" true
+    (r.Engine.cycles >= s.Engine.cycles);
+  Alcotest.(check bool)
+    (Printf.sprintf "shared pipe busy (%d + %d) fits in %d cycles"
+       r.Engine.smem_busy_cycles r.Engine.atomic_busy_cycles r.Engine.cycles)
+    true
+    (r.Engine.smem_busy_cycles + r.Engine.atomic_busy_cycles
+     <= r.Engine.cycles * r.Engine.sms_simulated)
+
 let test_barrier_waits () =
   (* warp 0 does 400 instructions then a barrier; warp 1 barriers
      immediately then has one instruction: total ~ warp 0's work *)
@@ -201,6 +247,15 @@ let heterogeneous_grid n_blocks =
                     mem = Trace.Gmem_load [| (64 * b, 64) |];
                     bar = false;
                   };
+                  (* varying contention keeps the atomic pipe hot in some
+                     clusters and idle in others *)
+                  {
+                    Trace.cls = I.Class_mem;
+                    dst = 6;
+                    srcs = [| 5 |];
+                    mem = Trace.Smem_atomic (1 + (b mod 4 * 5));
+                    bar = false;
+                  };
                   exit_event;
                 |]
               in
@@ -235,6 +290,10 @@ let test_parallel_bit_identical () =
     par.Engine.alu_busy_cycles;
   Alcotest.(check int) "smem busy" serial.Engine.smem_busy_cycles
     par.Engine.smem_busy_cycles;
+  Alcotest.(check int) "atomic busy" serial.Engine.atomic_busy_cycles
+    par.Engine.atomic_busy_cycles;
+  Alcotest.(check bool) "the grid exercises the atomic pipe" true
+    (serial.Engine.atomic_busy_cycles > 0);
   Alcotest.(check int) "gmem busy" serial.Engine.gmem_busy_cycles
     par.Engine.gmem_busy_cycles;
   Alcotest.(check int) "warps launched" serial.Engine.warps_launched
@@ -316,6 +375,10 @@ let () =
             test_gmem_load_latency;
           Alcotest.test_case "bank conflicts cost" `Quick
             test_smem_conflicts_slow;
+          Alcotest.test_case "atomic contention cost" `Quick
+            test_atomic_contention_slows;
+          Alcotest.test_case "atomics share the shared pipe" `Quick
+            test_atomic_shares_shared_pipe;
         ] );
       ( "scheduling",
         [

@@ -344,6 +344,85 @@ let test_transpose_bottleneck_progression () =
      && padded.Model.predicted_seconds
         <= tiled.Model.predicted_seconds +. 1e-9)
 
+(* --- Atomic-bound workloads (DESIGN section 15) -------------------------- *)
+
+module Histogram = Gpu_workloads.Histogram
+module Degree = Gpu_workloads.Degree
+
+let test_histogram_correct () =
+  (* 4 blocks x 512 elements, skewed toward low bins to force contention *)
+  let n = 4 * Histogram.elements_per_block ~threads:128 ~items:4 in
+  let xs =
+    Array.init n (fun i -> if i mod 3 = 0 then 0 else (i * 31) + (i / 7))
+  in
+  let expect = Histogram.reference ~bins:64 xs in
+  let got = Histogram.run_simulated xs in
+  Alcotest.(check (array int)) "counts match the reference" expect got
+
+let contention_penalty (r : Workflow.report) =
+  Stats.atomic_contention_penalty (Stats.total r.Workflow.stats)
+
+let test_histogram_atomic_bound () =
+  let r = Histogram.analyze ~blocks:256 () in
+  Alcotest.(check string) "contended histogram is atomic-bound"
+    "atomic serialization"
+    (Component.name r.Workflow.analysis.Model.bottleneck);
+  (* the atomic contention penalty reflects the 50% skew toward bin 0 *)
+  Alcotest.(check bool) "contention penalty well above 1" true
+    (contention_penalty r > 2.0)
+
+let test_histogram_skew_costs () =
+  let time skew =
+    (Histogram.analyze ~skew ~blocks:256 ()).Workflow.analysis.Model
+      .predicted_seconds
+  in
+  let uniform = time 0.0 and hot = time 1.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "full skew slower than uniform (%.2e vs %.2e)" hot
+       uniform)
+    true (hot > uniform)
+
+let test_degree_correct () =
+  let e = 4 * Degree.edges_per_block ~threads:128 ~items:4 in
+  let src = Array.init e (fun i -> if i mod 4 = 0 then 0 else i * 13) in
+  let dst = Array.init e (fun i -> (i * 29) + 3) in
+  let expect = Degree.reference ~nodes:64 src dst in
+  let got = Degree.run_simulated src dst in
+  Alcotest.(check (array int)) "degrees match the reference" expect got
+
+let test_degree_hub_contention () =
+  let penalty hub = contention_penalty (Degree.analyze ~hub ~blocks:256 ()) in
+  let ring = penalty 0.0 and star = penalty 1.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "star graph serializes harder (%.2f vs %.2f)" star ring)
+    true
+    (star > 2.0 *. ring);
+  Alcotest.(check string) "star graph is atomic-bound" "atomic serialization"
+    (Component.name
+       (Degree.analyze ~hub:1.0 ~blocks:256 ()).Workflow.analysis.Model
+         .bottleneck)
+
+let test_reduce_atomic_correct () =
+  (* integer-valued floats keep the i32 atomic accumulator exact *)
+  let xs =
+    Array.init 4096 (fun _ -> float_of_int (Random.State.int rng 100))
+  in
+  let expect = Reduce.reference xs in
+  let got = Reduce.run_simulated ~threads:64 Reduce.Atomic xs in
+  Alcotest.(check (float 1e-9)) "atomic accumulator sums exactly" expect got
+
+let test_reduce_atomic_charged () =
+  (* the single shared accumulator is full contention: the atomic variant
+     must pick up an atomic charge the tree variants never see *)
+  let atomic_total variant =
+    (Reduce.analyze ~blocks:120 variant).Workflow.analysis.Model.totals
+      .Component.atomic
+  in
+  Alcotest.(check (float 1e-12)) "tree reduce has no atomic time" 0.0
+    (atomic_total Reduce.Sequential);
+  Alcotest.(check bool) "atomic reduce is charged" true
+    (atomic_total Reduce.Atomic > 0.0)
+
 let test_nbody_correct () =
   let n = 256 in
   let xs = Array.init n (fun idx -> Gpu_sim.Value.round_f32 (sin (float_of_int idx))) in
@@ -402,6 +481,22 @@ let () =
             test_transpose_bottleneck_progression;
           Alcotest.test_case "nbody correct" `Quick test_nbody_correct;
           Alcotest.test_case "nbody class III" `Quick test_nbody_class_iii;
+        ] );
+      ( "atomics",
+        [
+          Alcotest.test_case "histogram correct" `Quick
+            test_histogram_correct;
+          Alcotest.test_case "histogram atomic-bound" `Quick
+            test_histogram_atomic_bound;
+          Alcotest.test_case "histogram skew costs" `Quick
+            test_histogram_skew_costs;
+          Alcotest.test_case "degree correct" `Quick test_degree_correct;
+          Alcotest.test_case "degree hub contention" `Quick
+            test_degree_hub_contention;
+          Alcotest.test_case "atomic reduce correct" `Quick
+            test_reduce_atomic_correct;
+          Alcotest.test_case "atomic reduce charged" `Quick
+            test_reduce_atomic_charged;
         ] );
       ( "spmv (5.3)",
         [
