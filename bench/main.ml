@@ -720,6 +720,56 @@ let atomic () =
   row "reduce atomic" (R.analyze ~measure:true ~blocks:512 R.Atomic);
   Printf.printf "committed reference numbers: BENCH_8.json\n"
 
+(* --- Device fleet sweep (DESIGN §16) --------------------------------------- *)
+
+(* One workload across every built-in device profile: per-device
+   predicted time, speedup over the GT200 baseline, and the bottleneck
+   classification — the numbers behind [gpuperf sweep-devices].  The
+   interesting output is where the bottleneck SHIFTS: matmul 16x16 is
+   instruction-pipeline-bound on GT200 but global-memory-bound on the
+   volta/ampere-like profiles (compute grew ~20x, bandwidth ~6-10x). *)
+let devices () =
+  header "Devices" "one workload across the device fleet: predicted time, \
+                    speedup, bottleneck shifts (DESIGN §16)";
+  let sweep title reports =
+    Printf.printf "%s\n" title;
+    let base =
+      match reports with
+      | (_, r) :: _ -> r.Workflow.analysis.Model.predicted_seconds
+      | [] -> nan
+    in
+    let base_bn =
+      match reports with
+      | (_, r) :: _ -> r.Workflow.analysis.Model.bottleneck
+      | [] -> Component.Instruction_pipeline
+    in
+    List.iter
+      (fun (name, (r : Workflow.report)) ->
+        let a = r.Workflow.analysis in
+        Printf.printf
+          "  %-14s pred %9.4f ms   speedup %6.2fx   %-22s %s\n" name
+          (1e3 *. a.Model.predicted_seconds)
+          (base /. a.Model.predicted_seconds)
+          (Component.name a.Model.bottleneck)
+          (if a.Model.bottleneck <> base_bn then "<- shift" else "")
+      )
+      reports
+  in
+  let fleet = Gpu_serve.Protocol.devices in
+  sweep "matmul 16x16, n=1024:"
+    (List.map
+       (fun (name, spec) ->
+         (name, Matmul.analyze ~spec ~measure:false ~n:1024 ~tile:16 ()))
+       fleet);
+  sweep "histogram skew=0.8, 256 blocks:"
+    (List.map
+       (fun (name, spec) ->
+         ( name,
+           Gpu_workloads.Histogram.analyze ~spec ~measure:false ~skew:0.8
+             ~blocks:256 () ))
+       fleet);
+  Printf.printf "committed reference numbers: BENCH_9.json\n"
+
 (* --- Validation summary ----------------------------------------------------- *)
 
 let validation () =
@@ -871,6 +921,7 @@ let experiments =
     ("ablation", ablation);
     ("replay", replay);
     ("atomic", atomic);
+    ("devices", devices);
     ("validation", validation);
   ]
 

@@ -364,7 +364,8 @@ let whatif_cmd =
       & info [ "variant" ]
           ~doc:
             "Device variant (repeatable): maxblocks16, banks17, segment16, \
-             segment4, bigregfile, bigsmem, earlyrelease")
+             segment4, bigregfile, bigsmem, earlyrelease, volta-like, \
+             ampere-like")
   in
   let run workload tile padded fmt atomic variants metrics mfmt jobs no_cache
       =
@@ -545,10 +546,26 @@ let check_cmd =
       & info [ "replay" ] ~docv:"FILE"
           ~doc:"Re-check one dumped reproducer instead of fuzzing")
   in
-  let run seed cases tol out replay metrics mfmt jobs no_cache =
+  (* The whole fleet is checkable, not just the GT200 baseline: the
+     audits and differentials then exercise 32-bank/full-warp hardware
+     assumptions (e.g. the Volta-like profile's 128-byte shared
+     transactions). *)
+  let device =
+    Arg.(
+      value
+      & opt
+          (enum Gpu_serve.Protocol.devices)
+          Gpu_hw.Spec.gtx285
+      & info [ "device" ] ~docv:"DEV"
+          ~doc:
+            "Device profile to check (any fleet name accepted by \
+             $(b,whatif --variant), plus $(b,baseline))")
+  in
+  let run seed cases tol out replay device metrics mfmt jobs no_cache =
     with_metrics metrics mfmt @@ fun () ->
     guard D.Timing @@ fun () ->
     apply_calibration_opts jobs no_cache;
+    let spec = device in
     if tol < 1.0 then
       D.fail (D.error D.Cli "--tol must be >= 1.0, got %g" tol);
     match replay with
@@ -594,7 +611,7 @@ let check_cmd =
          "Property-based checking: brute-force memory oracles, engine \
           invariant audit, model-vs-engine differential")
     Term.(
-      const run $ seed $ cases $ tol $ out $ replay $ metrics_arg
+      const run $ seed $ cases $ tol $ out $ replay $ device $ metrics_arg
       $ metrics_format_arg $ jobs_arg $ no_cache_arg)
 
 (* --- trace ----------------------------------------------------------------- *)
@@ -860,6 +877,104 @@ let report_cmd =
       $ no_whatif $ metrics_arg $ metrics_format_arg $ jobs_arg
       $ no_cache_arg)
 
+(* --- sweep-devices -------------------------------------------------------- *)
+
+let sweep_devices_cmd =
+  let render_fmt =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("md", Gpu_report.Render.Md);
+               ("html", Gpu_report.Render.Html);
+               ("json", Gpu_report.Render.Json);
+             ])
+          Gpu_report.Render.Md
+      & info [ "format" ] ~docv:"FMT" ~doc:"Report format: md, html or json")
+  in
+  (* [--format] selects the comparison output here, so (as in [report])
+     the spmv storage layout moves to [--spmv-format]. *)
+  let spmv_fmt =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("ell", Gpu_workloads.Spmv.Ell);
+               ("bell", Gpu_workloads.Spmv.Bell_im);
+               ("bell+im", Gpu_workloads.Spmv.Bell_im);
+               ("bell+imiv", Gpu_workloads.Spmv.Bell_imiv);
+               ("imiv", Gpu_workloads.Spmv.Bell_imiv);
+             ])
+          Gpu_workloads.Spmv.Ell
+      & info [ "spmv-format" ] ~doc:"SpMV format (ell|bell+im|bell+imiv)")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the comparison to $(docv) instead of stdout")
+  in
+  let run workload tile padded sfmt atomic fmt out metrics mfmt jobs no_cache
+      =
+    with_metrics metrics mfmt @@ fun () ->
+    guard D.Cli @@ fun () ->
+    apply_calibration_opts jobs no_cache;
+    (* One device per pool task: each non-baseline spec pays its own
+       microbenchmark calibration on first contact, after which the
+       fingerprinted on-disk cache makes re-sweeps cheap. *)
+    let fleet = Gpu_serve.Protocol.devices in
+    let reports =
+      Gpu_parallel.Pool.parallel_map
+        (fun (_, dev) ->
+          report_of ~measure:false workload tile padded sfmt atomic dev)
+        fleet
+    in
+    let baseline =
+      match reports with r :: _ -> r | [] -> assert false
+    in
+    let rows =
+      List.map2
+        (fun (name, _) r ->
+          Gpu_report.Render.sweep_row ~device:name ~baseline r)
+        fleet reports
+    in
+    let workload_name =
+      match workload with
+      | `Matmul -> "matmul"
+      | `Tridiag -> "tridiag"
+      | `Spmv -> "spmv"
+      | `Reduce -> if atomic then "reduce-atomic" else "reduce"
+      | `Histogram -> "histogram"
+      | `Degree -> "degree"
+    in
+    let doc =
+      Gpu_report.Render.render_sweep fmt
+        {
+          Gpu_report.Render.sweep_workload = workload_name;
+          sweep_rows = rows;
+        }
+    in
+    match out with
+    | None -> print_string doc
+    | Some path ->
+      write_file path doc;
+      Fmt.epr "wrote %s@." path
+  in
+  Cmd.v
+    (Cmd.info "sweep-devices"
+       ~doc:
+         "Analyze one workload across the whole device fleet (baseline, \
+          Section-6 variants and the later-generation profiles) and render \
+          a per-device comparison: predicted time, speedup, component \
+          totals and bottleneck-classification shifts")
+    Term.(
+      const run $ workload_arg $ tile_arg $ padded_arg $ spmv_fmt
+      $ atomic_arg $ render_fmt $ out $ metrics_arg $ metrics_format_arg
+      $ jobs_arg $ no_cache_arg)
+
 (* --- serve ----------------------------------------------------------------- *)
 
 let serve_cmd =
@@ -996,8 +1111,8 @@ let () =
     Cmd.group info
       [
         occupancy_cmd; microbench_cmd; analyze_cmd; whatif_cmd;
-        disasm_cmd; asm_cmd; coalesce_cmd; check_cmd; trace_cmd;
-        report_cmd; serve_cmd;
+        sweep_devices_cmd; disasm_cmd; asm_cmd; coalesce_cmd; check_cmd;
+        trace_cmd; report_cmd; serve_cmd;
       ]
   in
   exit

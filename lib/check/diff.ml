@@ -46,8 +46,14 @@ let is_work = function
   | Case.Alu _ | Case.Smem _ | Case.Atomic _ | Case.Gmem _ -> true
 
 (* Mirror the interpreter's per-stage accounting for one abstract case. *)
-let stats_of_case (c : Case.t) =
+let stats_of_case ~(spec : Gpu_hw.Spec.t) (c : Case.t) =
   let st = Stats.create () in
+  (* coalescing groups a full warp decomposes into: 2 half-warps on the
+     GT200 baseline, 1 full-warp group on 32-bank specs — the
+     conflict/contention-free ideal per warp-access *)
+  let groups =
+    max 1 (spec.Gpu_hw.Spec.warp_size / spec.Gpu_hw.Spec.coalesce_threads)
+  in
   Array.iter
     (fun (b : Case.block) ->
       Array.iter
@@ -65,17 +71,18 @@ let stats_of_case (c : Case.t) =
                       Stats.count_issue st ~stage:k
                         (if fused then I.Class_ii else I.Class_mem);
                       if fused then Stats.count_mad st ~stage:k;
-                      (* a conflict-free full half-warp pair needs 2
-                         transactions; the generator only inflates *)
+                      (* a conflict-free warp access needs one
+                         transaction per coalescing group; the generator
+                         only inflates *)
                       Stats.count_smem st ~stage:k ~txns
-                        ~ideal:(min txns 2)
+                        ~ideal:(min txns groups)
                     | Case.Atomic { txns; _ } ->
                       Stats.count_issue st ~stage:k I.Class_mem;
                       (* contention-free would be one transaction per
-                         active half-warp group; the generator's txns
+                         active coalescing group; the generator's txns
                          only inflate from there *)
                       Stats.count_atomic st ~stage:k ~txns
-                        ~ideal:(min txns 2)
+                        ~ideal:(min txns groups)
                     | Case.Gmem { txns; _ } ->
                       Stats.count_issue st ~stage:k I.Class_mem;
                       let txns =
@@ -129,7 +136,7 @@ let check ~(spec : Gpu_hw.Spec.t) ~tables ~tol (c : Case.t) :
           {
             Model.in_spec = spec;
             tables;
-            stats = stats_of_case c;
+            stats = stats_of_case ~spec c;
             scale = 1.0;
             in_grid = nblocks;
             in_block = warps_per_block c * spec.warp_size;

@@ -22,7 +22,7 @@ val default_tolerance : float
 
 (** Build the statistics the interpreter would have extracted for this
     case (exposed for tests). *)
-val stats_of_case : Case.t -> Gpu_sim.Stats.t
+val stats_of_case : spec:Gpu_hw.Spec.t -> Case.t -> Gpu_sim.Stats.t
 
 val check :
   spec:Gpu_hw.Spec.t ->

@@ -191,7 +191,7 @@ let gen_audit_case r =
    blocks, full device multiples where possible, mostly dependent
    arithmetic chains with a sprinkling of shared/global traffic. *)
 
-let gen_diff_ev r ~acc =
+let gen_diff_ev r ~spec ~acc =
   (* memory events stream independently (rotating scratch destinations,
      no chain edge): the model assumes memory latency overlaps other
      work, which the engine only reproduces when accesses are not
@@ -215,7 +215,17 @@ let gen_diff_ev r ~acc =
         srcs = [||];
       }
   | 1 ->
-    let size = pick r [| 64; 128 |] in
+    (* transactions the size the device's coalescer would produce for a
+       dense stream (the shape the gmem tables are calibrated on): the
+       spec's coalesced-transaction size or a full max segment — 64/128
+       on the GT200 baseline, 128/128 on a full-warp-coalescing spec *)
+    let size =
+      pick r
+        [|
+          Gpu_hw.Spec.gmem_transaction_bytes spec;
+          spec.Gpu_hw.Spec.max_segment_bytes;
+        |]
+    in
     Case.Gmem
       {
         store = false;
@@ -228,8 +238,15 @@ let gen_diff_ev r ~acc =
     let cls = if n < 10 then I.Class_ii else I.Class_iii in
     Case.Alu { cls; dst = acc; srcs = [| acc; R.int r 32 + 64 |] }
 
-let gen_diff_case r =
-  let nblocks = pick r [| 30; 30; 60; 60; 90; 120; 10; 40 |] in
+let gen_diff_case ~spec r =
+  (* full device multiples where possible, derived from the spec's SM
+     count so non-baseline fleets stay saturated too (the GT200
+     baseline's 30 SMs reproduce the historical 30/60/90/120/10/40) *)
+  let s = spec.Gpu_hw.Spec.num_sms in
+  let nblocks =
+    pick r
+      [| s; s; 2 * s; 2 * s; 3 * s; 4 * s; max 1 (s / 3); 4 * s / 3 |]
+  in
   let nwarps = pick r [| 2; 4; 4; 8; 8; 16 |] in
   let nstages = range r 1 3 in
   let shape =
@@ -239,7 +256,7 @@ let gen_diff_case r =
         let acc = w mod 32 in
         Case.Stages
           (Array.init nstages (fun _ ->
-               Array.init (range r 20 60) (fun _ -> gen_diff_ev r ~acc))))
+               Array.init (range r 20 60) (fun _ -> gen_diff_ev r ~spec ~acc))))
   in
   let blocks =
     Array.init nblocks (fun _ -> { Case.nstages; warps = shape })

@@ -29,5 +29,9 @@ val gen_atomic_access : rng -> Oracle.access
 val gen_audit_case : rng -> Case.t
 
 (** Homogeneous saturated grid of dependent chains — the domain the
-    throughput model's tables are calibrated on. *)
-val gen_diff_case : rng -> Case.t
+    throughput model's tables are calibrated on.  Grid sizes and global
+    transaction shapes follow [spec] (SM-count multiples, the spec's
+    coalesced-transaction size), so non-baseline fleet profiles are
+    checked on their own calibrated domain; on the GT200 baseline the
+    stream is unchanged. *)
+val gen_diff_case : spec:Gpu_hw.Spec.t -> rng -> Case.t

@@ -112,17 +112,19 @@ let load_balance ~spec ~grid =
   let busiest = (grid + sms - 1) / sms in
   float_of_int grid /. float_of_int (busiest * sms)
 
-let transaction_bytes = 64 (* a half-warp of 4-byte words *)
-
 (* Global-memory transactions per thread over the whole program: the
-   configuration the matched synthetic benchmark reproduces (Section 4.3). *)
+   configuration the matched synthetic benchmark reproduces (Section 4.3).
+   [gmem_accesses] counts warp-level accesses, so the per-thread figure
+   multiplies by the device's warp size. *)
 let txns_per_thread inp =
   let total = Stats.total inp.stats in
   if total.Stats.gmem_accesses = 0 then 0
   else
     let threads = inp.in_grid * inp.in_block in
     let per_thread =
-      float_of_int total.Stats.gmem_accesses *. inp.scale *. 32.0
+      float_of_int total.Stats.gmem_accesses
+      *. inp.scale
+      *. float_of_int inp.in_spec.Spec.warp_size
       /. float_of_int threads
     in
     max 1 (int_of_float (Float.round per_thread))
@@ -159,10 +161,13 @@ let analyze_stage inp ~program_txns_per_thread ~stage_index
              /. balance)
       0.0 Gpu_isa.Instr.all_cost_classes
   in
-  (* Shared memory time. *)
+  (* Shared memory time.  A conflict-free transaction moves one word per
+     bank, so its byte size follows the spec's bank count (64 B on the
+     16-bank GT200, 128 B on 32-bank parts) rather than a constant. *)
   let smem_bw = Tables.smem_bandwidth inp.tables ~warps:active_warps in
+  let smem_txn_bytes = Spec.smem_transaction_bytes spec in
   let t_smem =
-    float_of_int (s.smem_txns * transaction_bytes)
+    float_of_int (s.smem_txns * smem_txn_bytes)
     *. inp.scale /. (smem_bw *. 1e9) /. balance
   in
   (* Atomic serialization time: the contention-serialized transactions
@@ -174,7 +179,7 @@ let analyze_stage inp ~program_txns_per_thread ~stage_index
      (e.g. contention hotspots concentrating on few SMs). *)
   let atomic_balance = balance in
   let t_atomic =
-    float_of_int (s.atomic_txns * transaction_bytes)
+    float_of_int (s.atomic_txns * smem_txn_bytes)
     *. inp.scale /. (smem_bw *. 1e9) /. atomic_balance
   in
   (* Global memory time: synthetic benchmark of the same configuration. *)
@@ -406,10 +411,12 @@ let analyze inp =
   let all = Stats.total inp.stats in
   let density = Stats.computational_density all in
   let predicted_gflops =
+    (* [mads] counts warp-level instructions: warp_size lanes x 2 flops. *)
     if predicted_seconds <= 0.0 then 0.0
     else
-      float_of_int all.mads *. inp.scale *. 32.0 *. 2.0
-      /. predicted_seconds /. 1e9
+      float_of_int all.mads *. inp.scale
+      *. float_of_int spec.Spec.warp_size
+      *. 2.0 /. predicted_seconds /. 1e9
   in
   let warnings = range_warnings inp ~program_txns_per_thread in
   let confidence =

@@ -90,7 +90,81 @@ let gtx285 =
     early_release = false;
   }
 
+(* Volta-class profile (a V100-like part), parameter values from the
+   microbenchmark dissection of Jia et al., "Dissecting the NVIDIA Volta
+   GPU Architecture via Microbenchmarking" (arXiv:1804.06826): 80 SMs at
+   1.38 GHz, 64 FP32 lanes per SM (so a warp instruction occupies one
+   issue cycle), ~4-cycle dependent-issue ALU latency, 32 shared-memory
+   banks serving a full 128-byte warp access per cycle, full-warp
+   coalescing into 32-byte sectors within 128-byte segments, and ~900
+   GB/s of HBM2 on a 4096-bit bus.  "like", not "exact": the sms_per_
+   cluster pairing and the overhead fractions keep the GT200 model's
+   structure rather than reproduce Volta's crossbar. *)
+let volta_like =
+  {
+    name = "Volta-like";
+    num_sms = 80;
+    sms_per_cluster = 2;
+    warp_size = 32;
+    core_clock_ghz = 1.38;
+    units_class_i = 64;
+    units_class_ii = 64;
+    units_class_iii = 16; (* SFUs *)
+    units_class_iv = 32; (* FP64 at 1:2 rate *)
+    alu_latency = 4;
+    warp_issue_gap = 2;
+    registers_per_sm = 65536;
+    smem_per_sm = 98304; (* 96 KB configurable maximum *)
+    max_threads_per_block = 1024;
+    max_threads_per_sm = 2048;
+    max_blocks_per_sm = 32;
+    max_warps_per_sm = 64;
+    smem_banks = 32;
+    smem_words_per_cycle = 32;
+    smem_latency = 19;
+    smem_access_cycles = 1.25;
+    mem_clock_ghz = 1.76; (* effective HBM2 data rate: ~901 GB/s *)
+    bus_width_bits = 4096;
+    gmem_latency = 400;
+    gmem_overhead_cycles = 1.0;
+    min_segment_bytes = 32; (* 32-byte sectors *)
+    max_segment_bytes = 128;
+    coalesce_threads = 32; (* full-warp coalescing *)
+    smem_replay_cycles = 4.0;
+    smem_launch_overhead = 0;
+    early_release = false;
+  }
+
+(* Ampere-class profile (an A100-like part), parameter values from
+   Abdelkhalik et al., "Demystifying the Nvidia Ampere Architecture
+   through Microbenchmarking and Instruction-level Analysis"
+   (arXiv:2208.11174): 108 SMs at 1.41 GHz, the same 64-lane FP32 SM and
+   full-warp 32-bank shared memory organisation as Volta, larger shared
+   memory (164 KB configurable), and ~1555 GB/s of HBM2e on a 5120-bit
+   bus.  The same "like" caveat as [volta_like] applies. *)
+let ampere_like =
+  {
+    volta_like with
+    name = "Ampere-like";
+    num_sms = 108;
+    core_clock_ghz = 1.41;
+    smem_per_sm = 167936; (* 164 KB configurable maximum *)
+    smem_latency = 23;
+    mem_clock_ghz = 2.43; (* effective HBM2e data rate: ~1555 GB/s *)
+    bus_width_bits = 5120;
+    gmem_latency = 466;
+  }
+
 let num_clusters t = t.num_sms / t.sms_per_cluster
+
+(* Per-transaction byte sizes, derived from the spec rather than baked in
+   as GT200's 64: shared-memory (and atomic) traffic moves one 4-byte
+   word per bank per conflict-free transaction, global traffic coalesces
+   over one issue group of 4-byte lanes.  On the GTX 285 both come to
+   16 x 4 = 64 bytes, which is why the old constant was right on the
+   baseline and silently wrong everywhere else. *)
+let smem_transaction_bytes t = t.smem_banks * 4
+let gmem_transaction_bytes t = t.coalesce_threads * 4
 
 (* Every field, in declaration order, rendered exactly ("%h" for floats).
    The calibration cache fingerprints specs with this string, so any new

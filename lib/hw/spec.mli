@@ -39,7 +39,27 @@ type t = {
 }
 
 val gtx285 : t
+
+(** Built-in non-baseline profiles for the device fleet.  [volta_like] is
+    a V100-class part with parameters drawn from Jia et al.'s
+    microbenchmark dissection (arXiv:1804.06826); [ampere_like] an
+    A100-class part after Abdelkhalik et al. (arXiv:2208.11174).  Both
+    keep the GT200 model's structure (SM clusters sharing a memory pipe,
+    fractional overheads) with the successors' published counts, clocks,
+    32-bank shared memory and full-warp 128-byte coalescing. *)
+val volta_like : t
+
+val ampere_like : t
 val num_clusters : t -> int
+
+(** Bytes one conflict-free shared-memory (or atomic) transaction moves:
+    one 4-byte word per bank, [smem_banks x 4].  64 B on the GT200
+    half-warp organisation, 128 B on 32-bank parts. *)
+val smem_transaction_bytes : t -> int
+
+(** Bytes of the natural fully-coalesced global transaction: one 4-byte
+    word per lane of an issue group, [coalesce_threads x 4]. *)
+val gmem_transaction_bytes : t -> int
 
 (** Canonical one-line rendering of every field, in declaration order,
     with floats printed exactly ([%h]).  The calibration cache

@@ -32,8 +32,6 @@ type stage = {
 
 type t = { stages : stage list; covered : bool }
 
-let transaction_bytes = 64 (* a half-warp of 4-byte words, as in Model *)
-
 let order rows =
   List.sort
     (fun a b ->
@@ -48,6 +46,11 @@ let analyze_stage ~(report : Gpu_model.Workflow.report) ~balance
   let code = Gpu_isa.Program.code report.compiled.program in
   let srcmap = report.compiled.srcmap in
   let scale = report.scale in
+  (* The same spec-derived transaction size the model charged with, so
+     shared/atomic rows still tile to the stage's component times. *)
+  let transaction_bytes =
+    Gpu_hw.Spec.smem_transaction_bytes report.analysis.Model.spec
+  in
   let describe pc =
     let src =
       if pc >= 0 && pc < Array.length srcmap then srcmap.(pc) else "<asm>"

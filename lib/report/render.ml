@@ -798,3 +798,169 @@ let render fmt inp =
     to_html ~title:(Printf.sprintf "gpuperf report — %s" inp.workload)
       blocks
   | Json -> Jsonx.encode (json_of_inputs inp) ^ "\n"
+
+(* --- device-sweep comparison ---------------------------------------------- *)
+
+(* One workload, the whole fleet: the sweep document reuses the same
+   block-document machinery, so Md/Html/Json cannot drift section-wise
+   and identical inputs give byte-identical documents. *)
+
+type sweep_row = {
+  device : string;
+  device_desc : string;
+  d_predicted_s : float;
+  d_speedup : float;
+  d_bottleneck : string;
+  d_shifted : bool;
+  d_gflops : float;
+  d_confidence : string;
+  d_times : Component.times;
+  d_stage_bottlenecks : string list;
+}
+
+let confidence_name = function
+  | Model.Calibrated -> "calibrated"
+  | Model.Degraded -> "degraded"
+
+let sum_stage_times (stages : Model.stage_analysis list) =
+  List.fold_left
+    (fun (acc : Component.times) (st : Model.stage_analysis) ->
+      let t = st.Model.times in
+      {
+        Component.instruction =
+          acc.Component.instruction +. t.Component.instruction;
+        shared = acc.Component.shared +. t.Component.shared;
+        atomic = acc.Component.atomic +. t.Component.atomic;
+        global = acc.Component.global +. t.Component.global;
+      })
+    { Component.instruction = 0.0; shared = 0.0; atomic = 0.0; global = 0.0 }
+    stages
+
+let sweep_row ~device ~(baseline : Workflow.report) (r : Workflow.report) =
+  let a = r.Workflow.analysis in
+  let b = baseline.Workflow.analysis in
+  {
+    device;
+    device_desc = a.Model.spec.Gpu_hw.Spec.name;
+    d_predicted_s = a.Model.predicted_seconds;
+    d_speedup =
+      (if a.Model.predicted_seconds > 0.0 then
+         b.Model.predicted_seconds /. a.Model.predicted_seconds
+       else Float.infinity);
+    d_bottleneck = component_label a.Model.bottleneck;
+    d_shifted = a.Model.bottleneck <> b.Model.bottleneck;
+    d_gflops = a.Model.predicted_gflops;
+    d_confidence = confidence_name a.Model.confidence;
+    d_times = sum_stage_times a.Model.stages;
+    d_stage_bottlenecks =
+      List.map
+        (fun (st : Model.stage_analysis) ->
+          Component.short_name st.Model.bottleneck)
+        a.Model.stages;
+  }
+
+type sweep_inputs = {
+  sweep_workload : string;
+  sweep_rows : sweep_row list;
+}
+
+let sweep_document inp =
+  let shifts = List.filter (fun r -> r.d_shifted) inp.sweep_rows in
+  [
+    Heading
+      (1, Printf.sprintf "gpuperf device sweep — %s" inp.sweep_workload);
+    Para
+      (Printf.sprintf
+         "One workload, %d device profiles.  Speedups are relative to the \
+          baseline prediction; the shift column marks devices whose \
+          bottleneck class differs from the baseline's.  %s"
+         (List.length inp.sweep_rows)
+         (match shifts with
+         | [] -> "No device shifts the bottleneck."
+         | l ->
+           Printf.sprintf "Bottleneck shifts on: %s."
+             (String.concat ", " (List.map (fun r -> r.device) l))));
+    Table
+      {
+        headers =
+          [ "device"; "spec"; "predicted"; "speedup"; "bottleneck";
+            "shift"; "GFLOPS"; "confidence" ];
+        aligns = [ L; L; R; R; L; L; R; L ];
+        rows =
+          List.map
+            (fun r ->
+              [
+                r.device;
+                r.device_desc;
+                ms r.d_predicted_s;
+                Printf.sprintf "%.2fx" r.d_speedup;
+                r.d_bottleneck;
+                (if r.d_shifted then "yes" else "");
+                Printf.sprintf "%.1f" r.d_gflops;
+                r.d_confidence;
+              ])
+            inp.sweep_rows;
+      };
+    Heading (2, "Per-component time totals");
+    Para
+      "Unoverlapped per-component seconds summed over barrier stages, \
+       with each stage's bottleneck class in stage order.";
+    Table
+      {
+        headers =
+          [ "device"; "instr"; "smem"; "atomic"; "gmem";
+            "stage bottlenecks" ];
+        aligns = [ L; R; R; R; R; L ];
+        rows =
+          List.map
+            (fun r ->
+              [
+                r.device;
+                us r.d_times.Component.instruction;
+                us r.d_times.Component.shared;
+                us r.d_times.Component.atomic;
+                us r.d_times.Component.global;
+                String.concat " → " r.d_stage_bottlenecks;
+              ])
+            inp.sweep_rows;
+      };
+  ]
+
+let sweep_json inp =
+  Jsonx.Obj
+    [
+      ("workload", Jsonx.Str inp.sweep_workload);
+      ( "devices",
+        Jsonx.List
+          (List.map
+             (fun r ->
+               Jsonx.Obj
+                 [
+                   ("device", Jsonx.Str r.device);
+                   ("spec", Jsonx.Str r.device_desc);
+                   ("predicted_s", Jsonx.Num r.d_predicted_s);
+                   ("speedup", Jsonx.Num r.d_speedup);
+                   ("bottleneck", Jsonx.Str r.d_bottleneck);
+                   ("bottleneck_shifted", Jsonx.Bool r.d_shifted);
+                   ("predicted_gflops", Jsonx.Num r.d_gflops);
+                   ("confidence", Jsonx.Str r.d_confidence);
+                   ("times", times_json r.d_times);
+                   ( "stage_bottlenecks",
+                     Jsonx.List
+                       (List.map
+                          (fun s -> Jsonx.Str s)
+                          r.d_stage_bottlenecks) );
+                 ])
+             inp.sweep_rows) );
+    ]
+
+let render_sweep fmt inp =
+  let blocks = sweep_document inp in
+  match fmt with
+  | Md -> to_markdown blocks
+  | Html ->
+    to_html
+      ~title:
+        (Printf.sprintf "gpuperf device sweep — %s" inp.sweep_workload)
+      blocks
+  | Json -> Jsonx.encode (sweep_json inp) ^ "\n"

@@ -53,3 +53,38 @@ val report_json :
 (** Everything {!render} would show, as JSON ({!report_json} plus
     hotspots, what-if rows and the accuracy summary). *)
 val json_of_inputs : inputs -> Jsonx.t
+
+(** {2 Device-sweep comparison}
+
+    [gpuperf sweep-devices] analyzes one workload on every fleet profile
+    and renders the comparison; like {!render}, the document is a pure
+    function of its inputs. *)
+
+type sweep_row = {
+  device : string;  (** fleet key, e.g. ["volta-like"] *)
+  device_desc : string;  (** the spec's display name *)
+  d_predicted_s : float;
+  d_speedup : float;  (** baseline predicted / device predicted *)
+  d_bottleneck : string;
+  d_shifted : bool;  (** bottleneck class differs from the baseline's *)
+  d_gflops : float;
+  d_confidence : string;
+  d_times : Gpu_model.Component.times;
+      (** unoverlapped per-component totals, summed over stages *)
+  d_stage_bottlenecks : string list;  (** short names, stage order *)
+}
+
+(** Build one comparison row from a device's report; [baseline] supplies
+    the reference prediction and bottleneck class. *)
+val sweep_row :
+  device:string ->
+  baseline:Gpu_model.Workflow.report ->
+  Gpu_model.Workflow.report ->
+  sweep_row
+
+type sweep_inputs = {
+  sweep_workload : string;
+  sweep_rows : sweep_row list;  (** baseline first *)
+}
+
+val render_sweep : format -> sweep_inputs -> string

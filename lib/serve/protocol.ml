@@ -49,8 +49,10 @@ type request = {
   sample : int option;
 }
 
-(* The Section-6 what-if fleet; the CLI resolves its --variant names
-   against the same table, so wire and command line can never drift. *)
+(* The device fleet: the Section-6 what-if variants of the baseline plus
+   the built-in later-generation profiles (DESIGN §16).  The CLI resolves
+   its --variant names and `sweep-devices` rows against the same table,
+   so wire and command line can never drift. *)
 let devices =
   let spec = Gpu_hw.Spec.gtx285 in
   [
@@ -62,6 +64,8 @@ let devices =
     ("bigregfile", Gpu_hw.Spec.with_registers 32768 spec);
     ("bigsmem", Gpu_hw.Spec.with_smem 32768 spec);
     ("earlyrelease", Gpu_hw.Spec.with_early_release spec);
+    ("volta-like", Gpu_hw.Spec.volta_like);
+    ("ampere-like", Gpu_hw.Spec.ampere_like);
   ]
 
 let device_of_name name = List.assoc_opt name devices

@@ -348,6 +348,7 @@ and warp_state = {
    serial cluster path. *)
 type recorder = {
   tl : Gpu_obs.Timeline.t;
+  warp_stride : int; (* warp tids per block: see [warp_tid] *)
   mutable st_alu : int array; (* busy ticks per stage index *)
   mutable st_smem : int array;
   mutable st_atomic : int array;
@@ -355,9 +356,10 @@ type recorder = {
   mutable nstages : int;
 }
 
-let make_recorder tl =
+let make_recorder ~warp_stride tl =
   {
     tl;
+    warp_stride;
     st_alu = [||];
     st_smem = [||];
     st_atomic = [||];
@@ -385,10 +387,19 @@ let ensure_stage r s =
    spans; cluster c uses pid c+1.  Within a cluster, SM s's arithmetic
    pipe is tid 2s, its shared pipe tid 2s+1, the cluster's global pipe
    tid [gmem_tid], and block b / warp w parks on tid
-   [warp_tid_base + 64 b + w]. *)
+   [warp_tid_base + stride * b + w].  The per-run stride is the largest
+   warp count of any launched block (floored at 64 so the historical
+   layout stays put for every device that fits it) — a fixed 64 would
+   silently collide the tracks of distinct warps once a block carries
+   more than 64 warps. *)
 let gmem_tid = 999
 let warp_tid_base = 10_000
-let warp_tid ~bid ~wid = warp_tid_base + (64 * bid) + wid
+let warp_tid r ~bid ~wid = warp_tid_base + (r.warp_stride * bid) + wid
+
+let warp_stride_for (blocks : Trace.block_trace array) =
+  Array.fold_left
+    (fun acc (b : Trace.block_trace) -> max acc (Array.length b.warps))
+    64 blocks
 
 let rec_pipe r (sm : sm_state) ~alu ~start ~dur =
   Gpu_obs.Timeline.add r.tl ~pid:sm.cluster.pid
@@ -411,7 +422,7 @@ let rec_gmem r (cl : cluster_state) ~start ~dur =
 
 let rec_warp r (w : warp_state) ~name ~start ~dur =
   Gpu_obs.Timeline.add r.tl ~pid:w.block.sm.cluster.pid
-    ~tid:(warp_tid ~bid:w.block.bid ~wid:w.wid)
+    ~tid:(warp_tid r ~bid:w.block.bid ~wid:w.wid)
     ~cat:"warp" ~name ~ts:start ~dur
 
 let charge_stage r ~stage ~alu ~smem ~atomic ~gmem =
@@ -455,7 +466,7 @@ let rec launch_block p rc (pq : warp_state Heap.t) sm (cb : cblock) now =
       | None -> ()
       | Some r ->
         Gpu_obs.Timeline.set_thread r.tl ~pid:sm.cluster.pid
-          ~tid:(warp_tid ~bid:block.bid ~wid)
+          ~tid:(warp_tid r ~bid:block.bid ~wid)
           (Printf.sprintf "b%d.w%d" block.bid wid));
       if ck.n > 0 then Heap.add pq ~key:now w
       else warp_finished p rc pq w now)
@@ -924,7 +935,11 @@ let run ?(homogeneous = false) ?timeline ?sample ~(spec : Gpu_hw.Spec.t)
   if max_resident_blocks <= 0 then
     invalid_arg "Engine.run: max_resident_blocks must be positive";
   let p = make_params spec in
-  let rc = Option.map make_recorder timeline in
+  let rc =
+    Option.map
+      (make_recorder ~warp_stride:(warp_stride_for blocks))
+      timeline
+  in
   let clusters = distribute spec blocks in
   let cluster_load cl =
     Array.fold_left (fun acc q -> acc + List.length q) 0 cl

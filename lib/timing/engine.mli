@@ -98,8 +98,11 @@ type sample = { target : sample_target; seed : int }
     added, and {!result.stages_busy} is populated.  Cluster [c] records
     under pid [c+1] (pid 0 is reserved for workflow spans); SM [s] uses
     tids [2s] (alu) and [2s+1] (smem), the cluster's global pipe tid 999,
-    and block [b] warp [w] tid [10000 + 64 b + w].  Without a timeline
-    the recording paths cost one [None] match per event.
+    and block [b] warp [w] tid [10000 + stride b + w], where the stride
+    is the largest warp count of any launched block, floored at 64 —
+    so tids match the historical layout whenever every block fits 64
+    warps, and stay collision-free past it.  Without a timeline the
+    recording paths cost one [None] match per event.
 
     Throughput: every distinct warp trace (by physical identity — the
     workflow's cyclic replication shares warp arrays across blocks)

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Smoke-test `gpuperf sweep-devices` across the built-in device fleet.
+
+Runs one compute-bound workload (matmul) and one atomic-bound workload
+(histogram) through `sweep-devices --format json`, schema-validates the
+payload, and asserts the cross-device physics the fleet exists to show:
+
+- the fleet has the ten expected devices and the baseline row is the
+  1.00x reference;
+- matmul's bottleneck classification SHIFTS between device generations
+  (instruction-pipeline-bound on GT200, global-memory-bound on the
+  volta/ampere-like profiles) — at least two distinct bottleneck
+  classes across the fleet, at least one row flagged shifted;
+- histogram stays atomic-bound on every device (contention scales with
+  the machine, so no shift) and nothing is flagged shifted.
+
+Usage: sweep_smoke.py path/to/gpuperf.exe
+"""
+
+import json
+import subprocess
+import sys
+
+EXPECTED_DEVICES = [
+    "baseline", "maxblocks16", "banks17", "segment16", "segment4",
+    "bigregfile", "bigsmem", "earlyrelease", "volta-like", "ampere-like",
+]
+BOTTLENECKS = {
+    "instruction pipeline", "shared memory", "atomic serialization",
+    "global memory",
+}
+
+fail_count = 0
+
+
+def check(cond, msg):
+    global fail_count
+    if cond:
+        print(f"  ok: {msg}")
+    else:
+        fail_count += 1
+        print(f"  FAIL: {msg}")
+
+
+def sweep(exe, workload, extra=()):
+    cmd = [exe, "sweep-devices", workload, "--format", "json", *extra]
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    return json.loads(out.stdout)
+
+
+def validate_schema(payload, workload):
+    check(payload.get("workload") == workload, f"workload field is {workload!r}")
+    rows = payload.get("devices")
+    check(isinstance(rows, list), "devices is a list")
+    names = [r.get("device") for r in rows]
+    check(names == EXPECTED_DEVICES,
+          f"fleet is the ten expected devices (got {names})")
+    for r in rows:
+        d = r.get("device", "?")
+        check(isinstance(r.get("spec"), str) and r["spec"],
+              f"{d}: spec is a non-empty string")
+        check(isinstance(r.get("predicted_s"), (int, float))
+              and r["predicted_s"] > 0, f"{d}: predicted_s > 0")
+        check(isinstance(r.get("speedup"), (int, float)) and r["speedup"] > 0,
+              f"{d}: speedup > 0")
+        check(r.get("bottleneck") in BOTTLENECKS,
+              f"{d}: bottleneck {r.get('bottleneck')!r} is a known class")
+        check(isinstance(r.get("bottleneck_shifted"), bool),
+              f"{d}: bottleneck_shifted is a bool")
+        check(r.get("confidence") in ("calibrated", "degraded"),
+              f"{d}: confidence {r.get('confidence')!r} is a known level")
+        times = r.get("times", {})
+        check(all(isinstance(times.get(k), (int, float)) and times[k] >= 0
+                  for k in ("instruction_s", "shared_s", "atomic_s",
+                            "global_s")),
+              f"{d}: four non-negative component times")
+        sb = r.get("stage_bottlenecks")
+        check(isinstance(sb, list) and sb
+              and all(s in ("instr", "shared", "atomic", "global")
+                      for s in sb),
+              f"{d}: stage bottleneck chain uses known short names")
+    base = rows[0]
+    check(abs(base["speedup"] - 1.0) < 1e-9, "baseline speedup is 1.00x")
+    check(base["bottleneck_shifted"] is False, "baseline is never shifted")
+    return rows
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(f"usage: {sys.argv[0]} path/to/gpuperf.exe")
+    exe = sys.argv[1]
+
+    print("== matmul: bottleneck must shift across generations ==")
+    rows = validate_schema(sweep(exe, "matmul", ("--tile", "16")), "matmul")
+    classes = {r["bottleneck"] for r in rows}
+    check(len(classes) >= 2,
+          f"fleet spans >=2 bottleneck classes (got {sorted(classes)})")
+    shifted = [r["device"] for r in rows if r["bottleneck_shifted"]]
+    check(len(shifted) >= 1, f"some device shifts bottleneck (got {shifted})")
+    by_dev = {r["device"]: r for r in rows}
+    for dev in ("volta-like", "ampere-like"):
+        check(by_dev[dev]["bottleneck"] == "global memory",
+              f"{dev} is global-memory-bound on matmul")
+        check(by_dev[dev]["speedup"] > 1.0, f"{dev} beats the GT200 baseline")
+
+    print("== histogram: atomic-bound on every device, no shift ==")
+    rows = validate_schema(sweep(exe, "histogram"), "histogram")
+    check(all(r["bottleneck"] == "atomic serialization" for r in rows),
+          "every device is atomic-serialization-bound")
+    check(not any(r["bottleneck_shifted"] for r in rows),
+          "no device is flagged shifted")
+
+    if fail_count:
+        sys.exit(f"sweep smoke: {fail_count} check(s) failed")
+    print("sweep smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -159,7 +159,7 @@ let test_roundtrip () =
   for i = 0 to 19 do
     one
       (Printf.sprintf "diff case %d" i)
-      (Gen.gen_diff_case (Gen.sub_rng ~seed:99 ~tag:4 i))
+      (Gen.gen_diff_case ~spec (Gen.sub_rng ~seed:99 ~tag:4 i))
   done
 
 let test_parse_rejects_garbage () =
@@ -220,7 +220,7 @@ let tables = lazy (Gpu_microbench.Tables.for_spec spec)
 let test_diff_band () =
   let tables = Lazy.force tables in
   for i = 0 to 3 do
-    let c = Gen.gen_diff_case (Gen.sub_rng ~seed:4242 ~tag:4 i) in
+    let c = Gen.gen_diff_case ~spec (Gen.sub_rng ~seed:4242 ~tag:4 i) in
     match Diff.check ~spec ~tables ~tol:Diff.default_tolerance c with
     | Ok _ -> ()
     | Error m -> Alcotest.failf "diff case %d: %s" i m
@@ -232,6 +232,33 @@ let test_diff_requires_uniform () =
   match Diff.check ~spec ~tables ~tol:Diff.default_tolerance c with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "non-uniform case accepted by the differential"
+
+(* --- non-baseline fleet profile -------------------------------------------- *)
+
+(* The full property sweep (memory oracles, engine audits, model
+   differentials) must hold on a later-generation profile too: 32 banks,
+   full-warp coalescing, 128-byte transactions, 2-SM clusters — the
+   configuration the GT200 constants used to be hard-coded against. *)
+let test_volta_sweep () =
+  let summary =
+    Harness.run
+      {
+        Harness.seed = 4242;
+        cases = 50;
+        tol = Diff.default_tolerance;
+        out_dir = None;
+        spec = Gpu_hw.Spec.volta_like;
+      }
+  in
+  (match summary.Harness.failures with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.failf "volta-like: %s case %d failed: %s" f.Harness.property
+      f.Harness.case_index f.Harness.detail);
+  Alcotest.(check bool) "volta-like sweep passes" true (Harness.ok summary);
+  Alcotest.(check int)
+    "volta-like ran the diff budget" (Harness.diff_budget 50)
+    summary.Harness.diff_cases
 
 (* --- seed corpus ---------------------------------------------------------- *)
 
@@ -365,6 +392,9 @@ let () =
           Alcotest.test_case "non-uniform cases are rejected" `Quick
             test_diff_requires_uniform;
         ] );
+      ( "fleet",
+        [ Alcotest.test_case "volta-like profile sweeps clean" `Slow
+            test_volta_sweep ] );
       ( "corpus",
         [ Alcotest.test_case "every corpus seed sweeps clean" `Slow
             test_corpus ] );

@@ -115,6 +115,61 @@ let test_variants () =
   let s = Spec.with_min_segment 16 spec in
   Alcotest.(check int) "segment variant" 16 s.Spec.min_segment_bytes
 
+(* --- Device fleet -------------------------------------------------------- *)
+
+let test_fleet_canonical_unique () =
+  (* Calibration caches are keyed by name (process-wide) and by
+     [Spec.canonical] fingerprint (on disk): every fleet entry must be
+     pairwise distinct in both, or two devices would share tables. *)
+  let devices = Gpu_serve.Protocol.devices in
+  Alcotest.(check int) "fleet size" 10 (List.length devices);
+  let rec pairs = function
+    | [] -> ()
+    | (n1, s1) :: rest ->
+      List.iter
+        (fun (n2, s2) ->
+          if String.equal n1 n2 then
+            Alcotest.failf "duplicate device name %s" n1;
+          if String.equal s1.Spec.name s2.Spec.name then
+            Alcotest.failf "duplicate spec name %s" s1.Spec.name;
+          if String.equal (Spec.canonical s1) (Spec.canonical s2) then
+            Alcotest.failf "%s and %s share a canonical fingerprint" n1 n2)
+        rest;
+      pairs rest
+  in
+  pairs devices
+
+let test_volta_like_peaks () =
+  let v = Spec.volta_like in
+  (* 64 FP32 lanes * 1.38 GHz * 80 SMs * 2 flops/MAD = 14131 GFLOPS;
+     HBM2: 1.76 GHz * 4096 bit / 8 = 901 GB/s (arXiv:1804.06826) *)
+  close "volta peak GFLOPS" 14131.2 (Spec.peak_gflops v);
+  close "volta peak global bandwidth" 901.12 (Spec.peak_gmem_bandwidth v);
+  close "volta peak shared bandwidth" 14131.2 (Spec.peak_smem_bandwidth v);
+  Alcotest.(check int) "volta clusters" 40 (Spec.num_clusters v);
+  Alcotest.(check int) "full-warp coalescing: 128 B gmem transactions" 128
+    (Spec.gmem_transaction_bytes v);
+  Alcotest.(check int) "32 banks: 128 B shared transactions" 128
+    (Spec.smem_transaction_bytes v)
+
+let test_ampere_like_peaks () =
+  let a = Spec.ampere_like in
+  (* 64 FP32 lanes * 1.41 GHz * 108 SMs * 2 = 19492 GFLOPS;
+     2.43 GHz * 5120 bit / 8 = 1555 GB/s (arXiv:2208.11174) *)
+  close "ampere peak GFLOPS" 19491.8 (Spec.peak_gflops a);
+  close "ampere peak global bandwidth" 1555.2 (Spec.peak_gmem_bandwidth a);
+  Alcotest.(check int) "ampere clusters" 54 (Spec.num_clusters a);
+  Alcotest.(check int) "ampere 128 B shared transactions" 128
+    (Spec.smem_transaction_bytes a)
+
+let test_gt200_transaction_bytes () =
+  (* the GT200 coincidence the bugfix preserved: 16 banks * 4 B =
+     16 coalescing threads * 4 B = the old hard-coded 64 *)
+  Alcotest.(check int) "gt200 64 B shared transactions" 64
+    (Spec.smem_transaction_bytes spec);
+  Alcotest.(check int) "gt200 64 B gmem transactions" 64
+    (Spec.gmem_transaction_bytes spec)
+
 (* --- Properties ---------------------------------------------------------- *)
 
 let prop_blocks_monotone_in_registers =
@@ -170,6 +225,17 @@ let () =
         ] );
       ( "variants",
         [ Alcotest.test_case "what-if constructors" `Quick test_variants ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "canonical fingerprints unique" `Quick
+            test_fleet_canonical_unique;
+          Alcotest.test_case "volta-like peak rates" `Quick
+            test_volta_like_peaks;
+          Alcotest.test_case "ampere-like peak rates" `Quick
+            test_ampere_like_peaks;
+          Alcotest.test_case "gt200 transaction bytes" `Quick
+            test_gt200_transaction_bytes;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_blocks_monotone_in_registers; prop_blocks_bounded ] );

@@ -241,6 +241,118 @@ let test_nonfinite_inputs_rejected () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "analyze must raise on a NaN scale"
 
+(* --- Spec-derived transaction bytes (regression) -------------------------- *)
+
+(* The model used to charge shared/atomic/global traffic at a hard-coded
+   64 bytes per transaction — the GT200 coincidence where both
+   [smem_banks * 4] and [coalesce_threads * 4] equal 64.  The charge is
+   now derived from the spec, so a 32-bank device pays 128-byte shared
+   transactions: analyzing identical statistics with the same tables but
+   a 32-bank [in_spec] must exactly double the shared and atomic stage
+   times, and leave the instruction time untouched. *)
+let test_spec_derived_transaction_bytes () =
+  Alcotest.(check int)
+    "GT200 shared transactions are 64 bytes" 64
+    (Gpu_hw.Spec.smem_transaction_bytes spec);
+  Alcotest.(check int)
+    "GT200 coalesced transactions are 64 bytes" 64
+    (Gpu_hw.Spec.gmem_transaction_bytes spec);
+  Alcotest.(check int)
+    "32-bank shared transactions are 128 bytes" 128
+    (Gpu_hw.Spec.smem_transaction_bytes Gpu_hw.Spec.volta_like);
+  let k =
+    {
+      Ir.name = "smem_traffic";
+      params = [ "y" ];
+      shared = [ ("buf", 1024) ];
+      body =
+        [
+          Ir.Let ("p", Ir.(Tid * i 16));
+          Ir.Local ("a", Ir.Float 0.0);
+        ]
+        @ List.concat
+            (List.init 16 (fun _ ->
+                 [
+                   Ir.Assign ("a", Ir.(v "a" +. Ld_shared ("buf", v "p")));
+                   Ir.St_shared ("buf", Ir.v "p", Ir.v "a");
+                 ]))
+        @ [ Ir.St_global ("y", Ir.Tid, Ir.v "a") ];
+    }
+  in
+  let compiled = Gpu_kernel.Compile.compile k in
+  let occ = Workflow.occupancy_of ~spec ~block:64 compiled in
+  let r =
+    Gpu_sim.Sim.run ~spec ~grid:8 ~block:64
+      ~args:[ ("y", Array.make (8 * 64) 0l) ]
+      compiled
+  in
+  let tables = Gpu_microbench.Tables.for_spec spec in
+  let analyze_with in_spec =
+    Model.analyze
+      {
+        Model.in_spec;
+        tables;
+        stats = r.Gpu_sim.Sim.stats;
+        scale = 1.0;
+        in_grid = 8;
+        in_block = 64;
+        in_occupancy = occ;
+        blocks_run = r.Gpu_sim.Sim.blocks_run;
+      }
+  in
+  let base = analyze_with spec in
+  let wide = analyze_with (Gpu_hw.Spec.with_banks 32 spec) in
+  List.iter2
+    (fun (b : Model.stage_analysis) (w : Model.stage_analysis) ->
+      Alcotest.(check (float 1e-12))
+        "32 banks charge exactly twice the shared seconds"
+        (2.0 *. b.Model.times.Component.shared)
+        w.Model.times.Component.shared;
+      Alcotest.(check (float 1e-12))
+        "32 banks charge exactly twice the atomic seconds"
+        (2.0 *. b.Model.times.Component.atomic)
+        w.Model.times.Component.atomic;
+      Alcotest.(check (float 1e-12))
+        "instruction time does not depend on the bank count"
+        b.Model.times.Component.instruction
+        w.Model.times.Component.instruction)
+    base.Model.stages wide.Model.stages;
+  Alcotest.(check bool) "the shared traffic is non-trivial" true
+    (List.exists
+       (fun (st : Model.stage_analysis) ->
+         st.Model.times.Component.shared > 0.0)
+       base.Model.stages)
+
+(* The 32.0 literals in txns-per-thread and GFLOPS are [spec.warp_size]
+   now; on the 32-wide baseline nothing may move. *)
+let test_warp_size_factors_baseline_identical () =
+  let k =
+    {
+      Ir.name = "flops";
+      params = [ "y" ];
+      shared = [];
+      body =
+        Ir.Local ("a", Ir.Float 1.5)
+        :: List.init 32 (fun _ ->
+               Ir.Assign ("a", Ir.(fmad (v "a") (f 0.999) (v "a"))))
+        @ [ Ir.St_global ("y", Ir.Tid, Ir.v "a") ];
+    }
+  in
+  let y = ("y", Array.make (120 * 256) 0l) in
+  let r = analyze k [ y ] in
+  let a = r.Workflow.analysis in
+  Alcotest.(check int) "baseline warp size is 32" 32
+    spec.Gpu_hw.Spec.warp_size;
+  (* flops = issued MADs x warp_size x 2 / predicted: recompute from the
+     analysis itself and require exact agreement *)
+  let mads = (Gpu_sim.Stats.total r.Workflow.stats).Gpu_sim.Stats.mads in
+  let expected =
+    float_of_int mads *. r.Workflow.scale *. 32.0 *. 2.0
+    /. a.Model.predicted_seconds /. 1e9
+  in
+  Alcotest.(check (float 1e-9)) "GFLOPS uses the spec's warp size"
+    expected a.Model.predicted_gflops
+
 (* --- Trace replication and heterogeneous replay (regression) ------------- *)
 
 module Engine = Gpu_timing.Engine
@@ -439,6 +551,13 @@ let () =
         [
           Alcotest.test_case "non-finite scale rejected" `Quick
             test_nonfinite_inputs_rejected;
+        ] );
+      ( "transaction bytes",
+        [
+          Alcotest.test_case "spec-derived shared/atomic charge" `Quick
+            test_spec_derived_transaction_bytes;
+          Alcotest.test_case "warp-size factors on the baseline" `Quick
+            test_warp_size_factors_baseline_identical;
         ] );
       ( "trace replication",
         [

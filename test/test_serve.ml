@@ -154,10 +154,14 @@ let test_devices () =
   Alcotest.(check bool)
     "baseline heads the fleet" true
     (List.hd P.devices = ("baseline", Gpu_hw.Spec.gtx285));
-  Alcotest.(check int) "eight devices" 8 (List.length P.devices);
+  Alcotest.(check int) "ten devices" 10 (List.length P.devices);
   Alcotest.(check bool)
     "lookup works" true
-    (P.device_of_name "banks17" <> None && P.device_of_name "nope" = None)
+    (P.device_of_name "banks17" <> None && P.device_of_name "nope" = None);
+  Alcotest.(check bool)
+    "later-generation profiles resolve" true
+    (P.device_of_name "volta-like" = Some Gpu_hw.Spec.volta_like
+    && P.device_of_name "ampere-like" = Some Gpu_hw.Spec.ampere_like)
 
 (* --- budget arithmetic ---------------------------------------------------- *)
 

@@ -361,6 +361,84 @@ let test_sampled_bounds () =
       true
       (e.Engine.blocks_sampled <= 12)
 
+(* --- warp timeline track packing (regression) ----------------------------- *)
+
+(* Warp tids used to be [10000 + 64*bid + wid]: on a single-cluster
+   device, adjacent blocks land on the same pid, so any block with more
+   than 64 warps silently collided its warps into the next block's
+   tracks.  The stride now grows to the largest launched block's warp
+   count; each warp's zero-length "retire" marker must land on its own
+   (pid, tid) track. *)
+let test_warp_tid_no_collision_past_64 () =
+  let one_cluster = { spec with Gpu_hw.Spec.num_sms = 3 } in
+  let nwarps = 80 in
+  let blocks =
+    Array.init 2 (fun b ->
+        {
+          Trace.block = b;
+          warps = Array.init nwarps (fun _ -> [| exit_event |]);
+        })
+  in
+  let tl = Gpu_obs.Timeline.create ~capacity:4096 () in
+  let r =
+    Engine.run ~homogeneous:false ~timeline:tl ~spec:one_cluster
+      ~max_resident_blocks:2 blocks
+  in
+  Alcotest.(check int) "all warps retired" (2 * nwarps)
+    r.Engine.warps_retired;
+  let retire_tracks = Hashtbl.create 256 in
+  Array.iter
+    (fun (s : Gpu_obs.Timeline.slice) ->
+      if s.Gpu_obs.Timeline.cat = "warp" && s.Gpu_obs.Timeline.name = "retire"
+      then
+        Hashtbl.replace retire_tracks
+          (s.Gpu_obs.Timeline.pid, s.Gpu_obs.Timeline.tid)
+          ())
+    (Gpu_obs.Timeline.slices tl);
+  Alcotest.(check int) "one distinct track per warp" (2 * nwarps)
+    (Hashtbl.length retire_tracks)
+
+(* A full 1024-thread (32-warp) block launch on the Volta-like profile
+   runs clean, and — every block fitting 64 warps — the tids keep the
+   historical [10000 + 64*bid + wid] layout. *)
+let test_volta_like_full_block_launch () =
+  let vspec = Gpu_hw.Spec.volta_like in
+  let nblocks = Gpu_hw.Spec.num_clusters vspec + 1 in
+  let nwarps = vspec.Gpu_hw.Spec.max_threads_per_block / 32 in
+  Alcotest.(check int) "1024 threads are 32 warps" 32 nwarps;
+  let blocks =
+    Array.init nblocks (fun b ->
+        {
+          Trace.block = b;
+          warps = Array.init nwarps (fun _ -> dependent_chain 4);
+        })
+  in
+  let tl = Gpu_obs.Timeline.create ~capacity:65536 () in
+  let r =
+    Engine.run ~homogeneous:false ~timeline:tl ~spec:vspec
+      ~max_resident_blocks:2 blocks
+  in
+  Alcotest.(check int) "every warp launched" (nblocks * nwarps)
+    r.Engine.warps_launched;
+  Alcotest.(check int) "every warp retired" (nblocks * nwarps)
+    r.Engine.warps_retired;
+  Alcotest.(check int) "every block retired" nblocks r.Engine.blocks_retired;
+  let expected = Hashtbl.create 1024 in
+  for b = 0 to nblocks - 1 do
+    for w = 0 to nwarps - 1 do
+      Hashtbl.replace expected (10_000 + (64 * b) + w) ()
+    done
+  done;
+  Array.iter
+    (fun (s : Gpu_obs.Timeline.slice) ->
+      if s.Gpu_obs.Timeline.cat = "warp" then
+        Alcotest.(check bool)
+          (Printf.sprintf "tid %d follows the 64-stride layout"
+             s.Gpu_obs.Timeline.tid)
+          true
+          (Hashtbl.mem expected s.Gpu_obs.Timeline.tid))
+    (Gpu_obs.Timeline.slices tl)
+
 let () =
   Alcotest.run "timing"
     [
@@ -395,5 +473,12 @@ let () =
             test_parallel_bit_identical;
           Alcotest.test_case "sampled replay bounds" `Quick
             test_sampled_bounds;
+        ] );
+      ( "timeline tracks",
+        [
+          Alcotest.test_case "warp tids stay distinct past 64 warps" `Quick
+            test_warp_tid_no_collision_past_64;
+          Alcotest.test_case "volta-like 1024-thread block launch" `Quick
+            test_volta_like_full_block_launch;
         ] );
     ]
